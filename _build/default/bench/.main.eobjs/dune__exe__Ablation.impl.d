@@ -1,0 +1,1 @@
+bench/ablation.ml: Clock Disk Fs Harness Histar_label Kernel List Printf Store String Unix

@@ -1,0 +1,1 @@
+bench/f12_lfs.ml: Clock Disk Float Fs Harness Histar_baseline Histar_util List Printf Process Store String Sys

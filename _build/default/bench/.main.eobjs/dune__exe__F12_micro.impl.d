@@ -1,0 +1,1 @@
+bench/f12_micro.ml: Clock Fs Harness Histar_baseline Histar_core Int64 Kernel List Printf Process String

@@ -1,0 +1,1 @@
+bench/f13_apps.ml: Clock Disk Fs Harness Histar_apps Histar_baseline Histar_core Histar_label Histar_net Histar_util Int64 Kernel Label Level Printexc Printf Process String Sys

@@ -1,0 +1,1 @@
+bench/harness.ml: Histar_core Histar_disk Histar_label Histar_store Histar_unix Histar_util Int64 Label Level Printf String

@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Array F12_lfs F12_micro F13_apps List Micro Printf Stdlib String Tables

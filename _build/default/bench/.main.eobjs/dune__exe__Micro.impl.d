@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Bechamel Benchmark Hashtbl Histar_btree Histar_core Histar_crypto Histar_label Instance Int64 List Measure Printf Staged String Test Time Toolkit

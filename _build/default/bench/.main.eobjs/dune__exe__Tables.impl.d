@@ -1,0 +1,1 @@
+bench/tables.ml: Array Clock Disk Filename Harness Histar_apps Histar_baseline Kernel List Printf Stdlib

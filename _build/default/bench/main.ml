@@ -1,0 +1,85 @@
+(* The benchmark harness: regenerates every table and figure of the
+   paper's evaluation (§7) on the simulated substrate, plus the code
+   inventory and the §1 attack matrix. See DESIGN.md for the experiment
+   index and EXPERIMENTS.md for recorded paper-vs-measured results.
+
+   Usage:
+     main.exe                     run everything
+     main.exe f12-ipc f13-wget    run selected experiments
+     main.exe --quick             smaller workloads
+     main.exe --bechamel          wall-clock substrate microbenchmarks *)
+
+let experiments =
+  [
+    ("f12-ipc", "IPC / fork / exec / spawn microbenchmarks", F12_micro.run);
+    ("f12-lfs", "LFS small- and large-file benchmarks", F12_lfs.run);
+    ("f13-apps", "kernel build, wget, ClamAV", F13_apps.run);
+    ("t-codesize", "code-size inventory (§4.1)", Tables.codesize);
+    ("ablation", "design-choice ablations (log batching, label width)", Ablation.run);
+    ("sec-attacks", "§1 leak-vector matrix vs Unix", Tables.attacks);
+  ]
+
+let aliases =
+  [
+    ("f12-forkexec", "f12-ipc");
+    ("f12-spawn", "f12-ipc");
+    ("t-syscalls", "f12-ipc");
+    ("f12-lfs-small", "f12-lfs");
+    ("f12-lfs-large", "f12-lfs");
+    ("f13-build", "f13-apps");
+    ("f13-wget", "f13-apps");
+    ("f13-clamav", "f13-apps");
+  ]
+
+let usage () =
+  print_endline "usage: main.exe [--quick] [--bechamel] [experiment ...]";
+  print_endline "experiments:";
+  List.iter (fun (n, d, _) -> Printf.printf "  %-14s %s\n" n d) experiments;
+  List.iter (fun (a, t) -> Printf.printf "  %-14s alias for %s\n" a t) aliases
+
+let set_quick () =
+  F12_lfs.files := 200;
+  F12_lfs.large_mb := 8;
+  F12_lfs.rand_writes := 100;
+  F13_apps.build_files := 6;
+  F13_apps.wget_mb := 4;
+  F13_apps.scan_mb := 2
+
+let () =
+  let args = List.tl (Array.to_list Stdlib.Sys.argv) in
+  let bechamel = List.mem "--bechamel" args in
+  if List.mem "--quick" args then set_quick ();
+  if List.mem "--help" args then usage ()
+  else begin
+    let selected =
+      List.filter_map
+        (fun a ->
+          if String.length a >= 2 && String.sub a 0 2 = "--" then None
+          else
+            match List.assoc_opt a aliases with
+            | Some t -> Some t
+            | None ->
+                if List.exists (fun (n, _, _) -> n = a) experiments then Some a
+                else begin
+                  Printf.eprintf "unknown experiment: %s\n" a;
+                  usage ();
+                  exit 1
+                end)
+        args
+      |> List.sort_uniq compare
+    in
+    let to_run =
+      if selected = [] then List.map (fun (n, _, _) -> n) experiments
+      else selected
+    in
+    print_endline
+      "HiStar reproduction benchmarks — times are simulated (virtual-clock)";
+    print_endline
+      "unless marked otherwise; see EXPERIMENTS.md for methodology.";
+    List.iter
+      (fun name ->
+        let _, _, f = List.find (fun (n, _, _) -> n = name) experiments in
+        f ())
+      to_run;
+    if bechamel then Micro.benchmark ()
+  end

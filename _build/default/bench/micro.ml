@@ -1,0 +1,108 @@
+(* Wall-clock microbenchmarks of the substrate primitives, measured
+   with Bechamel: label-algebra operations (which the paper notes
+   dominate kernel costs and motivated Asbestos's label-comparison
+   caching), B+-tree operations, the category-name cipher, and a full
+   syscall round trip through the scheduler. *)
+
+open Bechamel
+open Toolkit
+module Label = Histar_label.Label
+module Level = Histar_label.Level
+module Category = Histar_label.Category
+
+let mk_label n seed =
+  Label.of_list
+    (List.init n (fun i ->
+         ( Category.of_int ((i * 7919) + seed),
+           if (i + seed) mod 4 = 0 then Level.Star
+           else Level.of_int ((i + seed) mod 4) )))
+    Level.L1
+
+let test_label_leq =
+  let a = mk_label 8 1 and b = mk_label 8 2 in
+  Test.make ~name:"label.leq (8 cats)" (Staged.stage (fun () -> Label.leq a b))
+
+let test_label_lub =
+  let a = mk_label 8 1 and b = mk_label 8 2 in
+  Test.make ~name:"label.lub (8 cats)" (Staged.stage (fun () -> Label.lub a b))
+
+let test_label_observe =
+  let thread = mk_label 8 1 and obj = mk_label 8 3 in
+  Test.make ~name:"label.can_observe"
+    (Staged.stage (fun () -> Label.can_observe ~thread ~obj))
+
+let test_cipher =
+  let c = Histar_crypto.Block_cipher.create ~key:42L in
+  let v = ref 0L in
+  Test.make ~name:"category cipher (encrypt61)"
+    (Staged.stage (fun () ->
+         v := Int64.add !v 1L;
+         Histar_crypto.Block_cipher.encrypt61 c (Int64.logand !v 0xFFFFFFL)))
+
+let test_btree_insert =
+  Test.make ~name:"btree insert x1000"
+    (Staged.stage (fun () ->
+         let t = Histar_btree.Bptree.create () in
+         for i = 0 to 999 do
+           Histar_btree.Bptree.insert t (Int64.of_int (i * 17 mod 1000)) 0L
+         done))
+
+let test_btree_find =
+  let t = Histar_btree.Bptree.create () in
+  let () =
+    for i = 0 to 9_999 do
+      Histar_btree.Bptree.insert t (Int64.of_int i) (Int64.of_int i)
+    done
+  in
+  let k = ref 0 in
+  Test.make ~name:"btree find (10k entries)"
+    (Staged.stage (fun () ->
+         k := (!k + 7919) mod 10_000;
+         Histar_btree.Bptree.find t (Int64.of_int !k)))
+
+let test_syscall_roundtrip =
+  Test.make ~name:"syscall round trip (yield x100)"
+    (Staged.stage (fun () ->
+         let k = Histar_core.Kernel.create ~syscall_cost_ns:0 () in
+         let _t =
+           Histar_core.Kernel.spawn k ~name:"y" (fun () ->
+               for _ = 1 to 100 do
+                 Histar_core.Sys.yield ()
+               done)
+         in
+         Histar_core.Kernel.run k))
+
+let benchmark () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) ()
+  in
+  let tests =
+    [
+      test_label_leq;
+      test_label_lub;
+      test_label_observe;
+      test_cipher;
+      test_btree_insert;
+      test_btree_find;
+      test_syscall_roundtrip;
+    ]
+  in
+  Printf.printf "\n%s\nSubstrate microbenchmarks (wall clock, Bechamel)\n%s\n"
+    (String.make 78 '-') (String.make 78 '-');
+  List.iter
+    (fun test ->
+      let results =
+        Benchmark.all cfg instances (Test.make_grouped ~name:"g" [ test ])
+      in
+      let results = Analyze.all ols Instance.monotonic_clock results in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some [ est ] -> Printf.printf "%-40s %12.1f ns/run\n" name est
+          | Some _ | None -> Printf.printf "%-40s %12s\n" name "n/a")
+        results)
+    tests

@@ -1,0 +1,1 @@
+examples/attacks.ml: Clamav_world Histar_apps Histar_baseline Histar_core Histar_disk Histar_util List Printf Scanner Wrap

@@ -1,0 +1,1 @@
+examples/auth_login.ml: Authd Dird Fs Histar_auth Histar_core Histar_label Histar_unix Label Level List Logd Login Printf Process String Users

@@ -1,0 +1,1 @@
+examples/auth_login.mli:

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Category Fs Histar_core Histar_label Histar_unix Label Level Printf Process

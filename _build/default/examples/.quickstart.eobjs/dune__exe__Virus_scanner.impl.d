@@ -1,0 +1,1 @@
+examples/virus_scanner.ml: Clamav_world Histar_apps Histar_baseline Histar_core Histar_disk Histar_net Histar_util List Printf Scanner String Wrap

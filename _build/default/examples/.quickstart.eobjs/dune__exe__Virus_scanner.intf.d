@@ -1,0 +1,1 @@
+examples/virus_scanner.mli:

@@ -1,0 +1,1 @@
+examples/vpn_isolation.ml: Addr Buffer Fs Histar_apps Histar_core Histar_label Histar_net Histar_unix Hub Label Level Netd Printf Process Sim_host

@@ -1,0 +1,1 @@
+examples/web_server.ml: Authd Dird Fs Histar_apps Histar_auth Histar_core Histar_label Histar_unix Label Level List Logd Printf Process Users Webserver

@@ -1,0 +1,55 @@
+(* The §1 leak-vector matrix as a standalone demo.
+
+     dune exec examples/attacks.exe
+
+   A compromised, tainted process attempts each §1 channel on HiStar
+   (every one denied by a label check) and the same channels on a
+   simulated Unix kernel with classic discretionary access control
+   (every one succeeds). *)
+
+module Kernel = Histar_core.Kernel
+open Histar_apps
+
+let say fmt = Printf.printf (fmt ^^ "\n")
+
+let () =
+  say "== The §1 leak vectors: HiStar vs Unix ==";
+  let kernel = Kernel.create () in
+  let histar = ref [] in
+  Clamav_world.build ~kernel ~network:true ~update_daemon:false () (fun w ->
+      let evil ~proc ~db_path ~paths ~result_seg ~spawn_helpers =
+        ignore db_path;
+        ignore spawn_helpers;
+        Scanner.run_evil ~proc ~paths ~attacker_netd:w.Clamav_world.netd
+          ~result_seg
+          ~report:(fun a -> histar := a :: !histar)
+      in
+      ignore
+        (Wrap.run ~proc:w.Clamav_world.proc ~user:w.Clamav_world.bob
+           ~db_path:Clamav_world.db_path
+           ~paths:(List.map fst Clamav_world.user_files)
+           ~scanner:evil ()));
+  Kernel.run kernel;
+  let clock = Histar_util.Sim_clock.create () in
+  let disk = Histar_disk.Disk.create ~clock () in
+  let u =
+    Histar_baseline.Unixsim.create Histar_baseline.Unixsim.Linux ~disk ~clock ()
+  in
+  let unix = Histar_baseline.Unixsim.attack_surface u ~secret:"bob-agi-123456" in
+  Printf.printf "%-22s %14s %14s\n" "channel" "HiStar" "Unix";
+  List.iter
+    (fun (a : Scanner.leak_attempt) ->
+      let ux =
+        match
+          List.find_opt
+            (fun l -> l.Histar_baseline.Unixsim.channel = a.Scanner.channel)
+            unix
+        with
+        | Some l -> l.Histar_baseline.Unixsim.succeeded
+        | None -> false
+      in
+      Printf.printf "%-22s %14s %14s\n" a.Scanner.channel
+        (if a.Scanner.succeeded then "LEAKED" else "blocked")
+        (if ux then "LEAKED" else "blocked"))
+    (List.rev !histar);
+  say "\nEvery channel that Unix permits is a single label check on HiStar."

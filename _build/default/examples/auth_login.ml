@@ -1,0 +1,79 @@
+(* Untrusted user authentication (§6.2, Figures 8-10).
+
+     dune exec examples/auth_login.exe
+
+   Starts the logging service, the directory service and bob's
+   authentication daemon, then:
+   1. logs in with the right password (gaining bob's categories);
+   2. fails with a wrong password (exactly one bit leaks);
+   3. connects to a *trojaned* authentication service planted by a
+      malicious directory and shows the password cannot be stolen. *)
+
+module Kernel = Histar_core.Kernel
+module Sys = Histar_core.Sys
+open Histar_unix
+open Histar_auth
+open Histar_label
+
+let say fmt = Printf.printf (fmt ^^ "\n")
+
+let () =
+  let kernel = Kernel.create () in
+  let _init =
+    Kernel.spawn kernel ~name:"init" (fun () ->
+        say "== HiStar authentication demo ==";
+        let fs =
+          Fs.format_root ~container:(Kernel.root kernel)
+            ~label:(Label.make Level.L1)
+        in
+        let proc = Process.boot ~fs ~container:(Kernel.root kernel) ~name:"init" () in
+        let log = Logd.start proc in
+        let dir = Dird.start proc in
+        let bob = Users.create_user ~fs ~name:"bob" in
+        Fs.write_file fs "/home/bob/secret" "bob's tax return";
+        let bob_auth =
+          Authd.start proc ~user:bob ~password:"hunter2" ~log ~dir ()
+        in
+        let attempt name ~username ~password =
+          let outcome = ref None in
+          let h =
+            Process.spawn proc ~name (fun sshd ->
+                let o = Login.login ~proc:sshd ~dir ~username ~password in
+                (match o with
+                | Login.Granted u ->
+                    say "  granted: now owning %s's categories" u.Process.user_name;
+                    say "  reading the private file: %S"
+                      (Fs.read_file (Process.fs sshd) "/home/bob/secret")
+                | Login.Bad_password -> say "  rejected: bad password"
+                | Login.No_such_user -> say "  rejected: no such user"
+                | Login.Setup_rejected -> say "  rejected by the service");
+                outcome := Some o)
+          in
+          ignore (Process.wait proc h)
+        in
+        say "\n-- correct password --";
+        attempt "sshd-1" ~username:"bob" ~password:"hunter2";
+        say "\n-- wrong password --";
+        attempt "sshd-2" ~username:"bob" ~password:"letmein";
+        say "\n-- malicious directory hands us a trojaned service --";
+        let evil = Authd.trojaned_setup_gate bob_auth in
+        let h =
+          Process.spawn proc ~name:"sshd-3" (fun sshd ->
+              match
+                Login.login_via_gate ~proc:sshd ~setup_gate:evil
+                  ~username:"bob" ~password:"hunter2"
+              with
+              | Login.Bad_password ->
+                  say "  login failed (the permitted one-bit leak)"
+              | _ -> say "  unexpected outcome")
+        in
+        ignore (Process.wait proc h);
+        say "  exfiltrated through kernel channels: %s"
+          (match Authd.stolen bob_auth with
+          | [] -> "nothing"
+          | l -> String.concat ", " l);
+        say "\n-- the append-only authentication log --";
+        List.iter (fun e -> say "  %s" e) (Logd.entries log);
+        say "\n== done ==")
+  in
+  Kernel.run kernel

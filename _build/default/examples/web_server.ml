@@ -1,0 +1,73 @@
+(* Web services (§6.4): per-user isolation of untrusted service code.
+
+     dune exec examples/web_server.exe
+
+   The demultiplexer authenticates each request through the §6.2
+   machinery and runs the (untrusted) service handler in a worker
+   process holding exactly that user's categories. Even a handler that
+   actively tries to read other users' data is stopped by the kernel. *)
+
+module Kernel = Histar_core.Kernel
+open Histar_core.Types
+open Histar_unix
+open Histar_auth
+open Histar_apps
+open Histar_label
+
+let say fmt = Printf.printf (fmt ^^ "\n")
+
+let () =
+  let kernel = Kernel.create () in
+  let _init =
+    Kernel.spawn kernel ~name:"init" (fun () ->
+        say "== HiStar web services demo ==";
+        let fs =
+          Fs.format_root ~container:(Kernel.root kernel)
+            ~label:(Label.make Level.L1)
+        in
+        let proc = Process.boot ~fs ~container:(Kernel.root kernel) ~name:"init" () in
+        let log = Logd.start proc in
+        let dir = Dird.start proc in
+        let mk_user name pw profile =
+          let u = Users.create_user ~fs ~name in
+          Fs.write_file fs ("/home/" ^ name ^ "/profile") profile;
+          ignore (Authd.start proc ~user:u ~password:pw ~log ~dir ());
+          u
+        in
+        let _alice = mk_user "alice" "apw" "alice: card 4111-1111" in
+        let _bob = mk_user "bob" "bpw" "bob: card 5500-2222" in
+        (* a handler that serves the requested path — and, if the
+           request smells malicious, even *tries* to read the other
+           user's profile first *)
+        let handler worker req =
+          let wfs = Process.fs worker in
+          let other =
+            if req.Webserver.req_user = "alice" then "/home/bob/profile"
+            else "/home/alice/profile"
+          in
+          (match Fs.read_file wfs other with
+          | stolen -> say "  !! cross-user read succeeded: %s (BUG)" stolen
+          | exception Kernel_error _ ->
+              say "  (worker tried to read %s: kernel said no)" other);
+          Webserver.profile_handler worker req
+        in
+        let ws = Webserver.start ~proc ~dir ~handler in
+        let get user pw path =
+          say "GET %s as %s" path user;
+          match
+            Webserver.serve_one ws
+              { Webserver.req_user = user; req_password = pw; req_path = path }
+          with
+          | Webserver.Ok body -> say "  200: %s" body
+          | Webserver.Denied m -> say "  403: %s" m
+        in
+        get "alice" "apw" "/home/alice/profile";
+        get "bob" "bpw" "/home/bob/profile";
+        get "bob" "bpw" "/home/alice/profile";
+        get "mallory" "x" "/home/alice/profile";
+        get "alice" "wrong" "/home/alice/profile";
+        say "\naudit log:";
+        List.iter (fun e -> say "  %s" e) (Logd.entries log);
+        say "== done ==")
+  in
+  Kernel.run kernel

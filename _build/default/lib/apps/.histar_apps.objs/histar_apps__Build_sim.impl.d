@@ -1,0 +1,1 @@
+lib/apps/build_sim.ml: Buffer Histar_unix Histar_util List Printf String

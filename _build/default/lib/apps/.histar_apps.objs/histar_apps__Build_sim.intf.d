@@ -1,0 +1,1 @@
+lib/apps/build_sim.mli: Histar_unix

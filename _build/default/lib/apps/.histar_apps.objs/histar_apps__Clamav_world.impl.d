@@ -1,0 +1,1 @@
+lib/apps/clamav_world.ml: Histar_core Histar_label Histar_net Histar_unix List Option Scanner String Update_daemon

@@ -1,0 +1,1 @@
+lib/apps/clamav_world.mli: Histar_core Histar_label Histar_net Histar_unix Update_daemon

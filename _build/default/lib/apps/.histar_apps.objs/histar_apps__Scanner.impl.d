@@ -1,0 +1,1 @@
+lib/apps/scanner.ml: Histar_core Histar_label Histar_net Histar_unix Histar_util Int64 List Option String

@@ -1,0 +1,1 @@
+lib/apps/scanner.mli: Histar_core Histar_net Histar_unix

@@ -1,0 +1,1 @@
+lib/apps/update_daemon.ml: Histar_core Histar_label Histar_net Histar_unix Histar_util Int64 List Queue

@@ -1,0 +1,1 @@
+lib/apps/update_daemon.mli: Histar_label Histar_net Histar_unix

@@ -1,0 +1,1 @@
+lib/apps/vpn.ml: Buffer Char Histar_core Histar_label Histar_net Histar_unix Histar_util List Queue String

@@ -1,0 +1,1 @@
+lib/apps/vpn.mli: Histar_core Histar_label Histar_net Histar_unix

@@ -1,0 +1,1 @@
+lib/apps/webserver.ml: Histar_auth Histar_core Histar_label Histar_unix

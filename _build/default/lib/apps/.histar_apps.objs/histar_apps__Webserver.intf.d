@@ -1,0 +1,1 @@
+lib/apps/webserver.mli: Histar_auth Histar_unix

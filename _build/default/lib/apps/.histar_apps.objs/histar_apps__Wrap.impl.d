@@ -1,0 +1,1 @@
+lib/apps/wrap.ml: Histar_core Histar_label Histar_unix Histar_util Int64 Scanner

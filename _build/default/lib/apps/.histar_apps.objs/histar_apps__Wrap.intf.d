@@ -1,0 +1,1 @@
+lib/apps/wrap.mli: Histar_core Histar_unix Scanner

@@ -1,0 +1,68 @@
+module Process = Histar_unix.Process
+module Fs = Histar_unix.Fs
+
+type stats = { files_compiled : int; bytes_written : int; syscalls : int }
+
+let src_path i = Printf.sprintf "/src/mod%03d.c" i
+let obj_path i = Printf.sprintf "/src/mod%03d.o" i
+
+let prepare ~fs ~files ~loc_per_file =
+  if not (Fs.exists fs "/src") then ignore (Fs.mkdir fs "/src");
+  if not (Fs.exists fs "/bin") then ignore (Fs.mkdir fs "/bin");
+  if not (Fs.exists fs "/bin/cc") then Fs.write_file fs "/bin/cc" "#!cc";
+  if not (Fs.exists fs "/bin/ld") then Fs.write_file fs "/bin/ld" "#!ld";
+  for i = 0 to files - 1 do
+    let body =
+      String.concat "\n"
+        (List.init loc_per_file (fun l ->
+             Printf.sprintf "int fn_%d_%d(int x) { return x * %d + %d; }" i l l
+               (i + l)))
+    in
+    Fs.write_file fs (src_path i) body
+  done
+
+(* a toy "compiler": checksum every line into the object file *)
+let compile fs i =
+  let src = Fs.read_file fs (src_path i) in
+  let lines = String.split_on_char '\n' src in
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun line ->
+      Buffer.add_string buf
+        (Printf.sprintf "%Lx\n" (Histar_util.Checksum.fnv64 line)))
+    lines;
+  Fs.write_file fs (obj_path i) (Buffer.contents buf);
+  Buffer.length buf
+
+let run ~proc ~files ?(use_spawn = false) () =
+  let written = ref 0 in
+  let launch name f =
+    if use_spawn then Process.spawn proc ~name f
+    else Process.fork_exec proc ~name ~text:"/bin/cc" f
+  in
+  (* make-style: compile sequentially, like make without -j *)
+  for i = 0 to files - 1 do
+    let h =
+      launch
+        (Printf.sprintf "cc mod%03d" i)
+        (fun cc -> written := !written + compile (Process.fs cc) i)
+    in
+    ignore (Process.wait proc h)
+  done;
+  (* link *)
+  let h =
+    launch "ld kernel" (fun ld ->
+        let fs = Process.fs ld in
+        let buf = Buffer.create 1024 in
+        for i = 0 to files - 1 do
+          Buffer.add_string buf (Fs.read_file fs (obj_path i))
+        done;
+        Fs.write_file fs "/src/kernel.img" (Buffer.contents buf);
+        written := !written + Buffer.length buf)
+  in
+  ignore (Process.wait proc h);
+  {
+    files_compiled = files;
+    bytes_written = !written;
+    syscalls = 0 (* filled by callers from the kernel profile *);
+  }

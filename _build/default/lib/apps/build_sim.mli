@@ -1,0 +1,23 @@
+(** A synthetic "build the HiStar kernel" workload (§7.2, Figure 13):
+    a make-like driver that fork/execs one compiler process per source
+    file (each reads its source, does some work, writes an object
+    file), then links. Exercises process creation, the file system and
+    scheduling the way the paper's GNU-make benchmark does. *)
+
+type stats = {
+  files_compiled : int;
+  bytes_written : int;
+  syscalls : int;
+}
+
+val prepare : fs:Histar_unix.Fs.t -> files:int -> loc_per_file:int -> unit
+(** Create /src with the given number of synthetic source files. *)
+
+val run :
+  proc:Histar_unix.Process.t ->
+  files:int ->
+  ?use_spawn:bool ->
+  unit ->
+  stats
+(** Compile everything and link. [use_spawn] (default false) uses the
+    efficient spawn path instead of fork/exec, as §7.1 contrasts. *)

@@ -1,0 +1,104 @@
+module Kernel = Histar_core.Kernel
+module Sys = Histar_core.Sys
+module Process = Histar_unix.Process
+module Fs = Histar_unix.Fs
+module Users = Histar_unix.Users
+module Label = Histar_label.Label
+module Level = Histar_label.Level
+module Addr = Histar_net.Addr
+module Hub = Histar_net.Hub
+module Sim_host = Histar_net.Sim_host
+module Netd = Histar_net.Netd
+
+type t = {
+  kernel : Kernel.t;
+  proc : Process.t;
+  fs : Fs.t;
+  bob : Process.user;
+  dbw : Histar_label.Category.t;
+  netd : Netd.t option;
+  attacker : Sim_host.t option;
+  updated : Update_daemon.t option;
+}
+
+let db_path = "/var/db/virus.db"
+
+let user_files =
+  [
+    ("/home/bob/taxes.txt", "bob-agi-123456 bank-account-987654");
+    ("/home/bob/diary.txt", "dear diary, my password is hunter2");
+    ("/home/bob/download.bin", "harmless bytes EICAR-TEST-SIGNATURE more bytes");
+  ]
+
+let signatures =
+  [
+    ("Eicar-Test", "EICAR-TEST-SIGNATURE");
+    ("Trojan.Sim.A", "\x90\x90\xcc\xcc virusbody");
+    ("Worm.Sim.B", "i-am-a-worm-replicate-me");
+  ]
+
+let build ~kernel ?(network = true) ?(update_daemon = true) () k =
+  let clock = Kernel.clock kernel in
+  let hub = if network then Some (Hub.create ~clock ()) else None in
+  let attacker =
+    Option.map
+      (fun hub ->
+        let a = Sim_host.create ~hub ~clock ~ip:"10.9.9.9" ~mac:"attacker" () in
+        Sim_host.sink a ~port:6666;
+        a)
+      hub
+  in
+  let vendor =
+    Option.map
+      (fun hub ->
+        let host = Sim_host.create ~hub ~clock ~ip:"10.7.7.7" ~mac:"vendor" () in
+        Sim_host.serve_file host ~port:80
+          ~content:(Scanner.make_database ~signatures);
+        host)
+      hub
+  in
+  ignore vendor;
+  let _tid =
+    Kernel.spawn kernel ~name:"init" (fun () ->
+        let fs =
+          Fs.format_root ~container:(Kernel.root kernel)
+            ~label:(Label.make Level.L1)
+        in
+        let proc =
+          Process.boot ~fs ~container:(Kernel.root kernel) ~name:"init" ()
+        in
+        (* the world-shared /tmp with a pre-made dead-drop target *)
+        ignore (Fs.mkdir fs "/tmp");
+        Fs.write_file fs "/tmp/dead-drop" "";
+        Fs.write_file fs "/tmp/flag" (String.make 8 '\000');
+        (* bob and his private files *)
+        let bob = Users.create_user ~fs ~name:"bob" in
+        List.iter (fun (p, data) -> Fs.write_file fs p data) user_files;
+        (* the virus database: world-readable, writable via dbw *)
+        let dbw = Sys.cat_create () in
+        ignore (Fs.mkdir fs "/var");
+        ignore (Fs.mkdir fs "/var/db");
+        ignore
+          (Fs.create fs
+             ~label:(Update_daemon.db_write_label ~dbw)
+             ~quota:1_048_576L db_path);
+        Fs.write_file fs db_path (Scanner.make_database ~signatures);
+        (* networking *)
+        let i = Sys.cat_create () in
+        let netd =
+          Option.map
+            (fun hub ->
+              Netd.start kernel ~hub ~container:(Kernel.root kernel)
+                ~ip:(Addr.ip_of_string "10.0.0.1") ~mac:"km" ~taint:i ())
+            hub
+        in
+        let updated =
+          if update_daemon then
+            Some
+              (Update_daemon.start ~proc ~dbw ~db_path ~netd:None
+                 ~vendor:(Addr.v "10.7.7.7" 80))
+          else None
+        in
+        k { kernel; proc; fs; bob; dbw; netd; attacker; updated })
+  in
+  ()

@@ -1,0 +1,33 @@
+(** The full ClamAV scenario of Figures 1/2/4: user data, the shared
+    /tmp, the virus database with its update daemon, the network with
+    an attacker's drop box and the DB vendor — assembled so tests,
+    examples and benchmarks can run honest and compromised components
+    against the same world. *)
+
+type t = {
+  kernel : Histar_core.Kernel.t;
+  proc : Histar_unix.Process.t;  (** init, owns bob's categories *)
+  fs : Histar_unix.Fs.t;
+  bob : Histar_unix.Process.user;
+  dbw : Histar_label.Category.t;
+  netd : Histar_net.Netd.t option;
+  attacker : Histar_net.Sim_host.t option;
+  updated : Update_daemon.t option;
+}
+
+val db_path : string
+val user_files : (string * string) list
+(** bob's private files and their contents (one contains a "virus"). *)
+
+val signatures : (string * string) list
+
+val build :
+  kernel:Histar_core.Kernel.t ->
+  ?network:bool ->
+  ?update_daemon:bool ->
+  unit ->
+  (t -> unit) ->
+  unit
+(** Boot the world inside [kernel] and hand it to the continuation
+    (which runs on the init thread); then the caller should run the
+    kernel to completion. *)

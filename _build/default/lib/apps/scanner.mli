@@ -1,0 +1,50 @@
+(** A ClamAV substitute (§6.1).
+
+    A signature-matching virus scanner over a synthetic signature
+    database. It exercises the same isolation surface as the paper's
+    port: it reads user files, spawns helper processes to "decode"
+    inputs, writes temporaries, and (if compromised) tries to leak what
+    it read. The scanner is ~untrusted~: all guarantees come from the
+    labels wrap sets up. *)
+
+type verdict = { path : string; infected : bool; matched : string option }
+
+val make_database : signatures:(string * string) list -> string
+(** Serialize a (name, byte-pattern) signature list into the database
+    file format. *)
+
+val parse_database : string -> (string * string) list
+
+val scan_bytes : db:(string * string) list -> string -> string option
+(** First matching signature name, if any. *)
+
+val run :
+  proc:Histar_unix.Process.t ->
+  db_path:string ->
+  paths:string list ->
+  result_seg:Histar_core.Types.centry ->
+  spawn_helpers:bool ->
+  unit
+(** The scanner process body: loads the database, scans every path
+    (each through a helper child when [spawn_helpers]), writes the
+    verdicts into [result_seg] and flips its ready flag. Runs at
+    whatever label its creator gave it. *)
+
+val encode_verdicts : verdict list -> string
+val decode_verdicts : string -> verdict list
+
+(** {1 A compromised scanner} *)
+
+type leak_attempt = { channel : string; succeeded : bool }
+
+val run_evil :
+  proc:Histar_unix.Process.t ->
+  paths:string list ->
+  attacker_netd:Histar_net.Netd.t option ->
+  result_seg:Histar_core.Types.centry ->
+  report:(leak_attempt -> unit) ->
+  unit
+(** A scanner that has been taken over: reads the user's files, then
+    attempts every §1 leak vector — direct TCP, an external helper,
+    /tmp dead drops, signalling other processes, quota modulation —
+    reporting which the kernel permitted. *)

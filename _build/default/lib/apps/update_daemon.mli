@@ -1,0 +1,35 @@
+(** The virus-database update daemon (§6.1).
+
+    Runs with the privilege to write the ClamAV executable and virus
+    database — and nothing else. It fetches signature updates from the
+    (simulated) vendor over the network. Even a fully compromised
+    update daemon cannot read private user data: its label carries no
+    user categories, and the kernel stops it cold. *)
+
+type t
+
+val db_write_label :
+  dbw:Histar_label.Category.t -> Histar_label.Label.t
+(** [{dbw0, 1}]: world-readable, writable only by holders of dbw. *)
+
+val start :
+  proc:Histar_unix.Process.t ->
+  dbw:Histar_label.Category.t ->
+  db_path:string ->
+  netd:Histar_net.Netd.t option ->
+  vendor:Histar_net.Addr.t ->
+  t
+(** Spawn the daemon, granting it [dbw]. With a netd it periodically
+    fetches from [vendor]; without one it waits for {!push_update}. *)
+
+val push_update : t -> string -> unit
+(** Deliver a new database image to the daemon (it applies it with its
+    dbw privilege). *)
+
+val updates_applied : t -> int
+val snoop_attempts : t -> (string * bool) list
+(** For the compromised-daemon tests: paths the daemon tried to read
+    and whether the kernel allowed it. *)
+
+val try_snoop : t -> string list -> unit
+(** Make the daemon attempt to read these (user) files. *)

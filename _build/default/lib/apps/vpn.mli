@@ -1,0 +1,36 @@
+(** VPN isolation (§6.3, Figure 11).
+
+    The machine is connected to two networks: the open internet (taint
+    category [i]) and a corporate network reached through an encrypted
+    tunnel (taint category [v]). Each network has its own lwIP stack
+    (netd instance); only the VPN client — a small process owning both
+    [i] and [v] — may move data between them, re-tainting as it
+    encrypts/decrypts. The kernel then *guarantees* that internet data
+    cannot reach the corporate side or vice versa except through the
+    VPN client: a broad policy from one localized change.
+
+    Topology built by {!setup}:
+    - [inet_hub]: the simulated internet, with the VPN server host;
+    - the kernel's internet device + netd, labeled [{i2, 1}];
+    - a tunnel hub private to this machine, carrying the corp-side
+      frames, with the kernel's VPN device + netd labeled [{v2, 1}];
+    - the VPN client process (owner of [i] and [v]) relaying frames
+      between the tunnel hub and a TCP connection to the VPN server,
+      XOR-"encrypting" in between;
+    - the VPN server host, bridging decrypted frames onto [corp_hub]. *)
+
+type t
+
+val setup :
+  proc:Histar_unix.Process.t ->
+  kernel:Histar_core.Kernel.t ->
+  inet_hub:Histar_net.Hub.t ->
+  corp_hub:Histar_net.Hub.t ->
+  i:Histar_label.Category.t ->
+  v:Histar_label.Category.t ->
+  t
+(** Build the whole topology. [i]/[v] must be owned by the caller. *)
+
+val inet_netd : t -> Histar_net.Netd.t
+val vpn_netd : t -> Histar_net.Netd.t
+val frames_tunneled : t -> int

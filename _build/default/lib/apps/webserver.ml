@@ -1,0 +1,75 @@
+module Sys = Histar_core.Sys
+module Process = Histar_unix.Process
+module Fs = Histar_unix.Fs
+module Label = Histar_label.Label
+module Level = Histar_label.Level
+open Histar_core.Types
+
+type request = { req_user : string; req_password : string; req_path : string }
+type response = Ok of string | Denied of string
+
+type t = {
+  demux : Process.t;
+  dir : Histar_auth.Dird.t;
+  handler : Process.t -> request -> response;
+  served : int ref;
+}
+
+let start ~proc ~dir ~handler =
+  (* The demultiplexer runs unprivileged: it owns no user categories and
+     cannot read anyone's data itself. *)
+  { demux = proc; dir; handler; served = ref (0 : int) }
+
+let requests_served t = !(t.served)
+
+(* The per-connection pipeline of §6.4: authenticate, then run the
+   untrusted service code in a worker that holds only this user's
+   categories. *)
+let serve_one t req =
+  incr t.served;
+  (* Each connection gets its own container, which bounds the resources
+     the demultiplexer grants the worker. *)
+  let conn_ct =
+    Sys.container_create
+      ~container:(Process.container t.demux)
+      ~label:(Label.make Level.L1) ~quota:1_048_576L
+      ("conn for " ^ req.req_user)
+  in
+  let result = ref (Denied "worker did not run") in
+  (* Authentication happens in a throwaway login process so that even
+     the demultiplexer never gains the user's privileges. *)
+  let login_h =
+    Process.spawn t.demux ~name:("login:" ^ req.req_user) (fun login_proc ->
+        match
+          Histar_auth.Login.login ~proc:login_proc ~dir:t.dir
+            ~username:req.req_user ~password:req.req_password
+        with
+        | Histar_auth.Login.Granted user ->
+            (* now owning ur/uw, spawn the worker with exactly those *)
+            let worker =
+              Process.spawn login_proc
+                ~name:("worker:" ^ req.req_user)
+                ~user (fun worker_proc ->
+                  result := t.handler worker_proc req;
+                  Process.exit worker_proc 0)
+            in
+            ignore (Process.wait login_proc worker)
+        | Histar_auth.Login.Bad_password ->
+            result := Denied "bad password"
+        | Histar_auth.Login.No_such_user -> result := Denied "no such user"
+        | Histar_auth.Login.Setup_rejected ->
+            result := Denied "authentication service refused")
+  in
+  ignore (Process.wait t.demux login_h);
+  (try Sys.unref (centry (Process.container t.demux) conn_ct)
+   with Kernel_error _ -> ());
+  !result
+
+(* A reference service: serve the user's own profile file. *)
+let profile_handler worker_proc req =
+  let fs = Process.fs worker_proc in
+  match Fs.read_file fs req.req_path with
+  | contents -> Ok contents
+  | exception Kernel_error (Label_check m) -> Denied ("label check: " ^ m)
+  | exception Kernel_error e -> Denied (error_to_string e)
+  | exception Invalid_argument m -> Denied m

@@ -1,0 +1,48 @@
+(** The §6.4 web server: isolates different users' data so buggy or
+    malicious web service code cannot mix them.
+
+    Architecture, following the paper:
+    - a connection *demultiplexer* process accepts connections through
+      netd and parses only the request line (user, password, path);
+    - it authenticates through the §6.2 machinery (login client →
+      directory → per-user auth service), so the web server itself
+      never handles credentials beyond relaying them into the
+      password-tainted check gate;
+    - on success it spawns a *worker* process holding that user's
+      categories to run the (untrusted) service code against the user's
+      files; the worker cannot read any other user's data — the kernel
+      stops it even if the service code is malicious;
+    - resources for each worker are granted through a per-connection
+      container, as the paper's demultiplexer does.
+
+    The "service code" is a parameter, so tests can run a malicious
+    handler that tries to read other users' profiles. *)
+
+type t
+
+type request = {
+  req_user : string;
+  req_password : string;
+  req_path : string;
+}
+
+type response = Ok of string | Denied of string
+
+val start :
+  proc:Histar_unix.Process.t ->
+  dir:Histar_auth.Dird.t ->
+  handler:(Histar_unix.Process.t -> request -> response) ->
+  t
+(** Start the demultiplexer. [handler] is the untrusted service code,
+    run in a per-user worker process. *)
+
+val serve_one : t -> request -> response
+(** Feed one (already-parsed) request through the full pipeline:
+    authenticate, spawn the worker, collect its response. Blocks until
+    the worker exits. *)
+
+val requests_served : t -> int
+
+val profile_handler : Histar_unix.Process.t -> request -> response
+(** A reference service: read and return the file named by the request,
+    with the worker's (that is, the authenticated user's) privileges. *)

@@ -1,0 +1,1 @@
+lib/auth/agreed.ml: Histar_core Histar_label Histar_util Proto String

@@ -1,0 +1,1 @@
+lib/auth/authd.ml: Agreed Dird Histar_core Histar_label Histar_unix Histar_util Int64 Logd Printf Proto String

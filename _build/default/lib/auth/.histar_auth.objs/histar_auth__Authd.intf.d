@@ -1,0 +1,1 @@
+lib/auth/authd.mli: Dird Histar_core Histar_unix Logd

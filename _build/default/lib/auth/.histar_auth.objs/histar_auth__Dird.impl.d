@@ -1,0 +1,1 @@
+lib/auth/dird.ml: Hashtbl Histar_core Histar_label Histar_unix Histar_util Proto

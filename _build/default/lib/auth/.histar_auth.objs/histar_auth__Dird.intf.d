@@ -1,0 +1,1 @@
+lib/auth/dird.mli: Histar_core Histar_unix

@@ -1,0 +1,1 @@
+lib/auth/logd.ml: Histar_core Histar_label Histar_unix Histar_util List Proto String

@@ -1,0 +1,1 @@
+lib/auth/logd.mli: Histar_core Histar_unix

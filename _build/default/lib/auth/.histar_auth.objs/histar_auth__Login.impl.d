@@ -1,0 +1,1 @@
+lib/auth/login.ml: Agreed Dird Histar_core Histar_label Histar_unix Histar_util Proto String

@@ -1,0 +1,1 @@
+lib/auth/login.mli: Dird Histar_core Histar_unix

@@ -1,0 +1,1 @@
+lib/auth/proto.ml: Histar_core Histar_label Histar_util Printf

@@ -1,0 +1,26 @@
+(** The logging service (§6.2): 58 lines in the paper.
+
+    Maintains an append-only log. The directory and user authentication
+    services trust it to keep the log append-only; it trusts them not
+    to exhaust space. Its gate has the default clearance [{2}], so a
+    password-tainted check gate *cannot* reach it — which is why the
+    paper separates the grant gate (which logs successes) from the
+    check gate. *)
+
+type t
+
+val start : Histar_unix.Process.t -> t
+(** Spawn the daemon from [proc]'s environment. *)
+
+val gate : t -> Histar_core.Types.centry
+(** The append gate (waits for the daemon to come up). *)
+
+val append : t -> return_container:Histar_core.Types.oid -> string -> unit
+(** Client wrapper: one gate call. *)
+
+val entries : t -> string list
+(** The log contents, oldest first (reads the daemon's log segment). *)
+
+val log_segment : t -> Histar_core.Types.centry
+(** The backing segment — world-readable, writable only through the
+    gate. *)

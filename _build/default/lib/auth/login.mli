@@ -1,0 +1,41 @@
+(** The login client (§6.2, Figure 9).
+
+    Runs as part of a web server / sshd-like process that knows a
+    username and password and wants ownership of the user's [ur]/[uw].
+    Crucially, login trusts **no other component with the password**:
+    the password is only ever handed to code running tainted [pir3],
+    which can reveal at most one bit (did authentication succeed).
+
+    The four steps:
+    + ask the directory for the user's setup gate;
+    + invoke the setup gate, granting the session-write category [sw⋆]
+      and explicitly *not* [pir] (neither its ownership nor clearance);
+      the setup code builds the retry segment (through the agreed-code
+      gate), check gate, and grant gate in our session container;
+    + invoke the check gate with the password, tainted [pir3]; on
+      success the return grants ownership of the fresh category [x];
+    + invoke the grant gate (clearance [{x0,2}]), whose return grants
+      [ur]/[uw] and logs the success. *)
+
+type outcome =
+  | Granted of Histar_unix.Process.user
+      (** the calling thread now owns [ur]/[uw] *)
+  | Bad_password
+  | No_such_user
+  | Setup_rejected  (** the service refused (e.g. bad agreed code) *)
+
+val login :
+  proc:Histar_unix.Process.t ->
+  dir:Dird.t ->
+  username:string ->
+  password:string ->
+  outcome
+
+val login_via_gate :
+  proc:Histar_unix.Process.t ->
+  setup_gate:Histar_core.Types.centry ->
+  username:string ->
+  password:string ->
+  outcome
+(** Like {!login} but with an explicit setup gate — used to model a
+    malicious directory handing back a trojaned service. *)

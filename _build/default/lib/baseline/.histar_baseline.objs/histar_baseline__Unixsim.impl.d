@@ -1,0 +1,1 @@
+lib/baseline/unixsim.ml: Buffer Hashtbl Histar_disk Histar_util Int64 Printf String

@@ -1,0 +1,1 @@
+lib/baseline/unixsim.mli: Histar_disk Histar_util

@@ -1,0 +1,1 @@
+lib/btree/bptree.ml: Array Histar_util Int64 List Option Printf

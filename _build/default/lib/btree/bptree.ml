@@ -1,0 +1,413 @@
+type leaf = {
+  mutable lkeys : int64 array;
+  mutable lvals : int64 array;
+  mutable next : leaf option;
+}
+
+type node = Leaf of leaf | Internal of internal
+and internal = { mutable ikeys : int64 array; mutable children : node array }
+
+type t = { order : int; mutable root : node; mutable size : int }
+
+let max_entries t = t.order
+let min_entries t = t.order / 2
+let max_children t = t.order
+let min_children t = (t.order + 1) / 2
+
+let create ?(order = 16) () =
+  if order < 4 then invalid_arg "Bptree.create: order must be >= 4";
+  { order; root = Leaf { lkeys = [||]; lvals = [||]; next = None }; size = 0 }
+
+let cardinal t = t.size
+let is_empty t = t.size = 0
+
+(* ----- array helpers ----- *)
+
+let arr_insert a i x =
+  let n = Array.length a in
+  let b = Array.make (n + 1) x in
+  Array.blit a 0 b 0 i;
+  Array.blit a i b (i + 1) (n - i);
+  b
+
+let arr_remove a i =
+  let n = Array.length a in
+  let b = Array.make (n - 1) a.(0) in
+  Array.blit a 0 b 0 i;
+  Array.blit a (i + 1) b i (n - i - 1);
+  b
+
+let arr_sub = Array.sub
+let arr_append = Array.append
+
+(* Binary search: index of first element >= k, or length if none. *)
+let lower_bound a k =
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare a.(mid) k < 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* Index of the child to descend into for key [k]: the first i with
+   k < ikeys.(i), else the last child. Keys >= ikeys.(i) live in
+   children.(i+1). *)
+let child_index n k =
+  let a = n.ikeys in
+  let lo = ref 0 and hi = ref (Array.length a) in
+  while !lo < !hi do
+    let mid = (!lo + !hi) / 2 in
+    if Int64.compare a.(mid) k <= 0 then lo := mid + 1 else hi := mid
+  done;
+  !lo
+
+(* ----- find ----- *)
+
+let rec find_node node k =
+  match node with
+  | Leaf l ->
+      let i = lower_bound l.lkeys k in
+      if i < Array.length l.lkeys && Int64.equal l.lkeys.(i) k then
+        Some l.lvals.(i)
+      else None
+  | Internal n -> find_node n.children.(child_index n k) k
+
+let find t k = find_node t.root k
+let mem t k = Option.is_some (find t k)
+
+(* ----- insert ----- *)
+
+type split = (int64 * node) option
+
+let rec insert_node t node k v : split * bool =
+  match node with
+  | Leaf l ->
+      let i = lower_bound l.lkeys k in
+      if i < Array.length l.lkeys && Int64.equal l.lkeys.(i) k then begin
+        l.lvals.(i) <- v;
+        (None, false)
+      end
+      else begin
+        l.lkeys <- arr_insert l.lkeys i k;
+        l.lvals <- arr_insert l.lvals i v;
+        if Array.length l.lkeys > max_entries t then begin
+          let n = Array.length l.lkeys in
+          let mid = n / 2 in
+          let right =
+            {
+              lkeys = arr_sub l.lkeys mid (n - mid);
+              lvals = arr_sub l.lvals mid (n - mid);
+              next = l.next;
+            }
+          in
+          l.lkeys <- arr_sub l.lkeys 0 mid;
+          l.lvals <- arr_sub l.lvals 0 mid;
+          l.next <- Some right;
+          (Some (right.lkeys.(0), Leaf right), true)
+        end
+        else (None, true)
+      end
+  | Internal n -> (
+      let i = child_index n k in
+      let split, added = insert_node t n.children.(i) k v in
+      match split with
+      | None -> (None, added)
+      | Some (sep, right) ->
+          n.ikeys <- arr_insert n.ikeys i sep;
+          n.children <- arr_insert n.children (i + 1) right;
+          if Array.length n.children > max_children t then begin
+            let nc = Array.length n.children in
+            let mid = nc / 2 in
+            (* Separator promoted to the parent. *)
+            let up = n.ikeys.(mid - 1) in
+            let rnode =
+              {
+                ikeys = arr_sub n.ikeys mid (Array.length n.ikeys - mid);
+                children = arr_sub n.children mid (nc - mid);
+              }
+            in
+            n.ikeys <- arr_sub n.ikeys 0 (mid - 1);
+            n.children <- arr_sub n.children 0 mid;
+            (Some (up, Internal rnode), added)
+          end
+          else (None, added))
+
+let insert t k v =
+  let split, added = insert_node t t.root k v in
+  (match split with
+  | None -> ()
+  | Some (sep, right) ->
+      t.root <- Internal { ikeys = [| sep |]; children = [| t.root; right |] });
+  if added then t.size <- t.size + 1
+
+(* ----- delete ----- *)
+
+let node_underfull t = function
+  | Leaf l -> Array.length l.lkeys < min_entries t
+  | Internal n -> Array.length n.children < min_children t
+
+(* Fix up an underfull child [i] of internal node [n] by borrowing from a
+   sibling or merging with one. *)
+let fix_underflow t n i =
+  let borrow_from_left li =
+    let left = n.children.(li) and cur = n.children.(li + 1) in
+    match (left, cur) with
+    | Leaf l, Leaf c ->
+        let j = Array.length l.lkeys - 1 in
+        c.lkeys <- arr_insert c.lkeys 0 l.lkeys.(j);
+        c.lvals <- arr_insert c.lvals 0 l.lvals.(j);
+        l.lkeys <- arr_sub l.lkeys 0 j;
+        l.lvals <- arr_sub l.lvals 0 j;
+        n.ikeys.(li) <- c.lkeys.(0)
+    | Internal l, Internal c ->
+        let j = Array.length l.children - 1 in
+        c.ikeys <- arr_insert c.ikeys 0 n.ikeys.(li);
+        c.children <- arr_insert c.children 0 l.children.(j);
+        n.ikeys.(li) <- l.ikeys.(j - 1);
+        l.ikeys <- arr_sub l.ikeys 0 (j - 1);
+        l.children <- arr_sub l.children 0 j
+    | Leaf _, Internal _ | Internal _, Leaf _ -> assert false
+  in
+  let borrow_from_right li =
+    let cur = n.children.(li) and right = n.children.(li + 1) in
+    match (cur, right) with
+    | Leaf c, Leaf r ->
+        c.lkeys <- arr_append c.lkeys [| r.lkeys.(0) |];
+        c.lvals <- arr_append c.lvals [| r.lvals.(0) |];
+        r.lkeys <- arr_remove r.lkeys 0;
+        r.lvals <- arr_remove r.lvals 0;
+        n.ikeys.(li) <- r.lkeys.(0)
+    | Internal c, Internal r ->
+        c.ikeys <- arr_append c.ikeys [| n.ikeys.(li) |];
+        c.children <- arr_append c.children [| r.children.(0) |];
+        n.ikeys.(li) <- r.ikeys.(0);
+        r.ikeys <- arr_remove r.ikeys 0;
+        r.children <- arr_remove r.children 0
+    | Leaf _, Internal _ | Internal _, Leaf _ -> assert false
+  in
+  (* Merge children [li] and [li+1] into [li]; drop separator [li]. *)
+  let merge li =
+    (match (n.children.(li), n.children.(li + 1)) with
+    | Leaf l, Leaf r ->
+        l.lkeys <- arr_append l.lkeys r.lkeys;
+        l.lvals <- arr_append l.lvals r.lvals;
+        l.next <- r.next
+    | Internal l, Internal r ->
+        l.ikeys <- arr_append l.ikeys (arr_append [| n.ikeys.(li) |] r.ikeys);
+        l.children <- arr_append l.children r.children
+    | Leaf _, Internal _ | Internal _, Leaf _ -> assert false);
+    n.ikeys <- arr_remove n.ikeys li;
+    n.children <- arr_remove n.children (li + 1)
+  in
+  let nchildren = Array.length n.children in
+  let can_spare = function
+    | Leaf l -> Array.length l.lkeys > min_entries t
+    | Internal c -> Array.length c.children > min_children t
+  in
+  if i > 0 && can_spare n.children.(i - 1) then borrow_from_left (i - 1)
+  else if i < nchildren - 1 && can_spare n.children.(i + 1) then
+    borrow_from_right i
+  else if i > 0 then merge (i - 1)
+  else merge i
+
+let rec remove_node t node k =
+  match node with
+  | Leaf l ->
+      let i = lower_bound l.lkeys k in
+      if i < Array.length l.lkeys && Int64.equal l.lkeys.(i) k then begin
+        l.lkeys <- arr_remove l.lkeys i;
+        l.lvals <- arr_remove l.lvals i;
+        true
+      end
+      else false
+  | Internal n ->
+      let i = child_index n k in
+      let removed = remove_node t n.children.(i) k in
+      if removed && node_underfull t n.children.(i) then fix_underflow t n i;
+      removed
+
+let remove t k =
+  let removed = remove_node t t.root k in
+  if removed then begin
+    t.size <- t.size - 1;
+    match t.root with
+    | Internal n when Array.length n.children = 1 -> t.root <- n.children.(0)
+    | Internal _ | Leaf _ -> ()
+  end;
+  removed
+
+(* ----- ordered queries ----- *)
+
+let rec leftmost_leaf = function
+  | Leaf l -> l
+  | Internal n -> leftmost_leaf n.children.(0)
+
+let rec rightmost_leaf = function
+  | Leaf l -> l
+  | Internal n -> rightmost_leaf n.children.(Array.length n.children - 1)
+
+let min_binding t =
+  let l = leftmost_leaf t.root in
+  if Array.length l.lkeys = 0 then None else Some (l.lkeys.(0), l.lvals.(0))
+
+let max_binding t =
+  let l = rightmost_leaf t.root in
+  let n = Array.length l.lkeys in
+  if n = 0 then None else Some (l.lkeys.(n - 1), l.lvals.(n - 1))
+
+(* First binding with key >= k (strict: > k). *)
+let find_bound t k ~strict =
+  let rec descend = function
+    | Leaf l -> l
+    | Internal n -> descend n.children.(child_index n k)
+  in
+  let l = descend t.root in
+  let match_at l i =
+    let key = l.lkeys.(i) in
+    let c = Int64.compare key k in
+    if c > 0 || ((not strict) && c = 0) then Some (key, l.lvals.(i)) else None
+  in
+  let rec scan l i =
+    if i < Array.length l.lkeys then
+      match match_at l i with Some r -> Some r | None -> scan l (i + 1)
+    else match l.next with Some next -> scan next 0 | None -> None
+  in
+  scan l (lower_bound l.lkeys k)
+
+let find_geq t k = find_bound t k ~strict:false
+let find_gt t k = find_bound t k ~strict:true
+
+(* Largest binding with key <= k (strict: < k). *)
+let find_low_bound t k ~strict =
+  let rec max_of = function
+    | Leaf l ->
+        let n = Array.length l.lkeys in
+        if n = 0 then None else Some (l.lkeys.(n - 1), l.lvals.(n - 1))
+    | Internal n -> max_of n.children.(Array.length n.children - 1)
+  in
+  let ok key =
+    let c = Int64.compare key k in
+    c < 0 || ((not strict) && c = 0)
+  in
+  let rec go node =
+    match node with
+    | Leaf l ->
+        let rec scan i best =
+          if i >= Array.length l.lkeys then best
+          else if ok l.lkeys.(i) then scan (i + 1) (Some (l.lkeys.(i), l.lvals.(i)))
+          else best
+        in
+        scan 0 None
+    | Internal n -> (
+        let i = child_index n k in
+        match go n.children.(i) with
+        | Some r -> Some r
+        | None -> if i > 0 then max_of n.children.(i - 1) else None)
+  in
+  go t.root
+
+let find_leq t k = find_low_bound t k ~strict:false
+let find_lt t k = find_low_bound t k ~strict:true
+
+let iter f t =
+  let rec go l =
+    Array.iteri (fun i k -> f k l.lvals.(i)) l.lkeys;
+    match l.next with Some next -> go next | None -> ()
+  in
+  go (leftmost_leaf t.root)
+
+let fold f init t =
+  let acc = ref init in
+  iter (fun k v -> acc := f !acc k v) t;
+  !acc
+
+let to_list t = List.rev (fold (fun acc k v -> (k, v) :: acc) [] t)
+
+let height t =
+  let rec go = function Leaf _ -> 1 | Internal n -> 1 + go n.children.(0) in
+  go t.root
+
+(* ----- invariants ----- *)
+
+let check_invariants t =
+  let fail fmt = Printf.ksprintf failwith fmt in
+  let rec check node ~is_root ~lo ~hi =
+    (* every key k in the subtree must satisfy lo <= k < hi *)
+    let in_range k =
+      (match lo with Some l -> Int64.compare l k <= 0 | None -> true)
+      && match hi with Some h -> Int64.compare k h < 0 | None -> true
+    in
+    match node with
+    | Leaf l ->
+        let n = Array.length l.lkeys in
+        if Array.length l.lvals <> n then fail "leaf keys/vals length mismatch";
+        if (not is_root) && n < min_entries t then fail "leaf underfull: %d" n;
+        if n > max_entries t then fail "leaf overfull: %d" n;
+        for i = 0 to n - 1 do
+          if not (in_range l.lkeys.(i)) then fail "leaf key out of range";
+          if i > 0 && Int64.compare l.lkeys.(i - 1) l.lkeys.(i) >= 0 then
+            fail "leaf keys not strictly increasing"
+        done;
+        1
+    | Internal n ->
+        let nc = Array.length n.children in
+        if Array.length n.ikeys <> nc - 1 then fail "internal arity mismatch";
+        if (not is_root) && nc < min_children t then fail "internal underfull";
+        if is_root && nc < 2 then fail "internal root with < 2 children";
+        if nc > max_children t then fail "internal overfull";
+        Array.iter (fun k -> if not (in_range k) then fail "sep out of range") n.ikeys;
+        for i = 0 to Array.length n.ikeys - 2 do
+          if Int64.compare n.ikeys.(i) n.ikeys.(i + 1) >= 0 then
+            fail "separators not increasing"
+        done;
+        let depths =
+          Array.mapi
+            (fun i child ->
+              let lo' = if i = 0 then lo else Some n.ikeys.(i - 1) in
+              let hi' = if i = nc - 1 then hi else Some n.ikeys.(i) in
+              check child ~is_root:false ~lo:lo' ~hi:hi')
+            n.children
+        in
+        Array.iter
+          (fun d -> if d <> depths.(0) then fail "leaves at different depths")
+          depths;
+        1 + depths.(0)
+  in
+  ignore (check t.root ~is_root:true ~lo:None ~hi:None);
+  (* leaf chain must visit exactly the in-order keys *)
+  let count = ref 0 in
+  let last = ref None in
+  iter
+    (fun k _ ->
+      (match !last with
+      | Some prev when Int64.compare prev k >= 0 ->
+          fail "leaf chain out of order"
+      | Some _ | None -> ());
+      last := Some k;
+      incr count)
+    t;
+  if !count <> t.size then fail "size %d but chain has %d" t.size !count
+
+(* ----- serialization ----- *)
+
+let encode enc t =
+  let module E = Histar_util.Codec.Enc in
+  E.u32 enc t.order;
+  E.u32 enc t.size;
+  iter
+    (fun k v ->
+      E.i64 enc k;
+      E.i64 enc v)
+    t
+
+let decode dec =
+  let module D = Histar_util.Codec.Dec in
+  let order = D.u32 dec in
+  let n = D.u32 dec in
+  let t = create ~order () in
+  for _ = 1 to n do
+    let k = D.i64 dec in
+    let v = D.i64 dec in
+    insert t k v
+  done;
+  t

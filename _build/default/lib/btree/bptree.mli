@@ -1,0 +1,50 @@
+(** B+-tree with fixed-size keys and values (both [int64]).
+
+    The single-level store uses three of these, exactly as in §4 of the
+    paper: object ID → disk location, free extents indexed by size, and
+    free extents indexed by location. Fixed-size keys and values
+    "significantly simplify the implementation" — composite keys (for
+    the by-size index) are packed into the int64.
+
+    The tree is mutable. Keys are unique; inserting an existing key
+    replaces its value. *)
+
+type t
+
+val create : ?order:int -> unit -> t
+(** [order] is the maximum number of children of an internal node
+    (default 16; must be at least 4). *)
+
+val insert : t -> int64 -> int64 -> unit
+val find : t -> int64 -> int64 option
+val mem : t -> int64 -> bool
+
+val remove : t -> int64 -> bool
+(** [true] if the key was present. *)
+
+val cardinal : t -> int
+val is_empty : t -> bool
+val min_binding : t -> (int64 * int64) option
+val max_binding : t -> (int64 * int64) option
+
+val find_geq : t -> int64 -> (int64 * int64) option
+(** Smallest binding with key [>=] the argument. *)
+
+val find_gt : t -> int64 -> (int64 * int64) option
+val find_leq : t -> int64 -> (int64 * int64) option
+(** Largest binding with key [<=] the argument. *)
+
+val find_lt : t -> int64 -> (int64 * int64) option
+val iter : (int64 -> int64 -> unit) -> t -> unit
+val fold : ('a -> int64 -> int64 -> 'a) -> 'a -> t -> 'a
+val to_list : t -> (int64 * int64) list
+
+val height : t -> int
+(** Tree height (1 for a single leaf); useful for balance assertions. *)
+
+val check_invariants : t -> unit
+(** Raises [Failure] if a structural invariant is violated: key
+    ordering, node fill factors, uniform leaf depth, leaf chaining. *)
+
+val encode : Histar_util.Codec.Enc.t -> t -> unit
+val decode : Histar_util.Codec.Dec.t -> t

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Bytes Effect Hashtbl Histar_crypto Histar_label Histar_store Histar_util Int64 Label_cache List Logs Option Printexc Printf Profile Queue Result String Syscall Types

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Histar_label Histar_store Histar_util Profile Types

@@ -1,0 +1,1 @@
+lib/core/label_cache.ml: Hashtbl Histar_label

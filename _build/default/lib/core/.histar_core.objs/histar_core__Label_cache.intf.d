@@ -1,0 +1,1 @@
+lib/core/label_cache.mli: Histar_label

@@ -1,0 +1,1 @@
+lib/core/sys.ml: Histar_label Int64 List Printf String Syscall Types

@@ -1,0 +1,1 @@
+lib/core/sys.mli: Histar_label Syscall Types

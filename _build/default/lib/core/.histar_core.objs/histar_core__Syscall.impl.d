@@ -1,0 +1,1 @@
+lib/core/syscall.ml: Effect Histar_label Types

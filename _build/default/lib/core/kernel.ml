@@ -1,0 +1,1570 @@
+module Label = Histar_label.Label
+module Level = Histar_label.Level
+module Category = Histar_label.Category
+module Category_gen = Histar_crypto.Category_gen
+module Store = Histar_store.Store
+module Sim_clock = Histar_util.Sim_clock
+module Codec = Histar_util.Codec
+open Types
+open Syscall
+
+let infinite_quota = Int64.max_int
+let base_overhead = 512L
+(* kernel-meta record key in the store; outside the 61-bit oid space *)
+let meta_oid = -2L
+
+(* ---------- scheduler plumbing ---------- *)
+
+type run_state =
+  | Finished
+  | Crashed of exn
+  | Syscalled of req * kont
+
+and kont = (resp, run_state) Effect.Deep.continuation
+
+type runnable = Start of (unit -> unit) | Resume of kont * resp
+
+type wait_reason = W_futex of oid * int | W_net of oid | W_alert
+
+(* ---------- kernel objects ---------- *)
+
+type segment = { mutable data : Bytes.t }
+
+type container = {
+  children : (oid, kind) Hashtbl.t;
+  avoid : int;
+  mutable parent : oid;
+}
+
+type thread = {
+  mutable tclear : Label.t;
+  tls : oid;
+  mutable tas : centry option;
+  mutable tstate : [ `Ready | `Running | `Blocked of wait_reason | `Halted ];
+  mutable next_run : runnable option;
+  mutable parked : kont option;
+  alerts : int Queue.t;
+  mutable return_gate : centry option;
+}
+
+type gate_entry =
+  | Entry_fn of (unit -> unit)
+  | Entry_resume of (kont * centry option) option ref
+      (** one-shot return gate: the caller's continuation plus the
+          return-gate pointer to restore (so nested gate calls do not
+          clobber the outer one) *)
+  | Entry_dead  (** recovered from disk: code is gone *)
+
+type gate = { gclear : Label.t; gentry : gate_entry }
+type address_space = { mutable mappings : mapping list }
+
+type device = {
+  mac : string;
+  rx : string Queue.t;
+  mutable transmit : string -> unit;
+}
+
+type body =
+  | Seg of segment
+  | Con of container
+  | Thr of thread
+  | Gat of gate
+  | Asp of address_space
+  | Dev of device
+
+type obj = {
+  id : oid;
+  kind : kind;
+  mutable label : Label.t;  (** mutable for threads only *)
+  descrip : string;
+  mutable quota : int64;
+  mutable usage : int64;
+  mutable fixed_quota : bool;
+  mutable immut : bool;
+  mutable metadata : string;
+  mutable refs : int;
+  body : body;
+}
+
+type trace_event = {
+  ev_thread : oid;
+  ev_thread_label : Label.t;
+  ev_op : string;
+  ev_obj : oid;
+  ev_obj_label : Label.t;
+  ev_dir : [ `Observe | `Modify ];
+}
+
+type t = {
+  clock : Sim_clock.t;
+  store : Store.t option;
+  objects : (oid, obj) Hashtbl.t;
+  oidgen : Category_gen.t;
+  catgen : Category_gen.t;
+  runq : oid Queue.t;
+  futexq : (int64, oid Queue.t) Hashtbl.t;
+  label_cache : Label_cache.t;
+  profile : Profile.t;
+  mutable current : oid;
+  mutable root : oid;
+  mutable trace : (trace_event -> unit) option;
+  syscall_cost_ns : int;
+  key : int64;
+}
+
+let clock t = t.clock
+let root t = t.root
+let profile t = t.profile
+let set_trace t f = t.trace <- f
+
+(* ---------- object table ---------- *)
+
+let find_obj k oid = Hashtbl.find_opt k.objects oid
+
+let cur_thread k =
+  match find_obj k k.current with
+  | Some ({ body = Thr th; _ } as o) -> (o, th)
+  | Some _ | None -> assert false
+
+let emit_trace k ~op ~obj ~dir =
+  match k.trace with
+  | None -> ()
+  | Some f ->
+      let o, _ = cur_thread k in
+      f
+        {
+          ev_thread = k.current;
+          ev_thread_label = o.label;
+          ev_op = op;
+          ev_obj = obj.id;
+          ev_obj_label = obj.label;
+          ev_dir = dir;
+        }
+
+(* ---------- result helpers ---------- *)
+
+let ( let* ) = Result.bind
+let errf kind fmt = Printf.ksprintf (fun s -> Error (kind s)) fmt
+let label_errf fmt = errf (fun s -> Label_check s) fmt
+let not_found_f fmt = errf (fun s -> Not_found_ s) fmt
+let invalid_f fmt = errf (fun s -> Invalid s) fmt
+let quota_f fmt = errf (fun s -> Quota s) fmt
+
+(* ---------- label checks ---------- *)
+
+let cur_label k = (fst (cur_thread k)).label
+let cur_clearance k = (snd (cur_thread k)).tclear
+
+let check_observe k ~op obj =
+  let lt = cur_label k in
+  if Label_cache.observe k.label_cache ~thread:lt ~obj:obj.label then begin
+    emit_trace k ~op ~obj ~dir:`Observe;
+    Ok ()
+  end
+  else
+    label_errf "%s: cannot observe %s (L_O=%s not ⊑ L_T^J, L_T=%s)" op
+      obj.descrip (Label.to_string obj.label) (Label.to_string lt)
+
+let check_modify k ~op obj =
+  let lt = cur_label k in
+  if obj.immut then Error (Immutable (op ^ ": object is immutable"))
+  else if Label_cache.modify k.label_cache ~thread:lt ~obj:obj.label then begin
+    emit_trace k ~op ~obj ~dir:`Modify;
+    Ok ()
+  end
+  else
+    label_errf "%s: cannot modify %s (need L_T ⊑ L_O ⊑ L_T^J; L_T=%s, L_O=%s)"
+      op obj.descrip (Label.to_string lt) (Label.to_string obj.label)
+
+(* Resolve a container entry: read permission on the container, then the
+   link must exist (⟨D,D⟩ names the container itself). *)
+let resolve k ~op (ce : centry) =
+  match find_obj k ce.container with
+  | None -> not_found_f "%s: no container %Ld" op ce.container
+  | Some d -> (
+      match d.body with
+      | Con c ->
+          let* () = check_observe k ~op d in
+          if Int64.equal ce.object_id ce.container then Ok d
+          else if Hashtbl.mem c.children ce.object_id then
+            match find_obj k ce.object_id with
+            | Some o -> Ok o
+            | None -> not_found_f "%s: dangling link %Ld" op ce.object_id
+          else not_found_f "%s: %Ld not in container %Ld" op ce.object_id ce.container
+      | Seg _ | Thr _ | Gat _ | Asp _ | Dev _ ->
+          invalid_f "%s: %Ld is not a container" op ce.container)
+
+(* Resolve a segment entry, honouring the reserved thread-local oid. *)
+let resolve_segment k ~op (ce : centry) =
+  if Int64.equal ce.object_id tls_oid then
+    let _, th = cur_thread k in
+    match find_obj k th.tls with
+    | Some o -> Ok (o, `Tls)
+    | None -> assert false
+  else
+    let* o = resolve k ~op ce in
+    match o.body with
+    | Seg _ -> Ok (o, `Plain)
+    | Con _ | Thr _ | Gat _ | Asp _ | Dev _ ->
+        invalid_f "%s: %Ld is not a segment" op ce.object_id
+
+let as_container ~op o =
+  match o.body with
+  | Con c -> Ok c
+  | Seg _ | Thr _ | Gat _ | Asp _ | Dev _ ->
+      invalid_f "%s: %Ld is not a container" op o.id
+
+(* ---------- quotas ---------- *)
+
+let usage_of_body = function
+  | Seg s -> Int64.add base_overhead (Int64.of_int (Bytes.length s.data))
+  | Con _ | Thr _ | Gat _ | Asp _ | Dev _ -> base_overhead
+
+let quota_avail o =
+  if Int64.equal o.quota infinite_quota then Int64.max_int
+  else Int64.sub o.quota o.usage
+
+(* Charge [amount] to container [d]; fails if it would exceed d's quota. *)
+let charge ~op d amount =
+  if Int64.equal d.quota infinite_quota then begin
+    d.usage <- Int64.add d.usage amount;
+    Ok ()
+  end
+  else if Int64.compare (Int64.add d.usage amount) d.quota > 0 then
+    quota_f "%s: container %s over quota" op d.descrip
+  else begin
+    d.usage <- Int64.add d.usage amount;
+    Ok ()
+  end
+
+let uncharge d amount = d.usage <- Int64.sub d.usage amount
+
+(* ---------- persistence mirroring ---------- *)
+
+let store_delete k oid =
+  match k.store with Some s -> Store.delete s ~oid | None -> ()
+
+let encode_obj o =
+  let e = Codec.Enc.create () in
+  Codec.Enc.u8 e (kind_to_bit o.kind);
+  Codec.Enc.i64 e o.id;
+  Label.encode e o.label;
+  Codec.Enc.str e o.descrip;
+  Codec.Enc.i64 e o.quota;
+  Codec.Enc.i64 e o.usage;
+  Codec.Enc.bool e o.fixed_quota;
+  Codec.Enc.bool e o.immut;
+  Codec.Enc.str e o.metadata;
+  Codec.Enc.u32 e o.refs;
+  (match o.body with
+  | Seg s -> Codec.Enc.str e (Bytes.to_string s.data)
+  | Con c ->
+      Codec.Enc.u32 e c.avoid;
+      Codec.Enc.i64 e c.parent;
+      Codec.Enc.u32 e (Hashtbl.length c.children);
+      Hashtbl.iter
+        (fun oid kind ->
+          Codec.Enc.i64 e oid;
+          Codec.Enc.u8 e (kind_to_bit kind))
+        c.children
+  | Thr th ->
+      Label.encode e th.tclear;
+      Codec.Enc.i64 e th.tls
+  | Gat g -> Label.encode e g.gclear
+  | Asp a ->
+      Codec.Enc.list e
+        (fun e m ->
+          Codec.Enc.i64 e m.va;
+          Codec.Enc.i64 e m.seg.container;
+          Codec.Enc.i64 e m.seg.object_id;
+          Codec.Enc.int e m.offset;
+          Codec.Enc.int e m.npages;
+          Codec.Enc.bool e m.flags.read;
+          Codec.Enc.bool e m.flags.write;
+          Codec.Enc.bool e m.flags.exec)
+        a.mappings
+  | Dev d -> Codec.Enc.str e d.mac);
+  Codec.Enc.to_string e
+
+let kind_of_bit = function
+  | 0 -> Segment
+  | 1 -> Thread
+  | 2 -> Address_space
+  | 3 -> Gate
+  | 4 -> Container
+  | 5 -> Device
+  | n -> invalid_arg (Printf.sprintf "kind_of_bit %d" n)
+
+let decode_obj payload =
+  let d = Codec.Dec.of_string payload in
+  let kind = kind_of_bit (Codec.Dec.u8 d) in
+  let id = Codec.Dec.i64 d in
+  let label = Label.decode d in
+  let descrip = Codec.Dec.str d in
+  let quota = Codec.Dec.i64 d in
+  let usage = Codec.Dec.i64 d in
+  let fixed_quota = Codec.Dec.bool d in
+  let immut = Codec.Dec.bool d in
+  let metadata = Codec.Dec.str d in
+  let refs = Codec.Dec.u32 d in
+  let body =
+    match kind with
+    | Segment -> Seg { data = Bytes.of_string (Codec.Dec.str d) }
+    | Container ->
+        let avoid = Codec.Dec.u32 d in
+        let parent = Codec.Dec.i64 d in
+        let n = Codec.Dec.u32 d in
+        let children = Hashtbl.create (max 4 n) in
+        for _ = 1 to n do
+          let oid = Codec.Dec.i64 d in
+          let kind = kind_of_bit (Codec.Dec.u8 d) in
+          Hashtbl.replace children oid kind
+        done;
+        Con { children; avoid; parent }
+    | Thread ->
+        let tclear = Label.decode d in
+        let tls = Codec.Dec.i64 d in
+        Thr
+          {
+            tclear;
+            tls;
+            tas = None;
+            tstate = `Halted;
+            next_run = None;
+            parked = None;
+            alerts = Queue.create ();
+            return_gate = None;
+          }
+    | Gate ->
+        let gclear = Label.decode d in
+        Gat { gclear; gentry = Entry_dead }
+    | Address_space ->
+        let mappings =
+          Codec.Dec.list d (fun d ->
+              let va = Codec.Dec.i64 d in
+              let c = Codec.Dec.i64 d in
+              let o = Codec.Dec.i64 d in
+              let offset = Codec.Dec.int d in
+              let npages = Codec.Dec.int d in
+              let read = Codec.Dec.bool d in
+              let write = Codec.Dec.bool d in
+              let exec = Codec.Dec.bool d in
+              { va; seg = centry c o; offset; npages; flags = { read; write; exec } })
+        in
+        Asp { mappings }
+    | Device ->
+        Dev { mac = Codec.Dec.str d; rx = Queue.create (); transmit = ignore }
+  in
+  { id; kind; label; descrip; quota; usage; fixed_quota; immut; metadata; refs; body }
+
+(* ---------- allocation / deallocation ---------- *)
+
+let next_oid k = Category_gen.next k.oidgen
+
+let rec destroy k o =
+  Hashtbl.remove k.objects o.id;
+  store_delete k o.id;
+  match o.body with
+  | Con c ->
+      Hashtbl.iter
+        (fun child_oid _ ->
+          match find_obj k child_oid with
+          | Some child ->
+              child.refs <- child.refs - 1;
+              if child.refs <= 0 then destroy k child
+          | None -> ())
+        c.children;
+      Hashtbl.reset c.children
+  | Thr th -> begin
+      th.tstate <- `Halted;
+      th.next_run <- None;
+      th.parked <- None;
+      match find_obj k th.tls with
+      | Some tls -> destroy k tls
+      | None -> ()
+    end
+  | Gat _ | Seg _ | Asp _ | Dev _ -> ()
+
+let unlink k d_obj c child_oid =
+  match Hashtbl.find_opt c.children child_oid with
+  | None -> ()
+  | Some _ ->
+      Hashtbl.remove c.children child_oid;
+      (match find_obj k child_oid with
+      | Some child ->
+          uncharge d_obj child.quota;
+          child.refs <- child.refs - 1;
+          if child.refs <= 0 then destroy k child
+      | None -> ())
+
+(* Creation common path: label validity, container write check,
+   avoid-types, label range, quota charge. *)
+let create_object k ~(spec : create_spec) ~kind ~clearance_check ~body =
+  let lt = cur_label k in
+  let ct = cur_clearance k in
+  let* () =
+    if not (Label.is_storable spec.label) then
+      invalid_f "create %s: label contains J" (kind_to_string kind)
+    else
+      match kind with
+      | Thread | Gate -> Ok ()
+      | Segment | Address_space | Container | Device ->
+          if Label.is_object_label spec.label then Ok ()
+          else invalid_f "create %s: only threads and gates may own (⋆)"
+              (kind_to_string kind)
+  in
+  let* d_obj =
+    match find_obj k spec.container with
+    | Some o -> Ok o
+    | None -> not_found_f "create: no container %Ld" spec.container
+  in
+  let* c = as_container ~op:"create" d_obj in
+  let* () = check_modify k ~op:"create(container)" d_obj in
+  let* () =
+    if c.avoid land (1 lsl kind_to_bit kind) <> 0 then
+      Error (Avoid_type (kind_to_string kind ^ " forbidden in this container"))
+    else Ok ()
+  in
+  let* () =
+    (* L_T ⊑ L ⊑ C_T (for threads/gates, clearance_check refines this) *)
+    if not (Label.leq lt spec.label) then
+      label_errf "create: L_T=%s not ⊑ L=%s" (Label.to_string lt)
+        (Label.to_string spec.label)
+    else if not clearance_check && not (Label.leq spec.label ct) then
+      label_errf "create: L=%s not ⊑ C_T=%s" (Label.to_string spec.label)
+        (Label.to_string ct)
+    else Ok ()
+  in
+  let initial_usage = usage_of_body body in
+  let* () =
+    if Int64.compare spec.quota initial_usage < 0 then
+      quota_f "create: quota %Ld below initial usage %Ld" spec.quota
+        initial_usage
+    else Ok ()
+  in
+  let* () = charge ~op:"create" d_obj spec.quota in
+  let id = next_oid k in
+  let o =
+    {
+      id;
+      kind;
+      label = spec.label;
+      descrip = spec.descrip;
+      quota = spec.quota;
+      usage = initial_usage;
+      fixed_quota = false;
+      immut = false;
+      metadata = "";
+      refs = 1;
+      body;
+    }
+  in
+  Hashtbl.replace k.objects id o;
+  Hashtbl.replace c.children id kind;
+  Ok o
+
+(* ---------- scheduler ---------- *)
+
+let enqueue k tid = Queue.push tid k.runq
+
+let wake k tid resp =
+  match find_obj k tid with
+  | Some { body = Thr th; _ } -> (
+      match (th.tstate, th.parked) with
+      | `Blocked _, Some kont ->
+          th.parked <- None;
+          th.tstate <- `Ready;
+          th.next_run <- Some (Resume (kont, resp));
+          enqueue k tid
+      | _ -> ())
+  | Some _ | None -> ()
+
+(* futex queues live on the segment objects via a per-kernel side
+   table, keyed by (segment oid, offset) *)
+let futex_key seg_oid offset =
+  Int64.add (Int64.mul seg_oid 1_000_003L) (Int64.of_int offset)
+
+let futex_queue k key =
+  match Hashtbl.find_opt k.futexq key with
+  | Some q -> q
+  | None ->
+      let q = Queue.create () in
+      Hashtbl.replace k.futexq key q;
+      q
+
+(* ---------- syscall implementation ---------- *)
+
+(* Whole-system snapshot: serialize every object plus the kernel
+   metadata record (root, generators) so that recovery can rebuild. *)
+let do_checkpoint k =
+  match k.store with
+  | None -> ()
+  | Some s ->
+      Hashtbl.iter (fun oid o -> Store.put s ~oid (encode_obj o)) k.objects;
+      let e = Codec.Enc.create () in
+      Codec.Enc.i64 e k.root;
+      Codec.Enc.i64 e (Category_gen.counter k.oidgen);
+      Codec.Enc.i64 e (Category_gen.counter k.catgen);
+      Codec.Enc.i64 e k.key;
+      Store.put s ~oid:meta_oid (Codec.Enc.to_string e);
+      Store.checkpoint s
+
+type action =
+  | A_resp of resp
+  | A_block of wait_reason
+  | A_jump of (unit -> unit)
+  | A_resume of kont * resp
+  | A_halt
+
+let ok_resp r = Ok (A_resp r)
+
+let read_i64_at data off =
+  if off + 8 > Bytes.length data then None
+  else Some (Bytes.get_int64_le data off)
+
+let segment_read_impl k (ce : centry) off len =
+  let* o, kind_ = resolve_segment k ~op:"segment_read" ce in
+  let* () =
+    match kind_ with `Tls -> Ok () | `Plain -> check_observe k ~op:"segment_read" o
+  in
+  match o.body with
+  | Seg s ->
+      let n = Bytes.length s.data in
+      let len = if len < 0 then n - off else len in
+      if off < 0 || len < 0 || off + len > n then
+        invalid_f "segment_read: range [%d,%d) outside length %d" off (off + len) n
+      else ok_resp (R_bytes (Bytes.sub_string s.data off len))
+  | Con _ | Thr _ | Gat _ | Asp _ | Dev _ -> assert false
+
+let segment_write_impl k (ce : centry) off data =
+  let* o, kind_ = resolve_segment k ~op:"segment_write" ce in
+  let* () =
+    match kind_ with `Tls -> Ok () | `Plain -> check_modify k ~op:"segment_write" o
+  in
+  match o.body with
+  | Seg s ->
+      let n = Bytes.length s.data in
+      if off < 0 || off + String.length data > n then
+        invalid_f "segment_write: range [%d,%d) outside length %d" off
+          (off + String.length data) n
+      else begin
+        Bytes.blit_string data 0 s.data off (String.length data);
+        ok_resp R_unit
+      end
+  | Con _ | Thr _ | Gat _ | Asp _ | Dev _ -> assert false
+
+let segment_resize_impl k (ce : centry) len =
+  let* o, kind_ = resolve_segment k ~op:"segment_resize" ce in
+  let* () =
+    match kind_ with `Tls -> Ok () | `Plain -> check_modify k ~op:"segment_resize" o
+  in
+  match o.body with
+  | Seg s ->
+      if len < 0 then invalid_f "segment_resize: negative length"
+      else begin
+        let new_usage = Int64.add base_overhead (Int64.of_int len) in
+        if
+          (not (Int64.equal o.quota infinite_quota))
+          && Int64.compare new_usage o.quota > 0
+        then quota_f "segment_resize: length %d exceeds quota %Ld" len o.quota
+        else begin
+          let old = s.data in
+          let fresh = Bytes.make len '\000' in
+          Bytes.blit old 0 fresh 0 (min (Bytes.length old) len);
+          s.data <- fresh;
+          o.usage <- new_usage;
+          ok_resp R_unit
+        end
+      end
+  | Con _ | Thr _ | Gat _ | Asp _ | Dev _ -> assert false
+
+let mk_tls k =
+  let id = next_oid k in
+  (* one page initially, like the paper, but with headroom to grow:
+     gate arguments and RPC replies travel through this segment *)
+  let o =
+    {
+      id;
+      kind = Segment;
+      label = Label.make Level.L1;
+      descrip = "thread-local segment";
+      quota = Int64.add base_overhead 2_097_152L;
+      usage = Int64.add base_overhead 4096L;
+      fixed_quota = true;
+      immut = false;
+      metadata = "";
+      refs = 1;
+      body = Seg { data = Bytes.make 4096 '\000' };
+    }
+  in
+  Hashtbl.replace k.objects id o;
+  id
+
+let thread_create_impl k ~(spec : create_spec) ~clearance ~entry =
+  let lt = cur_label k in
+  let ct = cur_clearance k in
+  (* L_T ⊑ L_T' ⊑ C_T' ⊑ C_T *)
+  let* () =
+    if
+      Label.leq lt spec.label
+      && Label.leq spec.label clearance
+      && Label.leq clearance ct
+    then Ok ()
+    else
+      label_errf "thread_create: need L_T ⊑ L' ⊑ C' ⊑ C_T (L'=%s C'=%s)"
+        (Label.to_string spec.label)
+        (Label.to_string clearance)
+  in
+  let tls = mk_tls k in
+  let body =
+    Thr
+      {
+        tclear = clearance;
+        tls;
+        tas = None;
+        tstate = `Ready;
+        next_run = Some (Start entry);
+        parked = None;
+        alerts = Queue.create ();
+        return_gate = None;
+      }
+  in
+  let* o = create_object k ~spec ~kind:Thread ~clearance_check:true ~body in
+  enqueue k o.id;
+  ok_resp (R_oid o.id)
+
+let gate_create_impl k ~(spec : create_spec) ~clearance ~entry =
+  let lt = cur_label k in
+  let ct = cur_clearance k in
+  (* §3.5 states L_T ⊑ L_G ⊑ C_G ⊑ C_T, but the paper's own examples
+     violate the literal rule: the §5.6 signal gate breaks L_G ⊑ C_G,
+     and the §6.2 check gate ({ur⋆,uw⋆,x⋆,pir3,1}, invocable by
+     pir3-tainted login) needs both a label and a clearance above the
+     creator's clearance in pir. We therefore require only
+     L_T ⊑ L_G (privilege grants bounded by the creator; taint in a
+     gate label merely taints enterers and a gate stores no observable
+     data) and C_G ⊑ C_T ⊔ L_T^J ⊔ L_G (clearance raised only in
+     categories the creator owns or the gate label already taints).
+     This admits every configuration in the paper. See DESIGN.md. *)
+  let* () =
+    let bound = Label.lub (Label.lub ct (Label.raise_j lt)) spec.label in
+    if not (Label.leq clearance bound) then
+      label_errf "gate_create: C_G=%s not ⊑ C_T ⊔ L_T^J ⊔ L_G"
+        (Label.to_string clearance)
+    else Ok ()
+  in
+  let body = Gat { gclear = clearance; gentry = entry } in
+  let* o = create_object k ~spec ~kind:Gate ~clearance_check:true ~body in
+  ok_resp (R_oid o.id)
+
+(* Gate invocation checks (§3.5):
+   L_T ⊑ C_G,  L_T ⊑ L_V,  (L_T^J ⊔ L_G^J)^⋆ ⊑ L_R ⊑ C_R ⊑ (C_T ⊔ C_G). *)
+let check_gate_invoke k gate_obj g ~requested_label ~requested_clearance
+    ~verify_label =
+  let lt = cur_label k in
+  let ct = cur_clearance k in
+  let lg = gate_obj.label in
+  if not (Label.leq lt g.gclear) then
+    label_errf "gate: L_T=%s not ⊑ C_G=%s" (Label.to_string lt)
+      (Label.to_string g.gclear)
+  else if not (Label.leq lt verify_label) then
+    label_errf "gate: L_T not ⊑ L_V=%s" (Label.to_string verify_label)
+  else
+    let floor = Label.lower_star (Label.lub (Label.raise_j lt) (Label.raise_j lg)) in
+    if not (Label.leq floor requested_label) then
+      label_errf "gate: floor %s not ⊑ L_R=%s" (Label.to_string floor)
+        (Label.to_string requested_label)
+    else if not (Label.leq requested_label requested_clearance) then
+      label_errf "gate: L_R not ⊑ C_R"
+    else if not (Label.leq requested_clearance (Label.lub ct g.gclear)) then
+      label_errf "gate: C_R=%s not ⊑ C_T ⊔ C_G"
+        (Label.to_string requested_clearance)
+    else Ok ()
+
+let resolve_gate k ~op ce =
+  let* o = resolve k ~op ce in
+  match o.body with
+  | Gat g -> Ok (o, g)
+  | Seg _ | Con _ | Thr _ | Asp _ | Dev _ ->
+      invalid_f "%s: %Ld is not a gate" op ce.object_id
+
+let gate_enter_impl k ~gate ~requested_label ~requested_clearance ~verify_label
+    =
+  let* gate_obj, g = resolve_gate k ~op:"gate_enter" gate in
+  let* () =
+    check_gate_invoke k gate_obj g ~requested_label ~requested_clearance
+      ~verify_label
+  in
+  let o, th = cur_thread k in
+  o.label <- requested_label;
+  th.tclear <- requested_clearance;
+  match g.gentry with
+  | Entry_fn f -> Ok (A_jump f)
+  | Entry_resume slot -> (
+      match !slot with
+      | Some (kont, prev_return_gate) ->
+          slot := None;
+          th.return_gate <- prev_return_gate;
+          (* a return gate is one-shot: reap it so long RPC sequences
+             do not exhaust the session container's quota *)
+          (match find_obj k gate.container with
+          | Some ({ body = Con c; _ } as d_obj) ->
+              unlink k d_obj c gate_obj.id
+          | Some _ | None -> ());
+          Ok (A_resume (kont, R_unit))
+      | None -> invalid_f "gate_enter: return gate already used")
+  | Entry_dead -> invalid_f "gate_enter: gate has no runnable entry (recovered)"
+
+let gate_call_impl k kont ~gate ~requested_label ~requested_clearance
+    ~verify_label ~(return_spec : create_spec) ~return_clearance =
+  let* gate_obj, g = resolve_gate k ~op:"gate_call" gate in
+  let* () =
+    check_gate_invoke k gate_obj g ~requested_label ~requested_clearance
+      ~verify_label
+  in
+  (* Create the return gate *before* dropping privileges: its label is
+     the caller's current label (regaining it on return), per §5.5. *)
+  let _, th0 = cur_thread k in
+  let slot = ref (Some (kont, th0.return_gate)) in
+  let lt = cur_label k in
+  let ct = cur_clearance k in
+  let* () =
+    if not (Label.leq return_spec.label ct) then
+      label_errf "gate_call: return gate label not ⊑ C_T"
+    else if not (Label.leq return_clearance (Label.lub ct (Label.raise_j lt)))
+    then label_errf "gate_call: return clearance not ⊑ C_T ⊔ L_T^J"
+    else Ok ()
+  in
+  let* ret_obj =
+    create_object k ~spec:return_spec ~kind:Gate ~clearance_check:true
+      ~body:(Gat { gclear = return_clearance; gentry = Entry_resume slot })
+  in
+  let o, th = cur_thread k in
+  th.return_gate <- Some (centry return_spec.container ret_obj.id);
+  o.label <- requested_label;
+  th.tclear <- requested_clearance;
+  match g.gentry with
+  | Entry_fn f -> Ok (A_jump f)
+  | Entry_resume _ | Entry_dead ->
+      invalid_f "gate_call: target must be a service gate"
+
+let quota_move_impl k ~container ~target ~nbytes =
+  let* d_obj =
+    match find_obj k container with
+    | Some o -> Ok o
+    | None -> not_found_f "quota_move: no container %Ld" container
+  in
+  let* c = as_container ~op:"quota_move" d_obj in
+  let* () = check_modify k ~op:"quota_move(container)" d_obj in
+  let* o =
+    if Hashtbl.mem c.children target then
+      match find_obj k target with
+      | Some o -> Ok o
+      | None -> not_found_f "quota_move: dangling %Ld" target
+    else not_found_f "quota_move: %Ld not in container %Ld" target container
+  in
+  let lt = cur_label k in
+  let ct = cur_clearance k in
+  (* L_T ⊑ L_O ⊑ C_T, plus L_O ⊑ L_T^J when n < 0 because failure
+     conveys information about O back to T (§3.3). *)
+  let* () =
+    if Label.leq lt o.label && Label.leq o.label ct then Ok ()
+    else label_errf "quota_move: need L_T ⊑ L_O ⊑ C_T"
+  in
+  let* () =
+    if Int64.compare nbytes 0L < 0 then
+      if not (Label.can_observe ~thread:lt ~obj:o.label) then
+        label_errf "quota_move: shrinking requires L_O ⊑ L_T^J"
+      else if Int64.compare (quota_avail o) (Int64.neg nbytes) < 0 then
+        quota_f "quota_move: object has fewer than %Ld spare bytes"
+          (Int64.neg nbytes)
+      else Ok ()
+    else Ok ()
+  in
+  let* () =
+    if o.fixed_quota then Error (Immutable "quota_move: fixed-quota object")
+    else Ok ()
+  in
+  let* () = charge ~op:"quota_move" d_obj nbytes in
+  o.quota <- Int64.add o.quota nbytes;
+  ok_resp R_unit
+
+let unref_impl k (ce : centry) =
+  let* d_obj =
+    match find_obj k ce.container with
+    | Some o -> Ok o
+    | None -> not_found_f "unref: no container %Ld" ce.container
+  in
+  let* c = as_container ~op:"unref" d_obj in
+  let* () = check_modify k ~op:"unref(container)" d_obj in
+  if Int64.equal ce.object_id ce.container then
+    invalid_f "unref: container cannot unlink itself"
+  else if Hashtbl.mem c.children ce.object_id then begin
+    unlink k d_obj c ce.object_id;
+    ok_resp R_unit
+  end
+  else not_found_f "unref: %Ld not in container %Ld" ce.object_id ce.container
+
+let container_link_impl k ~container ~target =
+  (* Hard link: write the destination container, clearance covers the
+     object's label (L_S ⊑ C_T), and the object's quota must be fixed. *)
+  let* o = resolve k ~op:"container_link" target in
+  let* d_obj =
+    match find_obj k container with
+    | Some d -> Ok d
+    | None -> not_found_f "container_link: no container %Ld" container
+  in
+  let* c = as_container ~op:"container_link" d_obj in
+  let* () = check_modify k ~op:"container_link(container)" d_obj in
+  let ct = cur_clearance k in
+  let* () =
+    if Label.leq o.label ct then Ok ()
+    else label_errf "container_link: L_S=%s not ⊑ C_T" (Label.to_string o.label)
+  in
+  let* () =
+    match o.body with
+    | Con _ -> invalid_f "container_link: containers have a single parent"
+    | Seg _ | Thr _ | Gat _ | Asp _ | Dev _ -> Ok ()
+  in
+  let* () =
+    if o.fixed_quota then Ok ()
+    else invalid_f "container_link: object quota not fixed"
+  in
+  if Hashtbl.mem c.children o.id then invalid_f "container_link: already linked"
+  else
+    (* double-charging (§3.3): the full quota counts in every container *)
+    let* () = charge ~op:"container_link" d_obj o.quota in
+    Hashtbl.replace c.children o.id o.kind;
+    o.refs <- o.refs + 1;
+    ok_resp R_unit
+
+let thread_alert_impl k (ce : centry) alert =
+  let* o = resolve k ~op:"thread_alert" ce in
+  match o.body with
+  | Thr target ->
+      let lt = cur_label k in
+      (* write T's address space, and observe T (§3.4) *)
+      let* () =
+        if Label.can_observe ~thread:lt ~obj:o.label then Ok ()
+        else label_errf "thread_alert: cannot observe target thread"
+      in
+      let* () =
+        match target.tas with
+        | None -> invalid_f "thread_alert: target has no address space"
+        | Some as_ce -> (
+            match find_obj k as_ce.object_id with
+            | Some as_obj -> check_modify k ~op:"thread_alert(as)" as_obj
+            | None -> not_found_f "thread_alert: dangling address space")
+      in
+      Queue.push alert target.alerts;
+      (match target.tstate with
+      | `Blocked W_alert -> wake k o.id (R_alert (Queue.pop target.alerts))
+      | `Ready | `Running | `Blocked _ | `Halted -> ());
+      ok_resp R_unit
+  | Seg _ | Con _ | Gat _ | Asp _ | Dev _ ->
+      invalid_f "thread_alert: %Ld is not a thread" ce.object_id
+
+let resolve_device k ~op (ce : centry) =
+  let* o = resolve k ~op ce in
+  match o.body with
+  | Dev d -> Ok (o, d)
+  | Seg _ | Con _ | Thr _ | Gat _ | Asp _ ->
+      invalid_f "%s: %Ld is not a device" op ce.object_id
+
+let handle_syscall k kont req : action =
+  let result =
+    match req with
+    | Cat_create ->
+        let c = Category.of_int64 (Category_gen.next k.catgen) in
+        let o, th = cur_thread k in
+        o.label <- Label.set o.label c Level.Star;
+        th.tclear <- Label.set th.tclear c Level.L3;
+        ok_resp (R_cat c)
+    | Self_get_id -> ok_resp (R_oid k.current)
+    | Self_get_label -> ok_resp (R_label (cur_label k))
+    | Self_get_clearance -> ok_resp (R_label (cur_clearance k))
+    | Self_set_label l ->
+        let o, th = cur_thread k in
+        if Label.leq o.label l && Label.leq l th.tclear then begin
+          o.label <- l;
+          ok_resp R_unit
+        end
+        else
+          label_errf "self_set_label: need L_T ⊑ L ⊑ C_T (L=%s)"
+            (Label.to_string l)
+    | Self_set_clearance c ->
+        let o, th = cur_thread k in
+        let bound = Label.lub th.tclear (Label.raise_j o.label) in
+        if Label.leq o.label c && Label.leq c bound then begin
+          th.tclear <- c;
+          ok_resp R_unit
+        end
+        else label_errf "self_set_clearance: need L_T ⊑ C ⊑ C_T ⊔ L_T^J"
+    | Self_set_as ce ->
+        let* o = resolve k ~op:"self_set_as" ce in
+        let* () =
+          match o.body with
+          | Asp _ -> Ok ()
+          | Seg _ | Con _ | Thr _ | Gat _ | Dev _ ->
+              invalid_f "self_set_as: not an address space"
+        in
+        let* () = check_observe k ~op:"self_set_as" o in
+        let _, th = cur_thread k in
+        th.tas <- Some ce;
+        ok_resp R_unit
+    | Self_get_as ->
+        let _, th = cur_thread k in
+        ok_resp (R_centry_opt th.tas)
+    | Self_get_return_gate ->
+        let _, th = cur_thread k in
+        ok_resp (R_centry_opt th.return_gate)
+    | Self_halt -> Ok A_halt
+    | Self_yield -> ok_resp R_unit
+    | Self_usleep us ->
+        if us < 0 then invalid_f "self_usleep: negative"
+        else begin
+          Sim_clock.advance_us k.clock (float_of_int us);
+          ok_resp R_unit
+        end
+    | Self_wait_alert ->
+        let _, th = cur_thread k in
+        if Queue.is_empty th.alerts then Ok (A_block W_alert)
+        else ok_resp (R_alert (Queue.pop th.alerts))
+    | Obj_get_label ce ->
+        let* o = resolve k ~op:"obj_get_label" ce in
+        let* () =
+          match o.body with
+          | Thr _ ->
+              (* thread labels are mutable: require L_T'^J ⊑ L_T^J *)
+              let lt = cur_label k in
+              if
+                Label.leq (Label.raise_j o.label) (Label.raise_j lt)
+              then Ok ()
+              else label_errf "obj_get_label: thread label not readable"
+          | Seg _ | Con _ | Gat _ | Asp _ | Dev _ -> Ok ()
+        in
+        ok_resp (R_label o.label)
+    | Obj_get_kind ce ->
+        let* o = resolve k ~op:"obj_get_kind" ce in
+        ok_resp (R_kind o.kind)
+    | Obj_get_descrip ce ->
+        let* o = resolve k ~op:"obj_get_descrip" ce in
+        ok_resp (R_bytes o.descrip)
+    | Obj_get_quota ce ->
+        let* o = resolve k ~op:"obj_get_quota" ce in
+        let* () = check_observe k ~op:"obj_get_quota" o in
+        ok_resp (R_quota (o.quota, o.usage))
+    | Obj_set_fixed_quota ce ->
+        let* o = resolve k ~op:"obj_set_fixed_quota" ce in
+        let* () = check_modify k ~op:"obj_set_fixed_quota" o in
+        o.fixed_quota <- true;
+        ok_resp R_unit
+    | Obj_set_immutable ce ->
+        let* o = resolve k ~op:"obj_set_immutable" ce in
+        let* () = check_modify k ~op:"obj_set_immutable" o in
+        o.immut <- true;
+        ok_resp R_unit
+    | Obj_get_metadata ce ->
+        let* o = resolve k ~op:"obj_get_metadata" ce in
+        let* () = check_observe k ~op:"obj_get_metadata" o in
+        ok_resp (R_bytes o.metadata)
+    | Obj_set_metadata (ce, md) ->
+        let* o = resolve k ~op:"obj_set_metadata" ce in
+        let* () = check_modify k ~op:"obj_set_metadata" o in
+        if String.length md > 64 then invalid_f "obj_set_metadata: > 64 bytes"
+        else begin
+          o.metadata <- md;
+          ok_resp R_unit
+        end
+    | Unref ce -> unref_impl k ce
+    | Quota_move { container; target; nbytes } ->
+        quota_move_impl k ~container ~target ~nbytes
+    | Container_create (spec, avoid) ->
+        let* parent_avoid =
+          match find_obj k spec.container with
+          | Some { body = Con c; _ } -> Ok c.avoid
+          | Some _ -> invalid_f "container_create: parent not a container"
+          | None -> not_found_f "container_create: no container %Ld" spec.container
+        in
+        (* avoid_types is inherited: descendants can only add bits *)
+        let body =
+          Con
+            {
+              children = Hashtbl.create 8;
+              avoid = avoid lor parent_avoid;
+              parent = spec.container;
+            }
+        in
+        let* o = create_object k ~spec ~kind:Container ~clearance_check:false ~body in
+        ok_resp (R_oid o.id)
+    | Container_list ce ->
+        let* o = resolve k ~op:"container_list" ce in
+        let* c = as_container ~op:"container_list" o in
+        let entries =
+          Hashtbl.fold
+            (fun oid kind acc ->
+              let descrip =
+                match find_obj k oid with Some ob -> ob.descrip | None -> "?"
+              in
+              (oid, kind, descrip) :: acc)
+            c.children []
+          |> List.sort (fun (a, _, _) (b, _, _) -> Int64.compare a b)
+        in
+        ok_resp (R_entries entries)
+    | Container_get_parent ce ->
+        let* o = resolve k ~op:"container_get_parent" ce in
+        let* c = as_container ~op:"container_get_parent" o in
+        ok_resp (R_oid c.parent)
+    | Container_link { container; target } ->
+        container_link_impl k ~container ~target
+    | Segment_create (spec, len) ->
+        if len < 0 then invalid_f "segment_create: negative length"
+        else
+          let body = Seg { data = Bytes.make len '\000' } in
+          let* o = create_object k ~spec ~kind:Segment ~clearance_check:false ~body in
+          ok_resp (R_oid o.id)
+    | Segment_read (ce, off, len) -> segment_read_impl k ce off len
+    | Segment_write (ce, off, data) -> segment_write_impl k ce off data
+    | Segment_resize (ce, len) -> segment_resize_impl k ce len
+    | Segment_get_size ce ->
+        let* o, kind_ = resolve_segment k ~op:"segment_get_size" ce in
+        let* () =
+          match kind_ with
+          | `Tls -> Ok ()
+          | `Plain -> check_observe k ~op:"segment_get_size" o
+        in
+        (match o.body with
+        | Seg s -> ok_resp (R_int (Int64.of_int (Bytes.length s.data)))
+        | Con _ | Thr _ | Gat _ | Asp _ | Dev _ -> assert false)
+    | Segment_copy (src, spec) ->
+        let* o, kind_ = resolve_segment k ~op:"segment_copy" src in
+        let* () =
+          match kind_ with
+          | `Tls -> Ok ()
+          | `Plain -> check_observe k ~op:"segment_copy" o
+        in
+        (match o.body with
+        | Seg s ->
+            let body = Seg { data = Bytes.copy s.data } in
+            let* o' = create_object k ~spec ~kind:Segment ~clearance_check:false ~body in
+            ok_resp (R_oid o'.id)
+        | Con _ | Thr _ | Gat _ | Asp _ | Dev _ -> assert false)
+    | As_create spec ->
+        let body = Asp { mappings = [] } in
+        let* o = create_object k ~spec ~kind:Address_space ~clearance_check:false ~body in
+        ok_resp (R_oid o.id)
+    | As_get ce ->
+        let* o = resolve k ~op:"as_get" ce in
+        let* () = check_observe k ~op:"as_get" o in
+        (match o.body with
+        | Asp a -> ok_resp (R_mappings a.mappings)
+        | Seg _ | Con _ | Thr _ | Gat _ | Dev _ -> invalid_f "as_get: not an AS")
+    | As_map (ce, m) ->
+        let* o = resolve k ~op:"as_map" ce in
+        let* () = check_modify k ~op:"as_map" o in
+        (match o.body with
+        | Asp a ->
+            a.mappings <- m :: List.filter (fun m' -> m'.va <> m.va) a.mappings;
+            ok_resp R_unit
+        | Seg _ | Con _ | Thr _ | Gat _ | Dev _ -> invalid_f "as_map: not an AS")
+    | As_unmap (ce, va) ->
+        let* o = resolve k ~op:"as_unmap" ce in
+        let* () = check_modify k ~op:"as_unmap" o in
+        (match o.body with
+        | Asp a ->
+            a.mappings <- List.filter (fun m -> m.va <> va) a.mappings;
+            ok_resp R_unit
+        | Seg _ | Con _ | Thr _ | Gat _ | Dev _ -> invalid_f "as_unmap: not an AS")
+    | Thread_create { spec; clearance; entry } ->
+        thread_create_impl k ~spec ~clearance ~entry
+    | Thread_alert (ce, alert) -> thread_alert_impl k ce alert
+    | Thread_get_label ce ->
+        let* o = resolve k ~op:"thread_get_label" ce in
+        (match o.body with
+        | Thr _ ->
+            let lt = cur_label k in
+            if Label.leq (Label.raise_j o.label) (Label.raise_j lt) then
+              ok_resp (R_label o.label)
+            else label_errf "thread_get_label: not readable"
+        | Seg _ | Con _ | Gat _ | Asp _ | Dev _ ->
+            invalid_f "thread_get_label: not a thread")
+    | Gate_create { spec; clearance; entry } ->
+        gate_create_impl k ~spec ~clearance ~entry:(Entry_fn entry)
+    | Gate_enter { gate; requested_label; requested_clearance; verify_label } ->
+        gate_enter_impl k ~gate ~requested_label ~requested_clearance
+          ~verify_label
+    | Gate_call
+        {
+          gate;
+          requested_label;
+          requested_clearance;
+          verify_label;
+          return_spec;
+          return_clearance;
+        } ->
+        gate_call_impl k kont ~gate ~requested_label ~requested_clearance
+          ~verify_label ~return_spec ~return_clearance
+    | Futex_wait (ce, off, expected) ->
+        let* o, kind_ = resolve_segment k ~op:"futex_wait" ce in
+        let* () =
+          match kind_ with
+          | `Tls -> Ok ()
+          | `Plain -> check_observe k ~op:"futex_wait" o
+        in
+        (match o.body with
+        | Seg s -> (
+            match read_i64_at s.data off with
+            | None -> invalid_f "futex_wait: offset out of range"
+            | Some v ->
+                if Int64.equal v expected then begin
+                  Queue.push k.current (futex_queue k (futex_key o.id off));
+                  Ok (A_block (W_futex (o.id, off)))
+                end
+                else ok_resp (R_ok false))
+        | Con _ | Thr _ | Gat _ | Asp _ | Dev _ -> assert false)
+    | Futex_wake (ce, off, count) ->
+        let* o, kind_ = resolve_segment k ~op:"futex_wake" ce in
+        (* waking is a write: it conveys information to the waiters, so
+           it demands modify permission like any store to the word *)
+        let* () =
+          match kind_ with
+          | `Tls -> Ok ()
+          | `Plain -> check_modify k ~op:"futex_wake" o
+        in
+        let q = futex_queue k (futex_key o.id off) in
+        let woken = ref 0 in
+        while !woken < count && not (Queue.is_empty q) do
+          let tid = Queue.pop q in
+          (match find_obj k tid with
+          | Some { body = Thr th; _ } -> (
+              match th.tstate with
+              | `Blocked (W_futex _) ->
+                  wake k tid (R_ok true);
+                  incr woken
+              | `Ready | `Running | `Blocked _ | `Halted -> ())
+          | Some _ | None -> ())
+        done;
+        ok_resp (R_int (Int64.of_int !woken))
+    | Net_get_mac ce ->
+        let* o, d = resolve_device k ~op:"net_get_mac" ce in
+        let* () = check_observe k ~op:"net_get_mac" o in
+        ok_resp (R_bytes d.mac)
+    | Net_send (ce, frame) ->
+        let* o, d = resolve_device k ~op:"net_send" ce in
+        let* () = check_modify k ~op:"net_send" o in
+        d.transmit frame;
+        ok_resp R_unit
+    | Net_recv ce ->
+        let* o, d = resolve_device k ~op:"net_recv" ce in
+        let* () = check_observe k ~op:"net_recv" o in
+        if Queue.is_empty d.rx then Ok (A_block (W_net o.id))
+        else ok_resp (R_bytes (Queue.pop d.rx))
+    | Segment_cas (ce, off, expected, desired) ->
+        let* o, kind_ = resolve_segment k ~op:"segment_cas" ce in
+        let* () =
+          match kind_ with
+          | `Tls -> Ok ()
+          | `Plain -> check_modify k ~op:"segment_cas" o
+        in
+        (match o.body with
+        | Seg s -> (
+            match read_i64_at s.data off with
+            | None -> invalid_f "segment_cas: offset out of range"
+            | Some v ->
+                if Int64.equal v expected then begin
+                  Bytes.set_int64_le s.data off desired;
+                  ok_resp (R_ok true)
+                end
+                else ok_resp (R_ok false))
+        | Con _ | Thr _ | Gat _ | Asp _ | Dev _ -> assert false)
+    | Sync_object ce ->
+        let* o = resolve k ~op:"sync_object" ce in
+        (match k.store with
+        | None -> ok_resp R_unit
+        | Some s ->
+            Store.put s ~oid:o.id (encode_obj o);
+            Store.sync_oid s ~oid:o.id;
+            ok_resp R_unit)
+    | Sync_many ces ->
+        let* objs =
+          List.fold_left
+            (fun acc ce ->
+              let* acc = acc in
+              let* o = resolve k ~op:"sync_many" ce in
+              Ok (o :: acc))
+            (Ok []) ces
+        in
+        (match k.store with
+        | None -> ok_resp R_unit
+        | Some s ->
+            List.iter (fun o -> Store.put s ~oid:o.id (encode_obj o)) objs;
+            Store.sync_oids s ~oids:(List.map (fun o -> o.id) objs);
+            ok_resp R_unit)
+    | Sync_range (ce, off, len) ->
+        let* o, _ = resolve_segment k ~op:"sync_range" ce in
+        (match k.store with
+        | None -> ok_resp R_unit
+        | Some s ->
+            Store.put s ~oid:o.id (encode_obj o);
+            Store.sync_range s ~oid:o.id ~off ~len;
+            ok_resp R_unit)
+    | Sync_all ->
+        do_checkpoint k;
+        ok_resp R_unit
+    | Clock_read -> ok_resp (R_int (Sim_clock.now_ns k.clock))
+  in
+  match result with Ok action -> action | Error e -> A_resp (R_err e)
+
+(* ---------- thread execution ---------- *)
+
+let start_body body =
+  Effect.Deep.match_with body ()
+    {
+      retc = (fun () -> Finished);
+      exnc = (fun e -> Crashed e);
+      effc =
+        (fun (type a) (eff : a Effect.t) ->
+          match eff with
+          | Syscall req ->
+              Some
+                (fun (kont : (a, run_state) Effect.Deep.continuation) ->
+                  Syscalled (req, kont))
+          | _ -> None);
+    }
+
+let halt_thread k tid =
+  match find_obj k tid with
+  | Some ({ body = Thr th; _ } as _o) ->
+      th.tstate <- `Halted;
+      th.next_run <- None;
+      th.parked <- None
+  | Some _ | None -> ()
+
+let rec run_state_loop k tid rs =
+  match rs with
+  | Finished -> halt_thread k tid
+  | Crashed exn ->
+      halt_thread k tid;
+      Logs.warn (fun m ->
+          m "thread %Ld crashed: %s" tid (Printexc.to_string exn))
+  | Syscalled (req, kont) -> (
+      Profile.record k.profile (req_name req);
+      (* Three cost tiers: segment data access models a memory-mapped
+         load/store through the page tables (the paper's fault path is
+         only taken on first touch); object creation models allocation,
+         label manipulation and page zeroing; everything else is a
+         plain trap. *)
+      let cost_ns =
+        match req with
+        | Segment_read _ | Segment_write _ | Segment_cas _
+        | Segment_get_size _ ->
+            k.syscall_cost_ns / 4
+        | Segment_create _ | Segment_copy _ | Container_create _
+        | Thread_create _ | Gate_create _ | As_create _ | Gate_call _ ->
+            k.syscall_cost_ns * 30
+        | _ -> k.syscall_cost_ns
+      in
+      Sim_clock.advance_ns k.clock (Int64.of_int cost_ns);
+      let action = handle_syscall k kont req in
+      match find_obj k tid with
+      | None -> () (* thread was destroyed by its own syscall *)
+      | Some { body = Thr th; _ } -> (
+          match action with
+          | A_resp resp ->
+              th.tstate <- `Ready;
+              th.next_run <- Some (Resume (kont, resp));
+              enqueue k tid
+          | A_block reason ->
+              th.tstate <- `Blocked reason;
+              th.parked <- Some kont
+          | A_jump f ->
+              (* control transfer through a gate: the old continuation
+                 is abandoned, like loading a new PC *)
+              th.tstate <- `Ready;
+              th.next_run <- Some (Start f);
+              enqueue k tid
+          | A_resume (saved, resp) ->
+              th.tstate <- `Ready;
+              th.next_run <- Some (Resume (saved, resp));
+              enqueue k tid
+          | A_halt -> halt_thread k tid)
+      | Some _ -> assert false)
+
+and run_slice k tid =
+  match find_obj k tid with
+  | Some { body = Thr th; _ } -> (
+      match (th.tstate, th.next_run) with
+      | `Ready, Some runnable ->
+          th.tstate <- `Running;
+          th.next_run <- None;
+          k.current <- tid;
+          let rs =
+            match runnable with
+            | Start f -> start_body f
+            | Resume (kont, resp) -> Effect.Deep.continue kont resp
+          in
+          run_state_loop k tid rs
+      | _ -> ())
+  | Some _ | None -> ()
+
+let step k =
+  match Queue.take_opt k.runq with
+  | None -> false
+  | Some tid ->
+      run_slice k tid;
+      true
+
+let run k = while step k do () done
+
+(* ---------- counting / introspection ---------- *)
+
+let fold_threads k f init =
+  Hashtbl.fold
+    (fun _ o acc -> match o.body with Thr th -> f acc th | _ -> acc)
+    k.objects init
+
+let runnable_count k = Queue.length k.runq
+
+let blocked_count k =
+  fold_threads k
+    (fun acc th -> match th.tstate with `Blocked _ -> acc + 1 | _ -> acc)
+    0
+
+let live_thread_count k =
+  fold_threads k
+    (fun acc th -> match th.tstate with `Halted -> acc | _ -> acc + 1)
+    0
+
+let object_count k = Hashtbl.length k.objects
+
+let label_cache_stats k =
+  (Label_cache.hits k.label_cache, Label_cache.misses k.label_cache)
+let obj_label k oid = Option.map (fun o -> o.label) (find_obj k oid)
+let obj_kind k oid = Option.map (fun o -> o.kind) (find_obj k oid)
+let obj_quota k oid = Option.map (fun o -> (o.quota, o.usage)) (find_obj k oid)
+
+let container_children k oid =
+  match find_obj k oid with
+  | Some { body = Con c; _ } ->
+      Some (Hashtbl.fold (fun oid kind acc -> (oid, kind) :: acc) c.children [])
+  | Some _ | None -> None
+
+let segment_data k oid =
+  match find_obj k oid with
+  | Some { body = Seg s; _ } -> Some (Bytes.to_string s.data)
+  | Some _ | None -> None
+
+let thread_state k oid =
+  match find_obj k oid with
+  | Some { body = Thr th; _ } ->
+      Some
+        (match th.tstate with
+        | `Ready -> `Ready
+        | `Running -> `Running
+        | `Blocked _ -> `Blocked
+        | `Halted -> `Halted)
+  | Some _ | None -> None
+
+let thread_label k oid =
+  match find_obj k oid with
+  | Some { body = Thr _; label; _ } -> Some label
+  | Some _ | None -> None
+
+(* ---------- construction ---------- *)
+
+let create ?(seed = 0x4853_7461_7221L) ?clock ?store ?(syscall_cost_ns = 500)
+    () =
+  let clock = match clock with Some c -> c | None -> Sim_clock.create () in
+  let k =
+    {
+      clock;
+      store;
+      objects = Hashtbl.create 256;
+      oidgen = Category_gen.create ~key:seed;
+      catgen = Category_gen.create ~key:(Int64.lognot seed);
+      runq = Queue.create ();
+      futexq = Hashtbl.create 64;
+      label_cache = Label_cache.create ();
+      profile = Profile.create ();
+      current = 0L;
+      root = 0L;
+      trace = None;
+      syscall_cost_ns;
+      key = seed;
+    }
+  in
+  let root_id = next_oid k in
+  let root_obj =
+    {
+      id = root_id;
+      kind = Container;
+      label = Label.make Level.L1;
+      descrip = "root container";
+      quota = infinite_quota;
+      usage = base_overhead;
+      fixed_quota = true;
+      immut = false;
+      metadata = "";
+      refs = 1;
+      body = Con { children = Hashtbl.create 32; avoid = 0; parent = root_id };
+    }
+  in
+  Hashtbl.replace k.objects root_id root_obj;
+  k.root <- root_id;
+  k
+
+let spawn k ?label ?clearance ?container ~name entry =
+  let label = Option.value label ~default:(Label.make Level.L1) in
+  let clearance = Option.value clearance ~default:(Label.make Level.L2) in
+  let container = Option.value container ~default:k.root in
+  let tls = mk_tls k in
+  let id = next_oid k in
+  let o =
+    {
+      id;
+      kind = Thread;
+      label;
+      descrip = name;
+      quota = 65_536L;
+      usage = base_overhead;
+      fixed_quota = false;
+      immut = false;
+      metadata = "";
+      refs = 1;
+      body =
+        Thr
+          {
+            tclear = clearance;
+            tls;
+            tas = None;
+            tstate = `Ready;
+            next_run = Some (Start entry);
+            parked = None;
+            alerts = Queue.create ();
+            return_gate = None;
+          };
+    }
+  in
+  Hashtbl.replace k.objects id o;
+  (match find_obj k container with
+  | Some ({ body = Con c; _ } as d) ->
+      Hashtbl.replace c.children id Thread;
+      d.usage <- Int64.add d.usage o.quota
+  | Some _ | None -> invalid_arg "Kernel.spawn: bad container");
+  enqueue k id;
+  id
+
+(* ---------- devices ---------- *)
+
+let attach_netdev k ~container ~label ~mac ~transmit =
+  let id = next_oid k in
+  let o =
+    {
+      id;
+      kind = Device;
+      label;
+      descrip = "netdev " ^ mac;
+      quota = 65_536L;
+      usage = base_overhead;
+      fixed_quota = true;
+      immut = false;
+      metadata = "";
+      refs = 1;
+      body = Dev { mac; rx = Queue.create (); transmit };
+    }
+  in
+  Hashtbl.replace k.objects id o;
+  (match find_obj k container with
+  | Some ({ body = Con c; _ } as d) ->
+      Hashtbl.replace c.children id Device;
+      d.usage <- Int64.add d.usage o.quota
+  | Some _ | None -> invalid_arg "Kernel.attach_netdev: bad container");
+  id
+
+let deliver_packet k dev_oid frame =
+  match find_obj k dev_oid with
+  | Some { body = Dev d; _ } -> (
+      Queue.push frame d.rx;
+      (* wake one thread blocked on this device *)
+      let waiter =
+        fold_threads k
+          (fun acc th ->
+            match (acc, th.tstate) with
+            | None, `Blocked (W_net oid) when Int64.equal oid dev_oid ->
+                Some th
+            | _ -> acc)
+          None
+      in
+      match waiter with
+      | Some _ ->
+          (* find its tid by scanning; thread records don't know their id *)
+          Hashtbl.iter
+            (fun tid o ->
+              match o.body with
+              | Thr th -> (
+                  match th.tstate with
+                  | `Blocked (W_net oid)
+                    when Int64.equal oid dev_oid && not (Queue.is_empty d.rx) ->
+                      wake k tid (R_bytes (Queue.pop d.rx))
+                  | _ -> ())
+              | _ -> ())
+            k.objects
+      | None -> ())
+  | Some _ | None -> invalid_arg "Kernel.deliver_packet: no such device"
+
+(* Host-side wake of futex waiters on a segment word (used by device
+   glue that runs outside any thread, e.g. the VPN tunnel endpoint).
+   Does not write the word; lost wakeups cannot occur because host code
+   only runs between thread slices. *)
+let host_wake_futex k oid ~off =
+  let q = futex_queue k (futex_key oid off) in
+  while not (Queue.is_empty q) do
+    let tid = Queue.pop q in
+    match find_obj k tid with
+    | Some { body = Thr th; _ } -> (
+        match th.tstate with
+        | `Blocked (W_futex _) -> wake k tid (R_ok true)
+        | `Ready | `Running | `Blocked _ | `Halted -> ())
+    | Some _ | None -> ()
+  done
+
+(* ---------- persistence ---------- *)
+
+let checkpoint k = do_checkpoint k
+
+let recover ~store =
+  let meta =
+    match Store.get store ~oid:meta_oid with
+    | Some m -> m
+    | None -> invalid_arg "Kernel.recover: no kernel metadata in store"
+  in
+  let d = Codec.Dec.of_string meta in
+  let root = Codec.Dec.i64 d in
+  let oid_counter = Codec.Dec.i64 d in
+  let cat_counter = Codec.Dec.i64 d in
+  let key = Codec.Dec.i64 d in
+  let clock = Sim_clock.create () in
+  let k =
+    {
+      clock;
+      store = Some store;
+      objects = Hashtbl.create 256;
+      oidgen = Category_gen.restore ~key ~counter:oid_counter;
+      catgen = Category_gen.restore ~key:(Int64.lognot key) ~counter:cat_counter;
+      runq = Queue.create ();
+      futexq = Hashtbl.create 64;
+      label_cache = Label_cache.create ();
+      profile = Profile.create ();
+      current = 0L;
+      root;
+      trace = None;
+      syscall_cost_ns = 500;
+      key;
+    }
+  in
+  Store.iter_oids store (fun oid ->
+      if not (Int64.equal oid meta_oid) then
+        match Store.get store ~oid with
+        | Some payload -> Hashtbl.replace k.objects oid (decode_obj payload)
+        | None -> ());
+  k

@@ -1,0 +1,129 @@
+(** The HiStar kernel (§3, §4).
+
+    Six object types — segments, threads, address spaces, gates,
+    containers and devices — each carrying a label, a quota, 64 bytes
+    of metadata and an immutable flag. Every system call performs the
+    paper's label checks; the end-to-end property is that the contents
+    of object A can only affect object B if, for every category c in
+    which A is more tainted than B, a thread owning c takes part.
+
+    Threads are cooperative coroutines built on OCaml 5 effect
+    handlers: user code calls the wrappers in {!Sys} (each performs the
+    {!Syscall.Syscall} effect), and the kernel's round-robin scheduler
+    interprets them. Gate entry/return is modelled exactly as a control
+    transfer: entering a gate abandons the thread's current
+    continuation; a return gate created by [gate_call] stores the
+    caller's continuation and resumes it when entered.
+
+    The kernel optionally sits on a {!Histar_store.Store.t}: individual
+    objects can be fsynced through the write-ahead log, and
+    [checkpoint] snapshots the whole system (the single-level store).
+    Thread continuations and gate entry closures are not serializable;
+    after {!recover} threads come back halted, which this simulation
+    documents as its one departure from the paper's full persistence. *)
+
+module Label = Histar_label.Label
+module Category = Histar_label.Category
+open Types
+
+type t
+
+(** {1 Construction and scheduling} *)
+
+val create :
+  ?seed:int64 ->
+  ?clock:Histar_util.Sim_clock.t ->
+  ?store:Histar_store.Store.t ->
+  ?syscall_cost_ns:int ->
+  unit ->
+  t
+
+val clock : t -> Histar_util.Sim_clock.t
+val root : t -> oid
+(** The root container: quota ∞, label [{1}], never deallocated. *)
+
+val spawn :
+  t ->
+  ?label:Label.t ->
+  ?clearance:Label.t ->
+  ?container:oid ->
+  name:string ->
+  (unit -> unit) ->
+  oid
+(** Host-level bootstrap: create a thread outside any label checks
+    (used to start init processes and test harnesses). Defaults:
+    label [{1}], clearance [{2}], linked in the root container. *)
+
+val run : t -> unit
+(** Run until no thread is runnable. Threads blocked on futexes,
+    alerts or device receive queues remain blocked; delivering a
+    packet or alert and calling [run] again resumes them. *)
+
+val step : t -> bool
+(** Run a single thread slice; [false] if nothing was runnable. *)
+
+val runnable_count : t -> int
+val blocked_count : t -> int
+val live_thread_count : t -> int
+
+(** {1 Devices} *)
+
+val attach_netdev :
+  t ->
+  container:oid ->
+  label:Label.t ->
+  mac:string ->
+  transmit:(string -> unit) ->
+  oid
+(** Create a network device whose transmit path invokes [transmit]
+    (the simulated wire). *)
+
+val deliver_packet : t -> oid -> string -> unit
+(** Host-side packet arrival: enqueue on the device receive queue and
+    wake blocked receivers. *)
+
+val host_wake_futex : t -> oid -> off:int -> unit
+(** Host-side wake of all futex waiters on a segment word, for device
+    glue that runs outside any thread. *)
+
+(** {1 Persistence} *)
+
+val checkpoint : t -> unit
+(** Whole-system snapshot into the backing store (group sync). A
+    kernel without a store ignores this. *)
+
+val recover : store:Histar_store.Store.t -> t
+(** Rebuild kernel state from a store. Threads recover halted; gates
+    recover with dead entries (see module comment). *)
+
+(** {1 Introspection (host/test interface, not subject to labels)} *)
+
+val object_count : t -> int
+
+(** (hits, misses) of the §4 label-comparison cache. *)
+val label_cache_stats : t -> int * int
+val profile : t -> Profile.t
+val obj_label : t -> oid -> Label.t option
+val obj_kind : t -> oid -> kind option
+val obj_quota : t -> oid -> (int64 * int64) option
+(** (quota, usage). *)
+
+val container_children : t -> oid -> (oid * kind) list option
+val segment_data : t -> oid -> string option
+val thread_state : t -> oid -> [ `Ready | `Running | `Blocked | `Halted ] option
+val thread_label : t -> oid -> Label.t option
+
+type trace_event = {
+  ev_thread : oid;
+  ev_thread_label : Label.t;
+  ev_op : string;
+  ev_obj : oid;
+  ev_obj_label : Label.t;
+  ev_dir : [ `Observe | `Modify ];
+}
+(** Emitted on every *permitted* observe/modify so tests can verify the
+    information-flow rules were honoured (the "flow oracle"). *)
+
+val set_trace : t -> (trace_event -> unit) option -> unit
+
+val infinite_quota : int64

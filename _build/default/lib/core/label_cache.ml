@@ -1,0 +1,42 @@
+module Label = Histar_label.Label
+
+type key = Label.t * Label.t
+
+type t = {
+  bound : int;
+  observe_tbl : (key, bool) Hashtbl.t;
+  modify_tbl : (key, bool) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create ?(bound = 8192) () =
+  {
+    bound;
+    observe_tbl = Hashtbl.create 256;
+    modify_tbl = Hashtbl.create 256;
+    hits = 0;
+    misses = 0;
+  }
+
+let lookup t tbl key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v ->
+      t.hits <- t.hits + 1;
+      v
+  | None ->
+      t.misses <- t.misses + 1;
+      let v = compute () in
+      if Hashtbl.length tbl >= t.bound then Hashtbl.reset tbl;
+      Hashtbl.replace tbl key v;
+      v
+
+let observe t ~thread ~obj =
+  lookup t t.observe_tbl (thread, obj) (fun () ->
+      Label.can_observe ~thread ~obj)
+
+let modify t ~thread ~obj =
+  lookup t t.modify_tbl (thread, obj) (fun () -> Label.can_modify ~thread ~obj)
+
+let hits t = t.hits
+let misses t = t.misses

@@ -1,0 +1,25 @@
+(** Memoized label comparisons.
+
+    §4: "The kernel performs several key optimizations. It caches the
+    result of comparisons between immutable labels." Object labels are
+    immutable after creation and thread labels change rarely, so the
+    same (thread label, object label) pairs recur on every fault-path
+    access; this bounded cache short-circuits them.
+
+    Keys are the label values themselves (structurally hashed); the
+    cache is cleared wholesale when it reaches its bound, which keeps
+    the worst case linear and the common case O(1). *)
+
+type t
+
+val create : ?bound:int -> unit -> t
+(** Default bound: 8192 entries per relation. *)
+
+val observe : t -> thread:Histar_label.Label.t -> obj:Histar_label.Label.t -> bool
+(** Memoized {!Histar_label.Label.can_observe}. *)
+
+val modify : t -> thread:Histar_label.Label.t -> obj:Histar_label.Label.t -> bool
+(** Memoized {!Histar_label.Label.can_modify}. *)
+
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,27 @@
+type t = { counts : (string, int ref) Hashtbl.t; mutable total : int }
+
+let create () = { counts = Hashtbl.create 64; total = 0 }
+
+let record t name =
+  t.total <- t.total + 1;
+  match Hashtbl.find_opt t.counts name with
+  | Some r -> incr r
+  | None -> Hashtbl.add t.counts name (ref 1)
+
+let total t = t.total
+
+let count t name =
+  match Hashtbl.find_opt t.counts name with Some r -> !r | None -> 0
+
+let to_list t =
+  Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counts []
+  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+
+let reset t =
+  Hashtbl.reset t.counts;
+  t.total <- 0
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>total syscalls: %d" t.total;
+  List.iter (fun (name, n) -> Format.fprintf fmt "@,%8d  %s" n name) (to_list t);
+  Format.fprintf fmt "@]"

@@ -1,0 +1,19 @@
+(** Kernel syscall profiler.
+
+    Counts syscalls by name, backing the paper's observations that
+    fork/exec needs 317 syscalls on HiStar's low-level interface versus
+    127 for spawn (§7.1). *)
+
+type t
+
+val create : unit -> t
+val record : t -> string -> unit
+val total : t -> int
+val count : t -> string -> int
+
+val to_list : t -> (string * int) list
+(** Sorted by descending count. *)
+
+val reset : t -> unit
+
+val pp : Format.formatter -> t -> unit

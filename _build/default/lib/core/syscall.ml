@@ -1,0 +1,199 @@
+(* Syscall requests and responses (§3). User threads perform the
+   {!Syscall} effect; the kernel scheduler interprets it. The interface
+   deliberately mirrors the paper's: objects are named by container
+   entries, labels are explicit in every request that needs one, and
+   gates provide the only protected control transfer. *)
+
+module Label = Histar_label.Label
+module Category = Histar_label.Category
+open Types
+
+type create_spec = {
+  container : oid;  (** container the new object is linked into *)
+  label : Label.t;
+  descrip : string;  (** 32-byte descriptive string *)
+  quota : int64;  (** storage bound for the new object *)
+}
+
+type map_flags = { read : bool; write : bool; exec : bool }
+
+type mapping = {
+  va : int64;
+  seg : centry;
+  offset : int;
+  npages : int;
+  flags : map_flags;
+}
+
+type req =
+  (* categories and self *)
+  | Cat_create
+  | Self_get_id
+  | Self_get_label
+  | Self_get_clearance
+  | Self_set_label of Label.t
+  | Self_set_clearance of Label.t
+  | Self_set_as of centry
+  | Self_get_as
+  | Self_get_return_gate
+  | Self_halt
+  | Self_yield
+  | Self_usleep of int  (** advance virtual time; reschedules *)
+  | Self_wait_alert
+  (* generic object operations *)
+  | Obj_get_label of centry
+  | Obj_get_kind of centry
+  | Obj_get_descrip of centry
+  | Obj_get_quota of centry  (** returns (quota, usage) *)
+  | Obj_set_fixed_quota of centry
+  | Obj_set_immutable of centry
+  | Obj_get_metadata of centry
+  | Obj_set_metadata of centry * string
+  | Unref of centry
+  | Quota_move of { container : oid; target : oid; nbytes : int64 }
+  (* containers *)
+  | Container_create of create_spec * int  (** spec, avoid_types mask *)
+  | Container_list of centry
+  | Container_get_parent of centry
+  | Container_link of { container : oid; target : centry }
+      (** hard-link an existing object into another container *)
+  (* segments *)
+  | Segment_create of create_spec * int  (** spec, initial length *)
+  | Segment_read of centry * int * int  (** entry, offset, length (-1 = all) *)
+  | Segment_write of centry * int * string
+  | Segment_resize of centry * int
+  | Segment_get_size of centry
+  | Segment_copy of centry * create_spec
+      (** efficient copy with a different label (§3) *)
+  (* address spaces *)
+  | As_create of create_spec
+  | As_get of centry
+  | As_map of centry * mapping
+  | As_unmap of centry * int64
+  (* threads *)
+  | Thread_create of {
+      spec : create_spec;
+      clearance : Label.t;
+      entry : unit -> unit;
+    }
+  | Thread_alert of centry * int
+  | Thread_get_label of centry
+  (* gates *)
+  | Gate_create of {
+      spec : create_spec;
+      clearance : Label.t;
+      entry : unit -> unit;
+    }
+  | Gate_enter of {
+      gate : centry;
+      requested_label : Label.t;
+      requested_clearance : Label.t;
+      verify_label : Label.t;
+    }  (** one-way transfer: never returns *)
+  | Gate_call of {
+      gate : centry;
+      requested_label : Label.t;
+      requested_clearance : Label.t;
+      verify_label : Label.t;
+      return_spec : create_spec;
+      return_clearance : Label.t;
+    }
+      (** create a return gate capturing the current continuation, then
+          enter the service gate; completes when the service enters the
+          return gate *)
+  (* futexes (§4: the only kernel IPC besides shared memory and gates) *)
+  | Futex_wait of centry * int * int64
+  | Futex_wake of centry * int * int
+  (* network device (§4: a three-call API) *)
+  | Net_get_mac of centry
+  | Net_send of centry * string
+  | Net_recv of centry
+  | Segment_cas of centry * int * int64 * int64
+      (** atomic compare-and-swap of an 8-byte word: the stand-in for
+          x86 atomic instructions on shared memory, which user-level
+          mutexes are built from *)
+  (* persistence *)
+  | Sync_object of centry  (** the fsync path: log this object *)
+  | Sync_many of centry list  (** fsync several objects, one barrier *)
+  | Sync_range of centry * int * int
+      (** in-place flush of a byte range of a segment (§7.1) *)
+  | Sync_all  (** whole-system checkpoint / group sync *)
+  (* time *)
+  | Clock_read
+
+type resp =
+  | R_unit
+  | R_ok of bool
+  | R_oid of oid
+  | R_cat of Category.t
+  | R_label of Label.t
+  | R_bytes of string
+  | R_int of int64
+  | R_quota of int64 * int64
+  | R_kind of kind
+  | R_entries of (oid * kind * string) list
+  | R_mappings of mapping list
+  | R_centry_opt of centry option
+  | R_alert of int
+  | R_err of error
+
+type _ Effect.t += Syscall : req -> resp Effect.t
+
+let perform req = Effect.perform (Syscall req)
+
+(* Request names, for the syscall profiler (§7.1 counts). *)
+let req_name = function
+  | Cat_create -> "cat_create"
+  | Self_get_id -> "self_get_id"
+  | Self_get_label -> "self_get_label"
+  | Self_get_clearance -> "self_get_clearance"
+  | Self_set_label _ -> "self_set_label"
+  | Self_set_clearance _ -> "self_set_clearance"
+  | Self_set_as _ -> "self_set_as"
+  | Self_get_as -> "self_get_as"
+  | Self_get_return_gate -> "self_get_return_gate"
+  | Self_halt -> "self_halt"
+  | Self_yield -> "self_yield"
+  | Self_usleep _ -> "self_usleep"
+  | Self_wait_alert -> "self_wait_alert"
+  | Obj_get_label _ -> "obj_get_label"
+  | Obj_get_kind _ -> "obj_get_kind"
+  | Obj_get_descrip _ -> "obj_get_descrip"
+  | Obj_get_quota _ -> "obj_get_quota"
+  | Obj_set_fixed_quota _ -> "obj_set_fixed_quota"
+  | Obj_set_immutable _ -> "obj_set_immutable"
+  | Obj_get_metadata _ -> "obj_get_metadata"
+  | Obj_set_metadata _ -> "obj_set_metadata"
+  | Unref _ -> "unref"
+  | Quota_move _ -> "quota_move"
+  | Container_create _ -> "container_create"
+  | Container_list _ -> "container_list"
+  | Container_get_parent _ -> "container_get_parent"
+  | Container_link _ -> "container_link"
+  | Segment_create _ -> "segment_create"
+  | Segment_read _ -> "segment_read"
+  | Segment_write _ -> "segment_write"
+  | Segment_resize _ -> "segment_resize"
+  | Segment_get_size _ -> "segment_get_size"
+  | Segment_copy _ -> "segment_copy"
+  | As_create _ -> "as_create"
+  | As_get _ -> "as_get"
+  | As_map _ -> "as_map"
+  | As_unmap _ -> "as_unmap"
+  | Thread_create _ -> "thread_create"
+  | Thread_alert _ -> "thread_alert"
+  | Thread_get_label _ -> "thread_get_label"
+  | Gate_create _ -> "gate_create"
+  | Gate_enter _ -> "gate_enter"
+  | Gate_call _ -> "gate_call"
+  | Futex_wait _ -> "futex_wait"
+  | Futex_wake _ -> "futex_wake"
+  | Net_get_mac _ -> "net_get_mac"
+  | Net_send _ -> "net_send"
+  | Net_recv _ -> "net_recv"
+  | Segment_cas _ -> "segment_cas"
+  | Sync_object _ -> "sync_object"
+  | Sync_many _ -> "sync_many"
+  | Sync_range _ -> "sync_range"
+  | Sync_all -> "sync_all"
+  | Clock_read -> "clock_read"

@@ -1,0 +1,1 @@
+lib/crypto/block_cipher.ml: Array Histar_util Int32 Int64

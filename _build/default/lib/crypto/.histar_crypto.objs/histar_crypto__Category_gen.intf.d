@@ -1,0 +1,1 @@
+lib/crypto/category_gen.mli:

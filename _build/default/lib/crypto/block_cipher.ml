@@ -1,0 +1,66 @@
+type t = { round_keys : int64 array }
+
+let rounds = 8
+let max61 = Int64.sub (Int64.shift_left 1L 61) 1L
+
+let create ~key =
+  (* Derive round keys with the splitmix64 finalizer so that similar keys
+     yield unrelated schedules. *)
+  let rng = Histar_util.Rng.create key in
+  { round_keys = Array.init rounds (fun _ -> Histar_util.Rng.next64 rng) }
+
+(* Round function: a 32->32 bit mix keyed by a 64-bit round key. *)
+let feistel_f k x =
+  let v = Int64.add (Int64.of_int32 x) k in
+  let v = Int64.mul (Int64.logxor v (Int64.shift_right_logical v 33)) 0xFF51AFD7ED558CCDL in
+  let v = Int64.logxor v (Int64.shift_right_logical v 29) in
+  Int64.to_int32 v
+
+let split v =
+  let lo = Int64.to_int32 v in
+  let hi = Int64.to_int32 (Int64.shift_right_logical v 32) in
+  (hi, lo)
+
+let join hi lo =
+  let mask = 0xFFFFFFFFL in
+  Int64.logor
+    (Int64.shift_left (Int64.logand (Int64.of_int32 hi) mask) 32)
+    (Int64.logand (Int64.of_int32 lo) mask)
+
+let encrypt64 t v =
+  let l = ref (fst (split v)) and r = ref (snd (split v)) in
+  for i = 0 to rounds - 1 do
+    let l' = !r in
+    let r' = Int32.logxor !l (feistel_f t.round_keys.(i) !r) in
+    l := l';
+    r := r'
+  done;
+  join !l !r
+
+let decrypt64 t v =
+  let l = ref (fst (split v)) and r = ref (snd (split v)) in
+  for i = rounds - 1 downto 0 do
+    let r' = !l in
+    let l' = Int32.logxor !r (feistel_f t.round_keys.(i) !l) in
+    l := l';
+    r := r'
+  done;
+  join !l !r
+
+let in_range v = v >= 0L && v <= max61
+
+let encrypt61 t v =
+  assert (in_range v);
+  let rec walk x =
+    let c = encrypt64 t x in
+    if in_range c then c else walk c
+  in
+  walk v
+
+let decrypt61 t v =
+  assert (in_range v);
+  let rec walk x =
+    let p = decrypt64 t x in
+    if in_range p then p else walk p
+  in
+  walk v

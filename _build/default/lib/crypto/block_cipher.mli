@@ -1,0 +1,25 @@
+(** Small block cipher used to generate opaque category names.
+
+    The paper names categories by encrypting a counter with a block
+    cipher, producing 61-bit identifiers that reveal nothing about how
+    many categories other threads have allocated (§2). We implement a
+    64-bit Feistel network and restrict it to a permutation of
+    [\[0, 2^61)] by cycle walking: out-of-range ciphertexts are
+    re-encrypted until they land in range. *)
+
+type t
+
+val create : key:int64 -> t
+
+val encrypt64 : t -> int64 -> int64
+(** Raw 64-bit block encryption (a bijection on all 64-bit values). *)
+
+val decrypt64 : t -> int64 -> int64
+
+val encrypt61 : t -> int64 -> int64
+(** Permutation of [\[0, 2^61)]. The argument must be in range. *)
+
+val decrypt61 : t -> int64 -> int64
+
+val max61 : int64
+(** [2^61 - 1], the largest valid 61-bit value. *)

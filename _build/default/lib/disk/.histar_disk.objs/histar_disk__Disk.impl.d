@@ -1,0 +1,1 @@
+lib/disk/disk.ml: Buffer Hashtbl Histar_util Int List Printf String

@@ -1,0 +1,84 @@
+(** Simulated sector-addressed disk.
+
+    Substitutes for the paper's Seagate ST340014A (7200 RPM EIDE,
+    ~58 MB/s media bandwidth, ~8.5 ms average seek). The model charges
+    virtual time on the shared {!Histar_util.Sim_clock}:
+
+    - a seek whenever the head moves, scaled by distance;
+    - half-a-rotation of rotational latency after each seek;
+    - per-sector transfer time at media bandwidth.
+
+    Writes are buffered in a volatile write cache; {!flush} forces dirty
+    sectors to the media in ascending order (elevator scan), coalescing
+    contiguous runs so that sequential I/O gets near-full bandwidth and
+    scattered synchronous writes pay a seek + rotation each — exactly
+    the effect behind the paper's LFS sync-vs-group-sync results.
+
+    Crash injection: {!set_crash_after_writes} makes the disk "lose
+    power" after a given number of media sector writes. The write cache
+    is discarded, subsequent operations raise {!Crashed}, and
+    {!reopen_after_crash} yields the surviving media for recovery. *)
+
+type t
+
+exception Crashed
+
+type geometry = {
+  sectors : int;  (** total sectors *)
+  sector_bytes : int;  (** bytes per sector (512) *)
+}
+
+val default_geometry : geometry
+(** 40 GB of 512-byte sectors, like the paper's drive. *)
+
+type params = {
+  seek_min_us : float;  (** track-to-track seek *)
+  seek_max_us : float;  (** full-stroke seek *)
+  rotation_us : float;  (** one full platter rotation (8333 for 7200 RPM) *)
+  transfer_us_per_sector : float;  (** media bandwidth *)
+}
+
+val default_params : params
+
+val create :
+  ?geometry:geometry ->
+  ?params:params ->
+  clock:Histar_util.Sim_clock.t ->
+  unit ->
+  t
+
+val geometry : t -> geometry
+
+val read : t -> sector:int -> count:int -> string
+(** Reads [count] sectors; sees the write cache. Unwritten sectors read
+    as zeros. *)
+
+val write : t -> sector:int -> string -> unit
+(** Buffers a write; the data length must be a multiple of the sector
+    size. *)
+
+val flush : t -> unit
+(** Write barrier: force every dirty sector to the media. *)
+
+type stats = {
+  mutable reads : int;
+  mutable writes : int;
+  mutable sectors_read : int;
+  mutable sectors_written : int;
+  mutable flushes : int;
+  mutable seeks : int;
+}
+
+val stats : t -> stats
+val reset_stats : t -> unit
+
+(** {1 Crash injection} *)
+
+val set_crash_after_writes : t -> int -> unit
+(** Crash once this many more media sector writes complete. *)
+
+val crashed : t -> bool
+
+val reopen_after_crash : t -> t
+(** A fresh disk handle over the surviving media contents. Only valid
+    after a crash. *)

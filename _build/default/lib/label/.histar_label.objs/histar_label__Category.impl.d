@@ -1,0 +1,1 @@
+lib/label/category.ml: Format Int64 Map Printf Set

@@ -1,0 +1,1 @@
+lib/label/category.mli: Format Map Set

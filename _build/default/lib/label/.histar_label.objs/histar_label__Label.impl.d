@@ -1,0 +1,1 @@
+lib/label/label.ml: Category Format Histar_util Level List Option

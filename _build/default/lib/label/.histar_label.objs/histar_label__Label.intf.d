@@ -1,0 +1,1 @@
+lib/label/label.mli: Category Format Histar_util Level

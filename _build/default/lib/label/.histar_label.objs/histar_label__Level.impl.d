@@ -1,0 +1,1 @@
+lib/label/level.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/label/level.mli: Format

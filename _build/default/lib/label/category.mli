@@ -1,0 +1,17 @@
+(** Categories of taint: opaque 61-bit identifiers (§2). *)
+
+type t = private int64
+
+val of_int64 : int64 -> t
+(** Raises [Invalid_argument] if the value does not fit in 61 bits. *)
+
+val to_int64 : t -> int64
+val of_int : int -> t
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val hash : t -> int
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+module Map : Map.S with type key = t
+module Set : Set.S with type elt = t

@@ -1,0 +1,126 @@
+type t = { default : Level.t; entries : Level.t Category.Map.t }
+
+let make d =
+  if Level.equal d Level.J then invalid_arg "Label.make: default level J";
+  { default = d; entries = Category.Map.empty }
+
+let default t = t.default
+
+let get t c =
+  match Category.Map.find_opt c t.entries with
+  | Some lv -> lv
+  | None -> t.default
+
+let set t c lv =
+  if Level.equal lv t.default then { t with entries = Category.Map.remove c t.entries }
+  else { t with entries = Category.Map.add c lv t.entries }
+
+let of_list entries d =
+  List.fold_left (fun acc (c, lv) -> set acc c lv) (make d) entries
+
+let entries t = Category.Map.bindings t.entries
+
+let categories t =
+  Category.Map.fold (fun c _ acc -> Category.Set.add c acc) t.entries Category.Set.empty
+
+let equal a b =
+  Level.equal a.default b.default && Category.Map.equal Level.equal a.entries b.entries
+
+let compare a b =
+  let c = Level.compare a.default b.default in
+  if c <> 0 then c else Category.Map.compare Level.compare a.entries b.entries
+
+(* Pointwise combination over the union of the two entry sets. *)
+let merge_with f a b =
+  let entries =
+    Category.Map.merge
+      (fun _c la lb ->
+        let la = Option.value la ~default:a.default in
+        let lb = Option.value lb ~default:b.default in
+        Some (f la lb))
+      a.entries b.entries
+  in
+  let d = f a.default b.default in
+  (* Re-normalize: entries equal to the new default are dropped. *)
+  let entries = Category.Map.filter (fun _ lv -> not (Level.equal lv d)) entries in
+  { default = d; entries }
+
+let pointwise_forall f a b =
+  let ok = ref (f a.default b.default) in
+  if !ok then
+    Category.Map.iter
+      (fun c la -> if not (f la (get b c)) then ok := false)
+      a.entries;
+  if !ok then
+    Category.Map.iter
+      (fun c lb -> if not (Category.Map.mem c a.entries) && not (f a.default lb) then ok := false)
+      b.entries;
+  !ok
+
+let leq a b = pointwise_forall Level.leq a b
+let lub a b = merge_with Level.max a b
+let glb a b = merge_with Level.min a b
+
+let map_levels f t =
+  let d = f t.default in
+  let entries = Category.Map.map f t.entries in
+  let entries = Category.Map.filter (fun _ lv -> not (Level.equal lv d)) entries in
+  { default = d; entries }
+
+let raise_j t = map_levels (function Level.Star -> Level.J | lv -> lv) t
+let lower_star t = map_levels (function Level.J -> Level.Star | lv -> lv) t
+
+let owns t c =
+  match get t c with Level.Star | Level.J -> true | Level.L0 | Level.L1 | Level.L2 | Level.L3 -> false
+
+let owned t =
+  Category.Map.fold
+    (fun c lv acc ->
+      match lv with
+      | Level.Star | Level.J -> Category.Set.add c acc
+      | Level.L0 | Level.L1 | Level.L2 | Level.L3 -> acc)
+    t.entries Category.Set.empty
+
+let level_exists p t =
+  p t.default || Category.Map.exists (fun _ lv -> p lv) t.entries
+
+let has_star t = level_exists (Level.equal Level.Star) t
+let has_j t = level_exists (Level.equal Level.J) t
+let can_observe ~thread ~obj = leq obj (raise_j thread)
+let can_modify ~thread ~obj = leq thread obj && leq obj (raise_j thread)
+let can_flow ~src ~dst = leq src dst
+let taint_to_read ~thread ~obj = lower_star (lub (raise_j thread) obj)
+let is_storable t = not (has_j t)
+let is_object_label t = not (has_star t) && not (has_j t)
+
+let encode enc t =
+  let module E = Histar_util.Codec.Enc in
+  E.u8 enc (Level.to_rank t.default);
+  E.u32 enc (Category.Map.cardinal t.entries);
+  Category.Map.iter
+    (fun c lv ->
+      E.i64 enc (Category.to_int64 c);
+      E.u8 enc (Level.to_rank lv))
+    t.entries
+
+let decode dec =
+  let module D = Histar_util.Codec.Dec in
+  let d = Level.of_rank (D.u8 dec) in
+  let n = D.u32 dec in
+  let rec go acc i =
+    if i = n then acc
+    else
+      let c = Category.of_int64 (D.i64 dec) in
+      let lv = Level.of_rank (D.u8 dec) in
+      go (set acc c lv) (i + 1)
+  in
+  go (make d) 0
+
+let pp fmt t =
+  Format.fprintf fmt "{";
+  List.iter
+    (fun (c, lv) -> Format.fprintf fmt "%a %a, " Category.pp c Level.pp lv)
+    (entries t);
+  Format.fprintf fmt "%a}" Level.pp t.default
+
+let to_string t = Format.asprintf "%a" pp t

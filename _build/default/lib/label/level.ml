@@ -1,0 +1,43 @@
+type t = Star | L0 | L1 | L2 | L3 | J
+
+let to_rank = function
+  | Star -> 0
+  | L0 -> 1
+  | L1 -> 2
+  | L2 -> 3
+  | L3 -> 4
+  | J -> 5
+
+let of_rank = function
+  | 0 -> Star
+  | 1 -> L0
+  | 2 -> L1
+  | 3 -> L2
+  | 4 -> L3
+  | 5 -> J
+  | n -> invalid_arg (Printf.sprintf "Level.of_rank: %d" n)
+
+let compare a b = Int.compare (to_rank a) (to_rank b)
+let equal a b = compare a b = 0
+let leq a b = compare a b <= 0
+let max a b = if leq a b then b else a
+let min a b = if leq a b then a else b
+
+let of_int = function
+  | 0 -> L0
+  | 1 -> L1
+  | 2 -> L2
+  | 3 -> L3
+  | n -> invalid_arg (Printf.sprintf "Level.of_int: %d" n)
+
+let is_storable = function J -> false | Star | L0 | L1 | L2 | L3 -> true
+
+let to_string = function
+  | Star -> "*"
+  | L0 -> "0"
+  | L1 -> "1"
+  | L2 -> "2"
+  | L3 -> "3"
+  | J -> "J"
+
+let pp fmt t = Format.pp_print_string fmt (to_string t)

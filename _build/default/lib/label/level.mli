@@ -1,0 +1,30 @@
+(** Taint levels (§2, Figure 3).
+
+    Stored labels use [Star] (untainting privilege, threads and gates
+    only) and the numeric levels [L0]-[L3]. [J] ("HiStar") is the high
+    reading of ownership and appears only transiently inside label
+    checks, never in the label of an actual object. The total order is
+    [Star < L0 < L1 < L2 < L3 < J]. *)
+
+type t = Star | L0 | L1 | L2 | L3 | J
+
+val compare : t -> t -> int
+val equal : t -> t -> bool
+val max : t -> t -> t
+val min : t -> t -> t
+val leq : t -> t -> bool
+
+val of_int : int -> t
+(** [of_int n] is [L0]..[L3] for [0]..[3]. Raises [Invalid_argument]
+    otherwise. *)
+
+val to_rank : t -> int
+(** Position in the total order: [Star]=0 .. [J]=5. *)
+
+val of_rank : int -> t
+
+val is_storable : t -> bool
+(** [true] for every level except [J]. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string

@@ -1,0 +1,1 @@
+lib/net/hub.ml: Addr Hashtbl Histar_util Packet String

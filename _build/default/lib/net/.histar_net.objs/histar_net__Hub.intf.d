@@ -1,0 +1,1 @@
+lib/net/hub.mli: Addr Histar_util

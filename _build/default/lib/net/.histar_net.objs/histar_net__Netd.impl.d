@@ -1,0 +1,1 @@
+lib/net/netd.ml: Addr Hashtbl Histar_core Histar_label Histar_util Hub Int64 Option Queue Stack String

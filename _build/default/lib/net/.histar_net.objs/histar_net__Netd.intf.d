@@ -1,0 +1,1 @@
+lib/net/netd.mli: Addr Histar_core Histar_label Hub Stack

@@ -1,0 +1,1 @@
+lib/net/sim_host.ml: Addr Buffer Hub List Stack String

@@ -1,0 +1,1 @@
+lib/net/sim_host.mli: Addr Histar_util Hub Stack

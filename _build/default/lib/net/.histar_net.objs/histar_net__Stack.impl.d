@@ -1,0 +1,1 @@
+lib/net/stack.ml: Addr Buffer Hashtbl Histar_util Int64 List Packet Queue String

@@ -1,0 +1,1 @@
+lib/net/stack.mli: Addr Histar_util

@@ -1,0 +1,26 @@
+type ip = int
+type port = int
+type t = { ip : ip; port : port }
+
+let ip_of_string s =
+  match String.split_on_char '.' s with
+  | [ a; b; c; d ] ->
+      let p x =
+        let v = int_of_string x in
+        if v < 0 || v > 255 then invalid_arg ("Addr.ip_of_string: " ^ s);
+        v
+      in
+      (p a lsl 24) lor (p b lsl 16) lor (p c lsl 8) lor p d
+  | _ -> invalid_arg ("Addr.ip_of_string: " ^ s)
+
+let ip_to_string ip =
+  Printf.sprintf "%d.%d.%d.%d"
+    ((ip lsr 24) land 0xff)
+    ((ip lsr 16) land 0xff)
+    ((ip lsr 8) land 0xff)
+    (ip land 0xff)
+
+let v s port = { ip = ip_of_string s; port }
+let equal a b = a.ip = b.ip && a.port = b.port
+let pp_ip fmt ip = Format.pp_print_string fmt (ip_to_string ip)
+let pp fmt t = Format.fprintf fmt "%a:%d" pp_ip t.ip t.port

@@ -1,0 +1,92 @@
+module Sim_clock = Histar_util.Sim_clock
+module Rng = Histar_util.Rng
+
+type endpoint = {
+  ep_mac : string;
+  ep_ip : Addr.ip;
+  ep_deliver : string -> unit;
+}
+
+type t = {
+  clock : Sim_clock.t;
+  bandwidth_bps : float;
+  latency_us : float;
+  loss_rate : float;
+  rng : Rng.t;
+  endpoints : (string, endpoint) Hashtbl.t;
+  by_ip : (Addr.ip, string) Hashtbl.t;
+  mutable frames_sent : int;
+  mutable frames_dropped : int;
+  mutable bytes_sent : int;
+  mutable default_route : string option;  (** MAC for unknown IPs *)
+}
+
+let broadcast_mac = "ff:ff:ff:ff:ff:ff"
+
+let create ?(bandwidth_bps = 100e6) ?(latency_us = 100.0) ?(loss_rate = 0.0)
+    ?rng ~clock () =
+  {
+    clock;
+    bandwidth_bps;
+    latency_us;
+    loss_rate;
+    rng = (match rng with Some r -> r | None -> Rng.create 0x6e657477L);
+    endpoints = Hashtbl.create 8;
+    by_ip = Hashtbl.create 8;
+    frames_sent = 0;
+    frames_dropped = 0;
+    bytes_sent = 0;
+    default_route = None;
+  }
+
+let attach t ep =
+  Hashtbl.replace t.endpoints ep.ep_mac ep;
+  Hashtbl.replace t.by_ip ep.ep_ip ep.ep_mac
+
+let detach t ~mac =
+  match Hashtbl.find_opt t.endpoints mac with
+  | Some ep ->
+      Hashtbl.remove t.endpoints mac;
+      Hashtbl.remove t.by_ip ep.ep_ip
+  | None -> ()
+
+let resolve t ip =
+  match Hashtbl.find_opt t.by_ip ip with
+  | Some mac -> Some mac
+  | None -> t.default_route
+
+let set_default_route t ~mac = t.default_route <- Some mac
+
+let inject t bytes =
+  let nbytes = String.length bytes in
+  (* Serialization (transmission) time is what occupies the wire and
+     advances the shared clock; propagation latency overlaps with other
+     traffic and is charged at a tenth to keep handshakes non-free
+     without capping pipelined throughput below line rate. *)
+  Sim_clock.advance_us t.clock
+    ((t.latency_us /. 10.0)
+    +. (float_of_int (nbytes * 8) /. t.bandwidth_bps *. 1e6));
+  t.frames_sent <- t.frames_sent + 1;
+  t.bytes_sent <- t.bytes_sent + nbytes;
+  let lost =
+    t.loss_rate > 0.0
+    && Rng.int t.rng 1_000_000 < int_of_float (t.loss_rate *. 1e6)
+  in
+  if lost then t.frames_dropped <- t.frames_dropped + 1
+  else
+    match Packet.frame_of_bytes bytes with
+    | None -> t.frames_dropped <- t.frames_dropped + 1
+    | Some f ->
+        if String.equal f.Packet.dst_mac broadcast_mac then
+          Hashtbl.iter
+            (fun mac ep ->
+              if not (String.equal mac f.Packet.src_mac) then ep.ep_deliver bytes)
+            t.endpoints
+        else (
+          match Hashtbl.find_opt t.endpoints f.Packet.dst_mac with
+          | Some ep -> ep.ep_deliver bytes
+          | None -> t.frames_dropped <- t.frames_dropped + 1)
+
+let frames_sent t = t.frames_sent
+let frames_dropped t = t.frames_dropped
+let bytes_sent t = t.bytes_sent

@@ -1,0 +1,42 @@
+(** The simulated wire: a hub connecting endpoints by MAC address, with
+    a bandwidth/latency model charged on the shared virtual clock and
+    optional random frame loss for exercising retransmission.
+
+    Substitutes for the paper's 100 Mbps Ethernet (§7.2). *)
+
+type t
+
+type endpoint = {
+  ep_mac : string;
+  ep_ip : Addr.ip;
+  ep_deliver : string -> unit;  (** called with the encoded frame *)
+}
+
+val create :
+  ?bandwidth_bps:float ->
+  ?latency_us:float ->
+  ?loss_rate:float ->
+  ?rng:Histar_util.Rng.t ->
+  clock:Histar_util.Sim_clock.t ->
+  unit ->
+  t
+(** Defaults: 100 Mbps, 100 µs latency, no loss. *)
+
+val attach : t -> endpoint -> unit
+val detach : t -> mac:string -> unit
+
+val inject : t -> string -> unit
+(** Put an encoded frame on the wire: charges transmission time, then
+    delivers to the destination MAC (or everyone, for the broadcast MAC
+    ["ff:ff:ff:ff:ff:ff"]). Unknown destinations are dropped. *)
+
+val resolve : t -> Addr.ip -> string option
+(** MAC for an attached IP (the stand-in for ARP); falls back to the
+    default route when set. *)
+
+val set_default_route : t -> mac:string -> unit
+(** Deliver frames for unknown IPs to this endpoint (a gateway). *)
+
+val frames_sent : t -> int
+val frames_dropped : t -> int
+val bytes_sent : t -> int

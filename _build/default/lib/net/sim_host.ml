@@ -1,0 +1,97 @@
+type service = {
+  port : Addr.port;
+  mutable conns : Stack.conn list;
+  on_data : t -> Stack.conn -> string -> unit;
+  on_eof : t -> Stack.conn -> unit;
+}
+
+and t = {
+  stack : Stack.t;
+  mutable services : service list;
+  sink_buf : Buffer.t;
+}
+
+let stack t = t.stack
+let ip t = Stack.ip t.stack
+
+let poll t =
+  List.iter
+    (fun svc ->
+      (match Stack.accept t.stack ~port:svc.port with
+      | Some c -> svc.conns <- c :: svc.conns
+      | None -> ());
+      List.iter
+        (fun c ->
+          let data = Stack.recv c in
+          if String.length data > 0 then svc.on_data t c data;
+          if Stack.recv_eof c then begin
+            svc.on_eof t c;
+            svc.conns <- List.filter (fun c' -> c' != c) svc.conns
+          end)
+        svc.conns)
+    t.services
+
+let create ~hub ~clock ~ip ~mac () =
+  let send = Hub.inject hub in
+  let resolve a = Hub.resolve hub a in
+  let stack =
+    Stack.create ~mac ~ip:(Addr.ip_of_string ip) ~send ~resolve ~clock ()
+  in
+  let t = { stack; services = []; sink_buf = Buffer.create 64 } in
+  Hub.attach hub
+    {
+      Hub.ep_mac = mac;
+      ep_ip = Addr.ip_of_string ip;
+      ep_deliver =
+        (fun frame ->
+          Stack.input stack frame;
+          Stack.tick stack;
+          poll t);
+    };
+  t
+
+let add_service t svc =
+  Stack.listen t.stack ~port:svc.port;
+  t.services <- svc :: t.services
+
+let serve t ~port ~on_data ~on_eof =
+  add_service t
+    {
+      port;
+      conns = [];
+      on_data = (fun _t c data -> on_data c data);
+      on_eof = (fun _t c -> on_eof c);
+    }
+
+let serve_file t ~port ~content =
+  add_service t
+    {
+      port;
+      conns = [];
+      on_data =
+        (fun _t c _request ->
+          (* any request line triggers the response *)
+          Stack.send c content;
+          Stack.close c);
+      on_eof = (fun _t c -> Stack.close c);
+    }
+
+let echo t ~port =
+  add_service t
+    {
+      port;
+      conns = [];
+      on_data = (fun _t c data -> Stack.send c data);
+      on_eof = (fun _t c -> Stack.close c);
+    }
+
+let sink t ~port =
+  add_service t
+    {
+      port;
+      conns = [];
+      on_data = (fun t _c data -> Buffer.add_string t.sink_buf data);
+      on_eof = (fun _t c -> Stack.close c);
+    }
+
+let sink_data t = Buffer.contents t.sink_buf

@@ -1,0 +1,39 @@
+(** Simulated internet hosts: standalone endpoints on the {!Hub} that
+    run a {!Stack} outside any HiStar kernel. They stand in for the
+    paper's external machines (the wget server, the attacker's drop
+    box, VPN peers). Host logic runs inline on frame delivery. *)
+
+type t
+
+val create :
+  hub:Hub.t ->
+  clock:Histar_util.Sim_clock.t ->
+  ip:string ->
+  mac:string ->
+  unit ->
+  t
+
+val stack : t -> Stack.t
+val ip : t -> Addr.ip
+
+val serve :
+  t ->
+  port:Addr.port ->
+  on_data:(Stack.conn -> string -> unit) ->
+  on_eof:(Stack.conn -> unit) ->
+  unit
+(** Generic service: [on_data]/[on_eof] run inline as frames arrive. *)
+
+val serve_file : t -> port:Addr.port -> content:string -> unit
+(** A minimal HTTP-like file server: on each connection, reads a
+    request line ["GET"], streams [content], then closes. *)
+
+val echo : t -> port:Addr.port -> unit
+(** Echoes everything it receives, closing when the peer closes. *)
+
+val sink : t -> port:Addr.port -> unit
+(** Accepts connections and discards data — the attacker's drop box.
+    Everything received is recorded in {!sink_data}. *)
+
+val sink_data : t -> string
+(** All bytes ever received by {!sink} listeners. *)

@@ -1,0 +1,387 @@
+module Sim_clock = Histar_util.Sim_clock
+open Packet
+
+let mss = 1460
+let window_bytes = 65_535
+let rto_ns = 200_000_000L (* 200 ms *)
+
+type conn_state =
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait
+  | Close_wait
+  | Closed
+
+type conn = {
+  stack : t;
+  local_port : Addr.port;
+  remote : Addr.t;
+  mutable cstate : conn_state;
+  mutable snd_nxt : int;  (** next sequence number to send *)
+  mutable snd_una : int;  (** oldest unacknowledged *)
+  mutable rcv_nxt : int;
+  txq : Buffer.t;  (** bytes not yet segmented *)
+  mutable inflight : (int * string) list;  (** (seq, payload), oldest first *)
+  rxq : Buffer.t;
+  mutable fin_received : bool;
+  mutable fin_sent : bool;
+  mutable rto_deadline : int64;
+}
+
+and t = {
+  smac : string;
+  sip : Addr.ip;
+  send_frame : string -> unit;
+  resolve : Addr.ip -> string option;
+  clock : Sim_clock.t;
+  conns : (int * Addr.ip * Addr.port, conn) Hashtbl.t;
+      (** keyed by (local port, remote ip, remote port) *)
+  listeners : (Addr.port, conn Queue.t) Hashtbl.t;
+  udp_ports : (Addr.port, (Addr.t * string) Queue.t) Hashtbl.t;
+  mutable next_port : int;
+  mutable segments_sent : int;
+  mutable segments_retransmitted : int;
+}
+
+let create ~mac ~ip ~send ~resolve ~clock () =
+  {
+    smac = mac;
+    sip = ip;
+    send_frame = send;
+    resolve;
+    clock;
+    conns = Hashtbl.create 16;
+    listeners = Hashtbl.create 8;
+    udp_ports = Hashtbl.create 8;
+    next_port = 32_768;
+    segments_sent = 0;
+    segments_retransmitted = 0;
+  }
+
+let mac t = t.smac
+let ip t = t.sip
+let segments_sent t = t.segments_sent
+let segments_retransmitted t = t.segments_retransmitted
+
+let conn_key c = (c.local_port, c.remote.Addr.ip, c.remote.Addr.port)
+
+let emit_tcp t ~dst_ip ~tcp =
+  match t.resolve dst_ip with
+  | None -> () (* unreachable host: silently dropped, like a dead ARP *)
+  | Some dst_mac ->
+      t.segments_sent <- t.segments_sent + 1;
+      t.send_frame
+        (frame_to_bytes
+           {
+             src_mac = t.smac;
+             dst_mac;
+             ip = { src_ip = t.sip; dst_ip; proto = Tcp tcp };
+           })
+
+let send_seg c ?(payload = "") ?(flags = no_flags) ~seq () =
+  emit_tcp c.stack ~dst_ip:c.remote.Addr.ip
+    ~tcp:
+      {
+        src_port = c.local_port;
+        dst_port = c.remote.Addr.port;
+        seq;
+        ack_no = c.rcv_nxt;
+        flags;
+        window = window_bytes;
+        payload;
+      }
+
+let send_ack c = send_seg c ~flags:{ no_flags with ack = true } ~seq:c.snd_nxt ()
+
+let arm_rto c =
+  c.rto_deadline <- Int64.add (Sim_clock.now_ns c.stack.clock) rto_ns
+
+let inflight_bytes c =
+  List.fold_left (fun acc (_, p) -> acc + String.length p) 0 c.inflight
+
+let bytes_in_flight = inflight_bytes
+
+(* Segment pending bytes from the tx queue into the window. Fin_wait
+   still drains: close() with queued data must deliver it all before
+   the FIN goes out. *)
+let pump c =
+  match c.cstate with
+  | Established | Close_wait | Fin_wait ->
+      let progress = ref false in
+      while
+        Buffer.length c.txq > 0 && inflight_bytes c + mss <= window_bytes
+      do
+        let take = min mss (Buffer.length c.txq) in
+        let payload = Buffer.sub c.txq 0 take in
+        let rest = Buffer.sub c.txq take (Buffer.length c.txq - take) in
+        Buffer.clear c.txq;
+        Buffer.add_string c.txq rest;
+        let seq = c.snd_nxt in
+        c.snd_nxt <- c.snd_nxt + take;
+        c.inflight <- c.inflight @ [ (seq, payload) ];
+        send_seg c ~payload ~flags:{ no_flags with ack = true } ~seq ();
+        progress := true
+      done;
+      if !progress then arm_rto c
+  | Syn_sent | Syn_received | Closed -> ()
+
+let maybe_send_fin c =
+  if
+    (not c.fin_sent)
+    && Buffer.length c.txq = 0
+    && c.inflight = []
+    && (c.cstate = Fin_wait || (c.cstate = Close_wait && c.fin_received))
+  then begin
+    c.fin_sent <- true;
+    let seq = c.snd_nxt in
+    c.snd_nxt <- c.snd_nxt + 1;
+    send_seg c ~flags:{ no_flags with fin = true; ack = true } ~seq ();
+    arm_rto c
+  end
+
+let mk_conn stack ~local_port ~remote ~cstate ~isn ~rcv_nxt =
+  {
+    stack;
+    local_port;
+    remote;
+    cstate;
+    snd_nxt = isn;
+    snd_una = isn;
+    rcv_nxt;
+    txq = Buffer.create 256;
+    inflight = [];
+    rxq = Buffer.create 256;
+    fin_received = false;
+    fin_sent = false;
+    rto_deadline = Int64.max_int;
+  }
+
+(* ----- public TCP API ----- *)
+
+let listen t ~port =
+  if not (Hashtbl.mem t.listeners port) then
+    Hashtbl.replace t.listeners port (Queue.create ())
+
+let unlisten t ~port = Hashtbl.remove t.listeners port
+
+let accept t ~port =
+  match Hashtbl.find_opt t.listeners port with
+  | None -> None
+  | Some q -> Queue.take_opt q
+
+let fresh_port t =
+  let p = t.next_port in
+  t.next_port <- t.next_port + 1;
+  p
+
+let connect t ~dst =
+  let local_port = fresh_port t in
+  let isn = 1000 in
+  let c = mk_conn t ~local_port ~remote:dst ~cstate:Syn_sent ~isn ~rcv_nxt:0 in
+  Hashtbl.replace t.conns (conn_key c) c;
+  send_seg c ~flags:{ no_flags with syn = true } ~seq:isn ();
+  c.snd_nxt <- isn + 1;
+  arm_rto c;
+  c
+
+let state c = c.cstate
+let peer c = c.remote
+
+let send c data =
+  (match c.cstate with
+  | Closed | Fin_wait -> invalid_arg "Stack.send: connection closing"
+  | Syn_sent | Syn_received | Established | Close_wait -> ());
+  Buffer.add_string c.txq data;
+  pump c
+
+let recv c =
+  let data = Buffer.contents c.rxq in
+  Buffer.clear c.rxq;
+  data
+
+let recv_eof c = c.fin_received && Buffer.length c.rxq = 0
+
+let close c =
+  match c.cstate with
+  | Closed -> ()
+  | Syn_sent | Syn_received ->
+      c.cstate <- Closed;
+      Hashtbl.remove c.stack.conns (conn_key c)
+  | Established ->
+      c.cstate <- Fin_wait;
+      maybe_send_fin c
+  | Close_wait ->
+      maybe_send_fin c
+  | Fin_wait -> ()
+
+(* ----- input processing ----- *)
+
+let handle_ack c ack_no =
+  if ack_no > c.snd_una then begin
+    c.snd_una <- ack_no;
+    c.inflight <-
+      List.filter (fun (seq, p) -> seq + String.length p > ack_no) c.inflight;
+    if c.inflight = [] then c.rto_deadline <- Int64.max_int else arm_rto c;
+    pump c;
+    maybe_send_fin c;
+    (* If both sides have finished, reap. *)
+    if c.fin_sent && c.fin_received && c.inflight = [] && ack_no >= c.snd_nxt
+    then begin
+      c.cstate <- Closed;
+      Hashtbl.remove c.stack.conns (conn_key c)
+    end
+  end
+
+let handle_tcp t ~src_ip (seg : tcp) =
+  let key = (seg.dst_port, src_ip, seg.src_port) in
+  match Hashtbl.find_opt t.conns key with
+  | Some c -> (
+      if seg.flags.rst then begin
+        c.cstate <- Closed;
+        Hashtbl.remove t.conns key
+      end
+      else
+        match c.cstate with
+        | Syn_sent when seg.flags.syn && seg.flags.ack ->
+            c.rcv_nxt <- seg.seq + 1;
+            c.cstate <- Established;
+            c.rto_deadline <- Int64.max_int;
+            send_ack c;
+            pump c
+        | Syn_received when seg.flags.ack ->
+            c.cstate <- Established;
+            c.rto_deadline <- Int64.max_int;
+            (match Hashtbl.find_opt t.listeners c.local_port with
+            | Some q -> Queue.push c q
+            | None -> ());
+            handle_ack c seg.ack_no
+        | Established | Fin_wait | Close_wait | Syn_sent | Syn_received -> (
+            if seg.flags.ack then handle_ack c seg.ack_no;
+            (* in-order data *)
+            if String.length seg.payload > 0 then
+              if seg.seq = c.rcv_nxt then begin
+                Buffer.add_string c.rxq seg.payload;
+                c.rcv_nxt <- c.rcv_nxt + String.length seg.payload;
+                send_ack c
+              end
+              else send_ack c (* dup or out-of-order: re-ack *);
+            if seg.flags.fin && seg.seq = c.rcv_nxt then begin
+              c.rcv_nxt <- c.rcv_nxt + 1;
+              c.fin_received <- true;
+              (match c.cstate with
+              | Established -> c.cstate <- Close_wait
+              | Fin_wait | Close_wait | Syn_sent | Syn_received | Closed -> ());
+              send_ack c;
+              maybe_send_fin c;
+              if c.fin_sent && c.inflight = [] && c.snd_una >= c.snd_nxt then begin
+                c.cstate <- Closed;
+                Hashtbl.remove t.conns (conn_key c)
+              end
+            end)
+        | Closed -> ())
+  | None ->
+      if seg.flags.syn && not seg.flags.ack then (
+        (* new connection attempt *)
+        match Hashtbl.find_opt t.listeners seg.dst_port with
+        | Some _q ->
+            let remote = { Addr.ip = src_ip; port = seg.src_port } in
+            let c =
+              mk_conn t ~local_port:seg.dst_port ~remote ~cstate:Syn_received
+                ~isn:2000 ~rcv_nxt:(seg.seq + 1)
+            in
+            Hashtbl.replace t.conns (conn_key c) c;
+            send_seg c ~flags:{ no_flags with syn = true; ack = true } ~seq:2000
+              ();
+            c.snd_nxt <- 2001;
+            c.snd_una <- 2000;
+            arm_rto c
+        | None ->
+            (* closed port: RST *)
+            emit_tcp t ~dst_ip:src_ip
+              ~tcp:
+                {
+                  src_port = seg.dst_port;
+                  dst_port = seg.src_port;
+                  seq = 0;
+                  ack_no = seg.seq + 1;
+                  flags = { no_flags with rst = true; ack = true };
+                  window = 0;
+                  payload = "";
+                })
+
+let input t bytes =
+  match frame_of_bytes bytes with
+  | None -> ()
+  | Some f ->
+      if f.ip.dst_ip = t.sip then (
+        match f.ip.proto with
+        | Tcp seg -> handle_tcp t ~src_ip:f.ip.src_ip seg
+        | Udp u -> (
+            match Hashtbl.find_opt t.udp_ports u.udst_port with
+            | Some q ->
+                Queue.push
+                  ({ Addr.ip = f.ip.src_ip; port = u.usrc_port }, u.upayload)
+                  q
+            | None -> ()))
+
+let tick t =
+  let now = Sim_clock.now_ns t.clock in
+  Hashtbl.iter
+    (fun _ c ->
+      if Int64.compare now c.rto_deadline >= 0 then begin
+        (* go-back-N: retransmit everything outstanding *)
+        (match c.cstate with
+        | Syn_sent ->
+            t.segments_retransmitted <- t.segments_retransmitted + 1;
+            send_seg c ~flags:{ no_flags with syn = true } ~seq:(c.snd_una) ()
+        | Syn_received ->
+            t.segments_retransmitted <- t.segments_retransmitted + 1;
+            send_seg c
+              ~flags:{ no_flags with syn = true; ack = true }
+              ~seq:c.snd_una ()
+        | Established | Fin_wait | Close_wait ->
+            List.iter
+              (fun (seq, payload) ->
+                t.segments_retransmitted <- t.segments_retransmitted + 1;
+                send_seg c ~payload ~flags:{ no_flags with ack = true } ~seq ())
+              c.inflight;
+            if c.fin_sent && c.inflight = [] then begin
+              t.segments_retransmitted <- t.segments_retransmitted + 1;
+              send_seg c
+                ~flags:{ no_flags with fin = true; ack = true }
+                ~seq:(c.snd_nxt - 1) ()
+            end
+        | Closed -> ());
+        arm_rto c
+      end)
+    t.conns
+
+(* ----- UDP ----- *)
+
+let udp_bind t ~port =
+  if not (Hashtbl.mem t.udp_ports port) then
+    Hashtbl.replace t.udp_ports port (Queue.create ())
+
+let udp_send t ~dst payload =
+  match t.resolve dst.Addr.ip with
+  | None -> ()
+  | Some dst_mac ->
+      let usrc = fresh_port t in
+      t.send_frame
+        (frame_to_bytes
+           {
+             src_mac = t.smac;
+             dst_mac;
+             ip =
+               {
+                 src_ip = t.sip;
+                 dst_ip = dst.Addr.ip;
+                 proto = Udp { usrc_port = usrc; udst_port = dst.Addr.port; upayload = payload };
+               };
+           })
+
+let udp_recv t ~port =
+  match Hashtbl.find_opt t.udp_ports port with
+  | None -> None
+  | Some q -> Queue.take_opt q

@@ -1,0 +1,78 @@
+(** A small TCP/IP stack — the stand-in for lwIP (§5.7).
+
+    The API is non-blocking and callback-free: callers feed incoming
+    frames with {!input}, drive retransmission timers with {!tick}, and
+    poll sockets. Blocking semantics are layered on top (netd uses the
+    scheduler; tests and simulated internet hosts poll).
+
+    TCP here is a compact but real protocol: three-way handshake,
+    cumulative acknowledgements, a fixed receive window with MSS-sized
+    segments, go-back-N retransmission on timeout, and FIN teardown.
+    Out-of-order segments are dropped (the hub delivers in order;
+    drops only occur under injected loss, which retransmission
+    recovers). *)
+
+type t
+
+val create :
+  mac:string ->
+  ip:Addr.ip ->
+  send:(string -> unit) ->
+  resolve:(Addr.ip -> string option) ->
+  clock:Histar_util.Sim_clock.t ->
+  unit ->
+  t
+
+val mac : t -> string
+val ip : t -> Addr.ip
+
+val input : t -> string -> unit
+(** Process one received (encoded) frame. *)
+
+val tick : t -> unit
+(** Run timers: retransmit anything unacknowledged past its deadline. *)
+
+(** {1 TCP} *)
+
+type conn
+
+type conn_state =
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait
+  | Close_wait
+  | Closed
+
+val listen : t -> port:Addr.port -> unit
+val unlisten : t -> port:Addr.port -> unit
+
+val accept : t -> port:Addr.port -> conn option
+(** Next fully-established connection on a listening port, if any. *)
+
+val connect : t -> dst:Addr.t -> conn
+val state : conn -> conn_state
+val peer : conn -> Addr.t
+
+val send : conn -> string -> unit
+(** Enqueue bytes on an established (or establishing) connection. *)
+
+val recv : conn -> string
+(** Drain whatever has arrived (possibly [""]). *)
+
+val recv_eof : conn -> bool
+(** The peer has sent FIN and all data has been drained. *)
+
+val close : conn -> unit
+val bytes_in_flight : conn -> int
+
+(** {1 UDP} *)
+
+val udp_bind : t -> port:Addr.port -> unit
+val udp_send : t -> dst:Addr.t -> string -> unit
+val udp_recv : t -> port:Addr.port -> (Addr.t * string) option
+
+(** {1 Stats} *)
+
+val segments_sent : t -> int
+val segments_retransmitted : t -> int

@@ -1,0 +1,1 @@
+lib/store/extent_alloc.ml: Histar_btree Histar_util Int64

@@ -1,0 +1,1 @@
+lib/store/extent_alloc.mli: Histar_util

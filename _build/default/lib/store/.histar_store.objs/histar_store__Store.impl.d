@@ -1,0 +1,1 @@
+lib/store/store.ml: Extent_alloc Hashtbl Histar_btree Histar_disk Histar_util Histar_wal Int64 List Option String

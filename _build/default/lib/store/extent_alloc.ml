@@ -1,0 +1,140 @@
+module Bptree = Histar_btree.Bptree
+
+type t = {
+  by_size : Bptree.t;  (** key = size<<32 | start, value = start *)
+  by_loc : Bptree.t;  (** key = start, value = size *)
+}
+
+(* Packing requires starts and sizes below 2^32 sectors; the simulated
+   disk is 40 GB = ~78M sectors, far inside the bound. *)
+let size_key ~sectors ~start =
+  assert (sectors > 0 && sectors < 0x1_0000_0000);
+  assert (start >= 0 && start < 0x1_0000_0000);
+  Int64.logor
+    (Int64.shift_left (Int64.of_int sectors) 32)
+    (Int64.of_int start)
+
+let create () = { by_size = Bptree.create (); by_loc = Bptree.create () }
+
+let insert_extent t ~start ~sectors =
+  Bptree.insert t.by_loc (Int64.of_int start) (Int64.of_int sectors);
+  Bptree.insert t.by_size (size_key ~sectors ~start) (Int64.of_int start)
+
+let remove_extent t ~start ~sectors =
+  let ok1 = Bptree.remove t.by_loc (Int64.of_int start) in
+  let ok2 = Bptree.remove t.by_size (size_key ~sectors ~start) in
+  assert (ok1 && ok2)
+
+let free t ~start ~sectors =
+  if sectors <= 0 then invalid_arg "Extent_alloc.free: empty extent";
+  (* Detect double-free / overlap with the by-location tree. *)
+  (match Bptree.find_leq t.by_loc (Int64.of_int start) with
+  | Some (s, len)
+    when Int64.to_int s + Int64.to_int len > start ->
+      failwith "Extent_alloc.free: overlaps an already-free extent"
+  | Some _ | None -> ());
+  (match Bptree.find_gt t.by_loc (Int64.of_int start) with
+  | Some (s, _) when Int64.to_int s < start + sectors ->
+      failwith "Extent_alloc.free: overlaps an already-free extent"
+  | Some _ | None -> ());
+  (* Coalesce with the predecessor if it abuts. *)
+  let start, sectors =
+    match Bptree.find_lt t.by_loc (Int64.of_int start) with
+    | Some (s, len)
+      when Int64.to_int s + Int64.to_int len = start ->
+        let s = Int64.to_int s and len = Int64.to_int len in
+        remove_extent t ~start:s ~sectors:len;
+        (s, len + sectors)
+    | Some _ | None -> (start, sectors)
+  in
+  (* Coalesce with the successor if it abuts. *)
+  let sectors =
+    match Bptree.find_geq t.by_loc (Int64.of_int (start + sectors)) with
+    | Some (s, len) when Int64.to_int s = start + sectors ->
+        let len = Int64.to_int len in
+        remove_extent t ~start:(start + sectors) ~sectors:len;
+        sectors + len
+    | Some _ | None -> sectors
+  in
+  insert_extent t ~start ~sectors
+
+let add_region t ~start ~sectors = free t ~start ~sectors
+
+let alloc t ~sectors =
+  if sectors <= 0 then invalid_arg "Extent_alloc.alloc: empty request";
+  match Bptree.find_geq t.by_size (size_key ~sectors ~start:0) with
+  | None -> None
+  | Some (key, start) ->
+      let ext_sectors = Int64.to_int (Int64.shift_right_logical key 32) in
+      let start = Int64.to_int start in
+      remove_extent t ~start ~sectors:ext_sectors;
+      if ext_sectors > sectors then
+        insert_extent t ~start:(start + sectors) ~sectors:(ext_sectors - sectors);
+      Some start
+
+let free_sectors t =
+  Bptree.fold (fun acc _ len -> acc + Int64.to_int len) 0 t.by_loc
+
+let extent_count t = Bptree.cardinal t.by_loc
+
+let largest_extent t =
+  match Bptree.max_binding t.by_size with
+  | None -> 0
+  | Some (key, _) -> Int64.to_int (Int64.shift_right_logical key 32)
+
+let check_invariants t =
+  Bptree.check_invariants t.by_loc;
+  Bptree.check_invariants t.by_size;
+  if Bptree.cardinal t.by_loc <> Bptree.cardinal t.by_size then
+    failwith "Extent_alloc: tree cardinality mismatch";
+  let prev_end = ref (-1) in
+  Bptree.iter
+    (fun start len ->
+      let start = Int64.to_int start and len = Int64.to_int len in
+      if len <= 0 then failwith "Extent_alloc: empty extent";
+      if start <= !prev_end then failwith "Extent_alloc: overlap/abut not coalesced";
+      if start = !prev_end + 1 && !prev_end >= 0 then ();
+      (* abutting means start = prev_end exactly (end-exclusive) *)
+      if not (Bptree.mem t.by_size (size_key ~sectors:len ~start)) then
+        failwith "Extent_alloc: extent missing from by-size tree";
+      prev_end := start + len - 1)
+    t.by_loc;
+  (* also verify no abutting pairs (should have been coalesced) *)
+  let last = ref None in
+  Bptree.iter
+    (fun start len ->
+      let start = Int64.to_int start and len = Int64.to_int len in
+      (match !last with
+      | Some (s, l) when s + l = start ->
+          failwith "Extent_alloc: abutting extents not coalesced"
+      | Some _ | None -> ());
+      last := Some (start, len))
+    t.by_loc
+
+let copy t =
+  let t' = create () in
+  Bptree.iter
+    (fun start len ->
+      insert_extent t' ~start:(Int64.to_int start) ~sectors:(Int64.to_int len))
+    t.by_loc;
+  t'
+
+let encode enc t =
+  let module E = Histar_util.Codec.Enc in
+  E.u32 enc (Bptree.cardinal t.by_loc);
+  Bptree.iter
+    (fun start len ->
+      E.i64 enc start;
+      E.i64 enc len)
+    t.by_loc
+
+let decode dec =
+  let module D = Histar_util.Codec.Dec in
+  let t = create () in
+  let n = D.u32 dec in
+  for _ = 1 to n do
+    let start = Int64.to_int (D.i64 dec) in
+    let len = Int64.to_int (D.i64 dec) in
+    insert_extent t ~start ~sectors:len
+  done;
+  t

@@ -1,0 +1,430 @@
+module Disk = Histar_disk.Disk
+module Wal = Histar_wal.Wal
+module Bptree = Histar_btree.Bptree
+module Codec = Histar_util.Codec
+module Checksum = Histar_util.Checksum
+
+let store_magic = 0x48695374L (* "HiSt" *)
+let object_magic = 0x4F424A31 (* "OBJ1" *)
+
+type stats = {
+  mutable checkpoints : int;
+  mutable wal_commits : int;
+  mutable wal_records : int;
+  mutable log_applies : int;
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+type t = {
+  disk : Disk.t;
+  wal : Wal.t;
+  wal_sectors : int;
+  apply_threshold : int;
+  sector_bytes : int;
+  object_map : Bptree.t;  (** oid → packed (start << 24 | sector count) *)
+  alloc : Extent_alloc.t;
+  dirty : (int64, string option) Hashtbl.t;
+      (** pending updates; [None] means deletion *)
+  cache : (int64, string) Hashtbl.t;  (** clean read cache *)
+  stats : stats;
+  mutable generation : int64;
+  mutable checkpoint_extent : (int * int) option;  (** start, sectors *)
+}
+
+let wal_start = 1
+let default_wal_sectors = 65_536
+let pack ~start ~sectors = Int64.logor (Int64.shift_left (Int64.of_int start) 24) (Int64.of_int sectors)
+
+let unpack v =
+  let start = Int64.to_int (Int64.shift_right_logical v 24) in
+  let sectors = Int64.to_int (Int64.logand v 0xFF_FFFFL) in
+  (start, sectors)
+
+let fresh_stats () =
+  {
+    checkpoints = 0;
+    wal_commits = 0;
+    wal_records = 0;
+    log_applies = 0;
+    cache_hits = 0;
+    cache_misses = 0;
+  }
+
+let sectors_for t bytes = (bytes + t.sector_bytes - 1) / t.sector_bytes
+
+(* ---------- object images ---------- *)
+
+(* Image: magic u32, byte length u32, checksum i64, payload, padding. *)
+let object_image t payload =
+  let e = Codec.Enc.create () in
+  Codec.Enc.u32 e object_magic;
+  Codec.Enc.u32 e (String.length payload);
+  Codec.Enc.i64 e (Checksum.fnv64 payload);
+  Codec.Enc.raw e payload;
+  let body = Codec.Enc.to_string e in
+  let padded = sectors_for t (String.length body) * t.sector_bytes in
+  body ^ String.make (padded - String.length body) '\000'
+
+let parse_object_image image =
+  let d = Codec.Dec.of_string image in
+  let m = Codec.Dec.u32 d in
+  if m <> object_magic then failwith "Store: bad object magic";
+  let len = Codec.Dec.u32 d in
+  let sum = Codec.Dec.i64 d in
+  let payload = Codec.Dec.raw d len in
+  if not (Int64.equal (Checksum.fnv64 payload) sum) then
+    failwith "Store: object checksum mismatch";
+  payload
+
+(* ---------- superblock ---------- *)
+
+let superblock_image t =
+  let e = Codec.Enc.create () in
+  Codec.Enc.i64 e store_magic;
+  Codec.Enc.i64 e t.generation;
+  Codec.Enc.u32 e t.apply_threshold;
+  Codec.Enc.u32 e t.wal_sectors;
+  (match t.checkpoint_extent with
+  | None ->
+      Codec.Enc.bool e false;
+      Codec.Enc.u32 e 0;
+      Codec.Enc.u32 e 0
+  | Some (start, sectors) ->
+      Codec.Enc.bool e true;
+      Codec.Enc.u32 e start;
+      Codec.Enc.u32 e sectors);
+  let body = Codec.Enc.to_string e in
+  body ^ String.make (t.sector_bytes - String.length body) '\000'
+
+let write_superblock t =
+  Disk.write t.disk ~sector:0 (superblock_image t);
+  Disk.flush t.disk
+
+(* ---------- WAL records ---------- *)
+
+let wal_record ~oid update =
+  let e = Codec.Enc.create () in
+  (match update with
+  | Some payload ->
+      Codec.Enc.u8 e 1;
+      Codec.Enc.i64 e oid;
+      Codec.Enc.str e payload
+  | None ->
+      Codec.Enc.u8 e 2;
+      Codec.Enc.i64 e oid);
+  Codec.Enc.to_string e
+
+let parse_wal_record payload =
+  let d = Codec.Dec.of_string payload in
+  match Codec.Dec.u8 d with
+  | 1 ->
+      let oid = Codec.Dec.i64 d in
+      let data = Codec.Dec.str d in
+      (oid, Some data)
+  | 2 -> (Codec.Dec.i64 d, None)
+  | _ -> failwith "Store: unknown WAL record tag"
+
+(* ---------- construction ---------- *)
+
+let format ~disk ?(wal_sectors = default_wal_sectors) ?(apply_threshold = 1000)
+    () =
+  let geometry = Disk.geometry disk in
+  let wal = Wal.format ~disk ~start:wal_start ~sectors:wal_sectors in
+  let alloc = Extent_alloc.create () in
+  let data_start = wal_start + wal_sectors in
+  Extent_alloc.add_region alloc ~start:data_start
+    ~sectors:(geometry.Disk.sectors - data_start);
+  let t =
+    {
+      disk;
+      wal;
+      wal_sectors;
+      apply_threshold;
+      sector_bytes = geometry.Disk.sector_bytes;
+      object_map = Bptree.create ();
+      alloc;
+      dirty = Hashtbl.create 256;
+      cache = Hashtbl.create 256;
+      stats = fresh_stats ();
+      generation = 0L;
+      checkpoint_extent = None;
+    }
+  in
+  write_superblock t;
+  t
+
+(* ---------- reads ---------- *)
+
+let read_from_home t oid =
+  match Bptree.find t.object_map oid with
+  | None -> None
+  | Some packed ->
+      let start, sectors = unpack packed in
+      let image = Disk.read t.disk ~sector:start ~count:sectors in
+      Some (parse_object_image image)
+
+let get t ~oid =
+  match Hashtbl.find_opt t.dirty oid with
+  | Some update -> update
+  | None -> (
+      match Hashtbl.find_opt t.cache oid with
+      | Some payload ->
+          t.stats.cache_hits <- t.stats.cache_hits + 1;
+          Some payload
+      | None -> (
+          t.stats.cache_misses <- t.stats.cache_misses + 1;
+          match read_from_home t oid with
+          | Some payload ->
+              Hashtbl.replace t.cache oid payload;
+              Some payload
+          | None -> None))
+
+let mem t ~oid = Option.is_some (get t ~oid)
+
+(* ---------- writes ---------- *)
+
+let put t ~oid payload =
+  Hashtbl.replace t.dirty oid (Some payload);
+  Hashtbl.remove t.cache oid
+
+let delete t ~oid =
+  let persistent = Bptree.mem t.object_map oid in
+  if persistent then Hashtbl.replace t.dirty oid None
+  else Hashtbl.remove t.dirty oid;
+  Hashtbl.remove t.cache oid
+
+(* ---------- checkpoint ---------- *)
+
+let encode_metadata ~object_map ~alloc =
+  let e = Codec.Enc.create () in
+  Bptree.encode e object_map;
+  Extent_alloc.encode e alloc;
+  let body = Codec.Enc.to_string e in
+  let e2 = Codec.Enc.create () in
+  Codec.Enc.i64 e2 (Checksum.fnv64 body);
+  Codec.Enc.str e2 body;
+  Codec.Enc.to_string e2
+
+(* Crash atomicity: until the new superblock is durable, nothing that
+   the *previous* snapshot references may be overwritten. New object
+   images and the new metadata image therefore come from free space
+   only; extents vacated by this checkpoint are collected in [to_free]
+   and returned to the allocator last. The metadata image must describe
+   the post-free allocator, so it encodes a copy with the deferred
+   frees already applied. *)
+let checkpoint t =
+  t.stats.checkpoints <- t.stats.checkpoints + 1;
+  let to_free = ref [] in
+  (* Write dirty objects to fresh home locations, in oid order for
+     locality. *)
+  let dirty = Hashtbl.fold (fun oid u acc -> (oid, u) :: acc) t.dirty [] in
+  let dirty = List.sort (fun (a, _) (b, _) -> Int64.compare a b) dirty in
+  List.iter
+    (fun (oid, update) ->
+      (match Bptree.find t.object_map oid with
+      | Some packed ->
+          to_free := unpack packed :: !to_free;
+          ignore (Bptree.remove t.object_map oid)
+      | None -> ());
+      match update with
+      | None -> ()
+      | Some payload -> (
+          let image = object_image t payload in
+          let sectors = String.length image / t.sector_bytes in
+          match Extent_alloc.alloc t.alloc ~sectors with
+          | None -> failwith "Store: disk full"
+          | Some start ->
+              Disk.write t.disk ~sector:start image;
+              Bptree.insert t.object_map oid (pack ~start ~sectors);
+              Hashtbl.replace t.cache oid payload))
+    dirty;
+  Hashtbl.reset t.dirty;
+  (match t.checkpoint_extent with
+  | Some (start, sectors) -> to_free := (start, sectors) :: !to_free
+  | None -> ());
+  t.checkpoint_extent <- None;
+  (* The encoded allocator = live allocator + deferred frees + the
+     metadata extent itself removed. Allocate the extent first (sized
+     against the pre-free encoding plus slack: frees only shrink the
+     encoding by coalescing, and the allocation itself perturbs it by
+     at most one split). *)
+  let future_alloc () =
+    let a = Extent_alloc.copy t.alloc in
+    List.iter (fun (start, sectors) -> Extent_alloc.free a ~start ~sectors) !to_free;
+    a
+  in
+  let estimate =
+    String.length (encode_metadata ~object_map:t.object_map ~alloc:(future_alloc ()))
+  in
+  let sectors = sectors_for t estimate + 1 in
+  (match Extent_alloc.alloc t.alloc ~sectors with
+  | None -> failwith "Store: disk full (checkpoint)"
+  | Some start ->
+      let body = encode_metadata ~object_map:t.object_map ~alloc:(future_alloc ()) in
+      assert (String.length body <= sectors * t.sector_bytes);
+      let pad = (sectors * t.sector_bytes) - String.length body in
+      Disk.write t.disk ~sector:start (body ^ String.make pad '\000');
+      t.checkpoint_extent <- Some (start, sectors));
+  Disk.flush t.disk;
+  t.generation <- Int64.add t.generation 1L;
+  write_superblock t;
+  (* The new snapshot is durable: vacated extents may now be reused. *)
+  List.iter (fun (start, sectors) -> Extent_alloc.free t.alloc ~start ~sectors) !to_free;
+  Wal.truncate t.wal
+
+(* ---------- sync (fsync path) ---------- *)
+
+let sync_oids t ~oids =
+  let append oid =
+    let update =
+      match Hashtbl.find_opt t.dirty oid with
+      | Some u -> u
+      | None -> get t ~oid
+    in
+    let record = wal_record ~oid update in
+    (try Wal.append t.wal record
+     with Wal.Log_full ->
+       t.stats.log_applies <- t.stats.log_applies + 1;
+       checkpoint t;
+       Wal.append t.wal record);
+    t.stats.wal_records <- t.stats.wal_records + 1
+  in
+  List.iter append oids;
+  Wal.commit t.wal;
+  t.stats.wal_commits <- t.stats.wal_commits + 1;
+  if Wal.committed_records t.wal >= t.apply_threshold then begin
+    t.stats.log_applies <- t.stats.log_applies + 1;
+    checkpoint t
+  end
+
+let sync_oid t ~oid = sync_oids t ~oids:[ oid ]
+
+(* In-place page flush (§7.1): when an object already has a home
+   location of the same size, force just the sectors covering
+   [off, off+len) (plus the header, whose checksum changes) without
+   logging or checkpointing. Falls back to the log when the object has
+   no home or changed size. *)
+let sync_range t ~oid ~off ~len =
+  match (Hashtbl.find_opt t.dirty oid, Bptree.find t.object_map oid) with
+  | Some (Some payload), Some packed ->
+      let image = object_image t payload in
+      let sectors = String.length image / t.sector_bytes in
+      let start, home_sectors = unpack packed in
+      if sectors <> home_sectors then sync_oid t ~oid
+      else begin
+        let sb = t.sector_bytes in
+        let header_bytes = 16 in
+        let first = (header_bytes + off) / sb in
+        let last = (header_bytes + off + max 0 (len - 1)) / sb in
+        let last = min last (sectors - 1) in
+        (* header sector (checksum + length) *)
+        Disk.write t.disk ~sector:start (String.sub image 0 sb);
+        Disk.write t.disk ~sector:(start + first)
+          (String.sub image (first * sb) ((last - first + 1) * sb));
+        Disk.flush t.disk;
+        (* the home copy is now current; the object is clean *)
+        Hashtbl.remove t.dirty oid;
+        Hashtbl.replace t.cache oid payload
+      end
+  | Some None, _ -> sync_oid t ~oid
+  | None, _ -> () (* already clean *)
+  | Some (Some _), None -> sync_oid t ~oid
+
+(* ---------- recovery ---------- *)
+
+let recover ~disk =
+  let geometry = Disk.geometry disk in
+  let sector_bytes = geometry.Disk.sector_bytes in
+  let sb = Disk.read disk ~sector:0 ~count:1 in
+  let d = Codec.Dec.of_string sb in
+  let m = Codec.Dec.i64 d in
+  if not (Int64.equal m store_magic) then
+    invalid_arg "Store.recover: no store on this disk";
+  let generation = Codec.Dec.i64 d in
+  let apply_threshold = Codec.Dec.u32 d in
+  let wal_sectors = Codec.Dec.u32 d in
+  let has_ckpt = Codec.Dec.bool d in
+  let ckpt_start = Codec.Dec.u32 d in
+  let ckpt_sectors = Codec.Dec.u32 d in
+  let object_map, alloc, checkpoint_extent =
+    if has_ckpt then begin
+      let image = Disk.read disk ~sector:ckpt_start ~count:ckpt_sectors in
+      let d = Codec.Dec.of_string image in
+      let sum = Codec.Dec.i64 d in
+      let body = Codec.Dec.str d in
+      if not (Int64.equal (Checksum.fnv64 body) sum) then
+        failwith "Store.recover: checkpoint checksum mismatch";
+      let d = Codec.Dec.of_string body in
+      let object_map = Bptree.decode d in
+      let alloc = Extent_alloc.decode d in
+      (object_map, alloc, Some (ckpt_start, ckpt_sectors))
+    end
+    else begin
+      let alloc = Extent_alloc.create () in
+      let data_start = wal_start + wal_sectors in
+      Extent_alloc.add_region alloc ~start:data_start
+        ~sectors:(geometry.Disk.sectors - data_start);
+      (Bptree.create (), alloc, None)
+    end
+  in
+  let wal, records = Wal.recover ~disk ~start:wal_start ~sectors:wal_sectors in
+  let t =
+    {
+      disk;
+      wal;
+      wal_sectors;
+      apply_threshold;
+      sector_bytes;
+      object_map;
+      alloc;
+      dirty = Hashtbl.create 256;
+      cache = Hashtbl.create 256;
+      stats = fresh_stats ();
+      generation;
+      checkpoint_extent;
+    }
+  in
+  List.iter
+    (fun payload ->
+      let oid, update = parse_wal_record payload in
+      match update with
+      | Some data -> put t ~oid data
+      | None -> delete t ~oid)
+    records;
+  t
+
+(* ---------- inspection ---------- *)
+
+let iter_oids t f =
+  let seen = Hashtbl.create 64 in
+  Hashtbl.iter
+    (fun oid update ->
+      Hashtbl.replace seen oid ();
+      match update with Some _ -> f oid | None -> ())
+    t.dirty;
+  Bptree.iter (fun oid _ -> if not (Hashtbl.mem seen oid) then f oid) t.object_map
+
+let object_count t =
+  let n = ref 0 in
+  iter_oids t (fun _ -> incr n);
+  !n
+
+let dirty_count t = Hashtbl.length t.dirty
+let drop_clean_cache t = Hashtbl.reset t.cache
+let stats t = t.stats
+let free_sectors t = Extent_alloc.free_sectors t.alloc
+
+let check_invariants t =
+  Extent_alloc.check_invariants t.alloc;
+  Bptree.check_invariants t.object_map;
+  (* No persistent object's extent may be marked free. This is implied
+     by allocator correctness; spot-check object map entries are
+     readable and checksum-clean. *)
+  Bptree.iter
+    (fun oid packed ->
+      let start, sectors = unpack packed in
+      if sectors <= 0 then failwith "Store: empty object extent";
+      if not (Hashtbl.mem t.dirty oid) then
+        ignore (parse_object_image (Disk.read t.disk ~sector:start ~count:sectors)))
+    t.object_map

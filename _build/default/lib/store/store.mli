@@ -1,0 +1,82 @@
+(** The single-level store (§3, §4).
+
+    All kernel objects live here; on bootup the entire system state is
+    restored from the most recent on-disk snapshot. The store keeps a
+    dirty set and a clean cache in memory:
+
+    - {!put}/{!delete} are memory-speed and become durable at the next
+      {!checkpoint} (the paper's whole-system snapshot / "group sync");
+    - {!sync_oid} makes one object durable immediately by committing a
+      record to the write-ahead log (the paper's fsync path); after
+      [apply_threshold] logged records the store applies the log by
+      checkpointing, matching the paper's "about once every 1,000
+      synchronous operations";
+    - {!recover} rebuilds the store from the snapshot plus the
+      committed log suffix after a crash.
+
+    Object payloads are opaque byte strings; the kernel serializes its
+    objects into them. Home locations come from the two-B+-tree extent
+    allocator; the object map is a third B+-tree, as in §4. *)
+
+type t
+
+val format :
+  disk:Histar_disk.Disk.t ->
+  ?wal_sectors:int ->
+  ?apply_threshold:int ->
+  unit ->
+  t
+(** Initialize an empty store on a disk. Default [wal_sectors] is
+    65536 (32 MB); default [apply_threshold] is 1000 records. *)
+
+val recover : disk:Histar_disk.Disk.t -> t
+(** Rebuild from the last snapshot and replay the committed log. *)
+
+val put : t -> oid:int64 -> string -> unit
+val get : t -> oid:int64 -> string option
+val mem : t -> oid:int64 -> bool
+
+val delete : t -> oid:int64 -> unit
+(** Removing an absent object is a no-op. *)
+
+val sync_oid : t -> oid:int64 -> unit
+(** Force this object (its current contents, or its deletion) to the
+    log and flush. *)
+
+val sync_oids : t -> oids:int64 list -> unit
+(** Like {!sync_oid} for several objects with a single commit (one
+    barrier) — the group-commit advantage of the log. *)
+
+val sync_range : t -> oid:int64 -> off:int -> len:int -> unit
+(** In-place page flush (§7.1): force only the sectors covering the
+    byte range to the object's existing home location — no log record,
+    no checkpoint. Falls back to {!sync_oid} when the object has no
+    same-size home copy. *)
+
+val checkpoint : t -> unit
+(** Whole-system snapshot: write every dirty object to its home
+    location, persist the object map and allocator, update the
+    superblock, truncate the log. *)
+
+val drop_clean_cache : t -> unit
+(** Evict clean cached objects (used by the uncached-read benchmarks).
+    Dirty objects are retained. *)
+
+val iter_oids : t -> (int64 -> unit) -> unit
+(** Every live object id (dirty or persistent), unordered. *)
+
+val object_count : t -> int
+val dirty_count : t -> int
+
+type stats = {
+  mutable checkpoints : int;
+  mutable wal_commits : int;
+  mutable wal_records : int;
+  mutable log_applies : int;  (** checkpoints forced by the log *)
+  mutable cache_hits : int;
+  mutable cache_misses : int;
+}
+
+val stats : t -> stats
+val free_sectors : t -> int
+val check_invariants : t -> unit

@@ -1,0 +1,1 @@
+lib/unixlib/dirseg.ml: Histar_core Histar_util Int64 List Mutex0 Printf String

@@ -1,0 +1,1 @@
+lib/unixlib/dirseg.mli: Histar_core Histar_label

@@ -1,0 +1,1 @@
+lib/unixlib/fs.ml: Dirseg Hashtbl Histar_core Histar_label Histar_util Int64 List Option Printf String

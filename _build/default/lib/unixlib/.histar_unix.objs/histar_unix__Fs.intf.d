@@ -1,0 +1,1 @@
+lib/unixlib/fs.mli: Dirseg Histar_core Histar_label

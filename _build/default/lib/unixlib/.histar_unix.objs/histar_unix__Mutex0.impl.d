@@ -1,0 +1,1 @@
+lib/unixlib/mutex0.ml: Histar_core

@@ -1,0 +1,1 @@
+lib/unixlib/mutex0.mli: Histar_core

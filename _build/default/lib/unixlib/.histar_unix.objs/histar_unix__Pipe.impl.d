@@ -1,0 +1,1 @@
+lib/unixlib/pipe.ml: Histar_core Histar_util Int64 Mutex0 String

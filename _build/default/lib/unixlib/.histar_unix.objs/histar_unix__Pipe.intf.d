@@ -1,0 +1,1 @@
+lib/unixlib/pipe.mli: Histar_core Histar_label

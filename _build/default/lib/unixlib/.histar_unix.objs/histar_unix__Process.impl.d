@@ -1,0 +1,1 @@
+lib/unixlib/process.ml: Buffer Fs Hashtbl Histar_core Histar_label Histar_util Int64 List Option Pipe Printf String

@@ -1,0 +1,1 @@
+lib/unixlib/process.mli: Buffer Fs Histar_core Histar_label

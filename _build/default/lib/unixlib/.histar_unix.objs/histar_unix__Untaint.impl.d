@@ -1,0 +1,1 @@
+lib/unixlib/untaint.ml: Fs Histar_core Histar_label Histar_util List

@@ -1,0 +1,1 @@
+lib/unixlib/untaint.mli: Fs Histar_core Histar_label

@@ -1,0 +1,1 @@
+lib/unixlib/users.mli: Fs Histar_core Histar_label Process

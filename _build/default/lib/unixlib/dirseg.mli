@@ -1,0 +1,35 @@
+(** Directory segments (§5.1).
+
+    Each directory container holds a special segment mapping file names
+    to object IDs. Updates take the directory mutex (a futex word at
+    offset 0) and bump a generation number (offset 8); readers that
+    cannot write the directory still obtain a consistent view by
+    re-reading the generation and busy flag around each parse. The
+    directory segment's object ID is recorded in the container's
+    64-byte metadata. *)
+
+type entry = { name : string; oid : Histar_core.Types.oid; is_dir : bool }
+
+val create :
+  dir:Histar_core.Types.oid -> label:Histar_label.Label.t -> Histar_core.Types.oid
+(** Create the directory segment inside container [dir], record its
+    oid in the container metadata, and return it. *)
+
+val of_dir : dir_entry:Histar_core.Types.centry -> Histar_core.Types.centry
+(** Locate the directory segment of a directory container. *)
+
+val entries : Histar_core.Types.centry -> entry list
+(** Consistent lock-free read (generation-checked). *)
+
+val lookup : Histar_core.Types.centry -> string -> entry option
+
+val add : Histar_core.Types.centry -> entry -> unit
+(** Takes the directory mutex; fails with [Invalid_argument] if the
+    name already exists. *)
+
+val remove : Histar_core.Types.centry -> string -> bool
+
+val rename : Histar_core.Types.centry -> src:string -> dst:string -> bool
+(** Atomic rename within one directory, as in §5.1. *)
+
+val generation : Histar_core.Types.centry -> int64

@@ -1,0 +1,34 @@
+(** Unix pipes, implemented entirely in user space on a shared segment
+    with a futex-guarded ring buffer — the substrate for the paper's
+    IPC benchmark (§7.1).
+
+    Segment layout: mutex word, read position, write position, live
+    writer count, then a fixed-capacity ring. Positions are monotonic;
+    readers sleep on the write-position futex, writers on the
+    read-position futex. *)
+
+type t
+
+val capacity : int
+
+val create :
+  container:Histar_core.Types.oid -> label:Histar_label.Label.t -> t
+(** Create the backing segment. The creating thread must be able to
+    write [container] and create at [label]. *)
+
+val of_entry : Histar_core.Types.centry -> t
+(** Re-open an existing pipe segment (e.g. in a child process). *)
+
+val entry : t -> Histar_core.Types.centry
+
+val write : t -> string -> unit
+(** Blocks while the ring is full. *)
+
+val read : t -> max:int -> string option
+(** Blocks while empty; [None] once all writers have closed and the
+    ring has drained. *)
+
+val add_writer : t -> unit
+(** Register one more writing endpoint (the creator counts as one). *)
+
+val close_writer : t -> unit

@@ -1,0 +1,1 @@
+lib/util/checksum.ml: Char Int64 String

@@ -1,0 +1,5 @@
+(** 64-bit FNV-1a checksum, used to validate write-ahead-log records and
+    checkpoint images after a crash. *)
+
+val fnv64 : string -> int64
+val fnv64_sub : string -> pos:int -> len:int -> int64

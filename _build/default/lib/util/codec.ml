@@ -1,0 +1,119 @@
+exception Truncated
+
+module Enc = struct
+  type t = Buffer.t
+
+  let create () = Buffer.create 256
+  let u8 b v = Buffer.add_char b (Char.chr (v land 0xff))
+
+  let u16 b v =
+    u8 b v;
+    u8 b (v lsr 8)
+
+  let u32 b v =
+    u16 b v;
+    u16 b (v lsr 16)
+
+  let i64 b v = Buffer.add_int64_le b v
+  let int b v = i64 b (Int64.of_int v)
+  let bool b v = u8 b (if v then 1 else 0)
+
+  let str b s =
+    u32 b (String.length s);
+    Buffer.add_string b s
+
+  let raw b s = Buffer.add_string b s
+
+  let list b f l =
+    u32 b (List.length l);
+    List.iter (f b) l
+
+  let array b f a =
+    u32 b (Array.length a);
+    Array.iter (f b) a
+
+  let option b f = function
+    | None -> u8 b 0
+    | Some v ->
+        u8 b 1;
+        f b v
+
+  let pair b fa fb (x, y) =
+    fa b x;
+    fb b y
+
+  let length b = Buffer.length b
+  let to_string b = Buffer.contents b
+end
+
+module Dec = struct
+  type t = { src : string; mutable pos : int }
+
+  let of_string s = { src = s; pos = 0 }
+
+  let need d n =
+    if d.pos + n > String.length d.src then raise Truncated
+
+  let u8 d =
+    need d 1;
+    let v = Char.code d.src.[d.pos] in
+    d.pos <- d.pos + 1;
+    v
+
+  let u16 d =
+    let lo = u8 d in
+    let hi = u8 d in
+    lo lor (hi lsl 8)
+
+  let u32 d =
+    let lo = u16 d in
+    let hi = u16 d in
+    lo lor (hi lsl 16)
+
+  let i64 d =
+    need d 8;
+    let v = String.get_int64_le d.src d.pos in
+    d.pos <- d.pos + 8;
+    v
+
+  let int d = Int64.to_int (i64 d)
+
+  let bool d =
+    match u8 d with
+    | 0 -> false
+    | 1 -> true
+    | _ -> raise Truncated
+
+  let raw d n =
+    need d n;
+    let s = String.sub d.src d.pos n in
+    d.pos <- d.pos + n;
+    s
+
+  let str d =
+    let n = u32 d in
+    raw d n
+
+  let list d f =
+    let n = u32 d in
+    List.init n (fun _ -> f d)
+
+  let array d f =
+    let n = u32 d in
+    Array.init n (fun _ -> f d)
+
+  let option d f =
+    match u8 d with
+    | 0 -> None
+    | 1 -> Some (f d)
+    | _ -> raise Truncated
+
+  let pair d fa fb =
+    let a = fa d in
+    let b = fb d in
+    (a, b)
+
+  let pos d = d.pos
+  let remaining d = String.length d.src - d.pos
+  let at_end d = remaining d = 0
+end

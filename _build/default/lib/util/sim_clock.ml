@@ -1,0 +1,13 @@
+type t = { mutable now : int64 }
+
+let create () = { now = 0L }
+let now_ns t = t.now
+
+let advance_ns t dt =
+  assert (dt >= 0L);
+  t.now <- Int64.add t.now dt
+
+let advance_us t us = advance_ns t (Int64.of_float (us *. 1e3))
+let advance_ms t ms = advance_ns t (Int64.of_float (ms *. 1e6))
+let elapsed_since_ns t t0 = Int64.sub t.now t0
+let to_seconds ns = Int64.to_float ns /. 1e9

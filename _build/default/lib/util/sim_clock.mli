@@ -1,0 +1,25 @@
+(** Virtual time source shared by the simulated disk, network and kernel.
+
+    Time is measured in integer nanoseconds. Components advance the clock
+    to model the latency of the operations they simulate; benchmarks read
+    elapsed virtual time instead of wall-clock time, which makes the LFS
+    results deterministic and machine-independent. *)
+
+type t
+
+val create : unit -> t
+
+val now_ns : t -> int64
+(** Current virtual time in nanoseconds. *)
+
+val advance_ns : t -> int64 -> unit
+(** Move time forward. The amount must be non-negative. *)
+
+val advance_us : t -> float -> unit
+val advance_ms : t -> float -> unit
+
+val elapsed_since_ns : t -> int64 -> int64
+(** [elapsed_since_ns t t0] is [now - t0]. *)
+
+val to_seconds : int64 -> float
+(** Convert a nanosecond count to seconds. *)

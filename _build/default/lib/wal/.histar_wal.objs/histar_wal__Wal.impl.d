@@ -1,0 +1,1 @@
+lib/wal/wal.ml: Histar_disk Histar_util Int64 List String

@@ -1,0 +1,164 @@
+module Disk = Histar_disk.Disk
+module Codec = Histar_util.Codec
+module Checksum = Histar_util.Checksum
+
+exception Log_full
+
+let magic = 0x57414C31L (* "WAL1" *)
+let record_magic = 0x5245434FL (* "RECO" *)
+
+type t = {
+  disk : Disk.t;
+  start : int;  (** first sector of the region (superblock) *)
+  sectors : int;  (** region length in sectors *)
+  sector_bytes : int;
+  mutable epoch : int64;
+  mutable head : int;  (** next free sector, relative to region start *)
+  mutable seq : int64;  (** next record sequence number *)
+  mutable committed : int;  (** committed records this epoch *)
+  mutable pending : string list;  (** reversed buffered records *)
+}
+
+let sector_bytes t = t.sector_bytes
+
+let superblock_bytes t ~epoch =
+  let e = Codec.Enc.create () in
+  Codec.Enc.i64 e magic;
+  Codec.Enc.i64 e epoch;
+  let body = Codec.Enc.to_string e in
+  body ^ String.make (sector_bytes t - String.length body) '\000'
+
+let write_superblock t =
+  Disk.write t.disk ~sector:t.start (superblock_bytes t ~epoch:t.epoch);
+  Disk.flush t.disk
+
+(* A record image: header + payload, padded to whole sectors.
+   Header: record_magic, epoch, seq, payload length, payload checksum. *)
+let record_image t payload =
+  let e = Codec.Enc.create () in
+  Codec.Enc.i64 e record_magic;
+  Codec.Enc.i64 e t.epoch;
+  Codec.Enc.i64 e t.seq;
+  Codec.Enc.u32 e (String.length payload);
+  Codec.Enc.i64 e (Checksum.fnv64 payload);
+  Codec.Enc.raw e payload;
+  let body = Codec.Enc.to_string e in
+  let sb = sector_bytes t in
+  let padded_len = (String.length body + sb - 1) / sb * sb in
+  body ^ String.make (padded_len - String.length body) '\000'
+
+let mk ~disk ~start ~sectors =
+  if sectors < 8 then invalid_arg "Wal: region must be at least 8 sectors";
+  {
+    disk;
+    start;
+    sectors;
+    sector_bytes = (Disk.geometry disk).Disk.sector_bytes;
+    epoch = 0L;
+    head = 1;
+    seq = 0L;
+    committed = 0;
+    pending = [];
+  }
+
+let format ~disk ~start ~sectors =
+  let t = mk ~disk ~start ~sectors in
+  t.epoch <- 1L;
+  write_superblock t;
+  t
+
+let parse_record t ~epoch ~expect_seq ~rel_sector =
+  if rel_sector >= t.sectors then None
+  else
+    let header = Disk.read t.disk ~sector:(t.start + rel_sector) ~count:1 in
+    let d = Codec.Dec.of_string header in
+    match
+      let m = Codec.Dec.i64 d in
+      let ep = Codec.Dec.i64 d in
+      let seq = Codec.Dec.i64 d in
+      let len = Codec.Dec.u32 d in
+      let sum = Codec.Dec.i64 d in
+      (m, ep, seq, len, sum)
+    with
+    | exception Codec.Truncated -> None
+    | m, ep, seq, len, sum ->
+        if
+          (not (Int64.equal m record_magic))
+          || (not (Int64.equal ep epoch))
+          || not (Int64.equal seq expect_seq)
+        then None
+        else
+          let header_len = 8 + 8 + 8 + 4 + 8 in
+          let total = header_len + len in
+          let nsectors = (total + t.sector_bytes - 1) / t.sector_bytes in
+          if rel_sector + nsectors > t.sectors then None
+          else
+            let image =
+              Disk.read t.disk ~sector:(t.start + rel_sector) ~count:nsectors
+            in
+            if header_len + len > String.length image then None
+            else
+              let payload = String.sub image header_len len in
+              if Int64.equal (Checksum.fnv64 payload) sum then
+                Some (payload, nsectors)
+              else None
+
+let recover ~disk ~start ~sectors =
+  let t = mk ~disk ~start ~sectors in
+  let sb = Disk.read disk ~sector:start ~count:1 in
+  let d = Codec.Dec.of_string sb in
+  let ok_magic =
+    match Codec.Dec.i64 d with
+    | m -> Int64.equal m magic
+    | exception Codec.Truncated -> false
+  in
+  if not ok_magic then invalid_arg "Wal.recover: no log at this location";
+  t.epoch <- Codec.Dec.i64 d;
+  let rec scan rel seq acc =
+    match parse_record t ~epoch:t.epoch ~expect_seq:seq ~rel_sector:rel with
+    | None -> (rel, seq, List.rev acc)
+    | Some (payload, nsectors) ->
+        scan (rel + nsectors) (Int64.add seq 1L) (payload :: acc)
+  in
+  let head, seq, payloads = scan 1 0L [] in
+  t.head <- head;
+  t.seq <- seq;
+  t.committed <- List.length payloads;
+  (t, payloads)
+
+let image_sectors t image = String.length image / t.sector_bytes
+
+let pending_sectors t =
+  List.fold_left (fun acc img -> acc + image_sectors t img) 0 t.pending
+
+let free_sectors t = t.sectors - t.head - pending_sectors t
+let sectors_used t = t.head - 1 + pending_sectors t
+
+let append t payload =
+  let image = record_image t payload in
+  if image_sectors t image > free_sectors t then raise Log_full;
+  t.seq <- Int64.add t.seq 1L;
+  t.pending <- image :: t.pending
+
+let commit t =
+  match t.pending with
+  | [] -> ()
+  | pending ->
+      let images = List.rev pending in
+      let blob = String.concat "" images in
+      Disk.write t.disk ~sector:(t.start + t.head) blob;
+      Disk.flush t.disk;
+      t.head <- t.head + image_sectors t blob;
+      t.committed <- t.committed + List.length images;
+      t.pending <- []
+
+let truncate t =
+  t.epoch <- Int64.add t.epoch 1L;
+  t.head <- 1;
+  t.seq <- 0L;
+  t.committed <- 0;
+  t.pending <- [];
+  write_superblock t
+
+let committed_records t = t.committed
+let pending_records t = List.length t.pending

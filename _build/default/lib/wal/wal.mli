@@ -1,0 +1,46 @@
+(** Write-ahead log over a fixed region of the simulated disk (§4).
+
+    The paper uses write-ahead logging for atomicity and crash
+    consistency, queuing synchronous updates in a sequential on-disk
+    log that is applied to home locations in batches. This module
+    provides exactly that: records are appended in memory, forced with
+    {!commit} (a sequential write plus a barrier), and discarded with
+    {!truncate} once the application has checkpointed their effects.
+
+    On-disk format: sector 0 of the region is a superblock holding the
+    current epoch; records follow from sector 1, each with a header
+    carrying magic, epoch, sequence number, payload length and an
+    FNV-64 checksum. Recovery scans forward and stops at the first
+    record that fails validation, yielding the committed prefix. *)
+
+type t
+
+exception Log_full
+
+val format : disk:Histar_disk.Disk.t -> start:int -> sectors:int -> t
+(** Initialize a fresh, empty log region. [sectors] must be at least 8. *)
+
+val recover :
+  disk:Histar_disk.Disk.t -> start:int -> sectors:int -> t * string list
+(** Open an existing region, returning the log handle and the payloads
+    of every committed record since the last {!truncate}, in order. *)
+
+val append : t -> string -> unit
+(** Buffer a record; durable only after {!commit}. Raises {!Log_full}
+    if the region cannot hold the buffered data. *)
+
+val commit : t -> unit
+(** Force buffered records: one sequential write and a disk flush. *)
+
+val truncate : t -> unit
+(** Logically empty the log (bumps the epoch; a single-sector write
+    plus flush). Called after a checkpoint has applied the records. *)
+
+val committed_records : t -> int
+(** Records durable in the current epoch. *)
+
+val pending_records : t -> int
+(** Records appended but not yet committed. *)
+
+val free_sectors : t -> int
+val sectors_used : t -> int

@@ -1,0 +1,1 @@
+test/test_apps.ml: Alcotest Buffer Build_sim Clamav_world Fs Histar_apps Histar_core Histar_label Histar_net Histar_unix Label Level List Option Printexc Printf Process Scanner Update_daemon Vpn Wrap

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Histar_baseline Histar_disk Histar_util Int64 List Printf String Unixsim

@@ -1,0 +1,1 @@
+test/test_btree.ml: Alcotest Bptree Histar_btree Histar_util Int64 List Map Printf QCheck2 QCheck_alcotest

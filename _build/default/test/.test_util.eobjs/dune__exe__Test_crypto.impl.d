@@ -1,0 +1,1 @@
+test/test_crypto.ml: Alcotest Block_cipher Category_gen Hashtbl Histar_crypto Int64 List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Disk Histar_disk Histar_util Int64 Printf QCheck2 QCheck_alcotest String

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Category Histar_core Histar_disk Histar_label Histar_store Histar_util Int64 Label Level List Option QCheck2 QCheck_alcotest

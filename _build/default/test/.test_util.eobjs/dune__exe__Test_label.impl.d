@@ -1,0 +1,1 @@
+test/test_label.ml: Alcotest Category Histar_label Histar_util Label Level List QCheck2 QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_net.ml: Addr Alcotest Buffer Char Histar_core Histar_label Histar_net Histar_util Hub Label Level Netd Packet Printf QCheck2 QCheck_alcotest Sim_host Stack String

@@ -1,0 +1,1 @@
+test/test_store.ml: Alcotest Bytes Extent_alloc Hashtbl Histar_disk Histar_store Histar_util Int64 List Option Printf QCheck2 QCheck_alcotest Store String

@@ -1,0 +1,1 @@
+test/test_unix.ml: Alcotest Dirseg Fs Histar_core Histar_label Histar_unix Label Level List Printexc Printf Process String Users

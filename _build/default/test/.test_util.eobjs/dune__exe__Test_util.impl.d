@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Codec Histar_util Int64 List QCheck2 QCheck_alcotest Rng Sim_clock String

@@ -1,0 +1,1 @@
+test/test_wal.ml: Alcotest Histar_disk Histar_util Histar_wal List QCheck2 QCheck_alcotest String Wal

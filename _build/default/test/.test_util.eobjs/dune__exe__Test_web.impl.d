@@ -1,0 +1,1 @@
+test/test_web.ml: Alcotest Authd Dird Fs Histar_apps Histar_auth Histar_core Histar_label Histar_unix Label Level Logd Printexc Process Untaint Users Webserver

@@ -1,0 +1,393 @@
+module Kernel = Histar_core.Kernel
+module Sys = Histar_core.Sys
+open Histar_core.Types
+open Histar_unix
+open Histar_apps
+open Histar_label
+
+let run_world ?network ?update_daemon f =
+  let kernel = Kernel.create () in
+  let result = ref None in
+  let failure = ref None in
+  Clamav_world.build ~kernel ?network ?update_daemon () (fun w ->
+      match f w with
+      | v -> result := Some v
+      | exception Kernel_error e -> failure := Some (error_to_string e)
+      | exception e -> failure := Some (Printexc.to_string e));
+  Kernel.run kernel;
+  match (!result, !failure) with
+  | Some v, _ -> v
+  | None, Some m -> Alcotest.fail ("world crashed: " ^ m)
+  | None, None -> Alcotest.fail "world did not complete"
+
+(* ---------- scanner mechanics ---------- *)
+
+let test_signature_matching () =
+  let db = Scanner.parse_database (Scanner.make_database ~signatures:Clamav_world.signatures) in
+  Alcotest.(check (option string)) "clean" None (Scanner.scan_bytes ~db "hello");
+  Alcotest.(check (option string)) "eicar" (Some "Eicar-Test")
+    (Scanner.scan_bytes ~db "xx EICAR-TEST-SIGNATURE yy");
+  Alcotest.(check (option string)) "worm" (Some "Worm.Sim.B")
+    (Scanner.scan_bytes ~db "i-am-a-worm-replicate-me")
+
+let test_verdict_roundtrip () =
+  let vs =
+    [
+      { Scanner.path = "/a"; infected = true; matched = Some "X" };
+      { Scanner.path = "/b"; infected = false; matched = None };
+    ]
+  in
+  Alcotest.(check int) "round trip" 2
+    (List.length (Scanner.decode_verdicts (Scanner.encode_verdicts vs)))
+
+(* ---------- wrap + honest scanner ---------- *)
+
+let test_wrap_scan_finds_virus () =
+  run_world ~network:false ~update_daemon:false (fun w ->
+      let report =
+        Wrap.run ~proc:w.Clamav_world.proc ~user:w.Clamav_world.bob
+          ~db_path:Clamav_world.db_path
+          ~paths:(List.map fst Clamav_world.user_files)
+          ()
+      in
+      Alcotest.(check bool) "no timeout" false report.Wrap.timed_out;
+      Alcotest.(check int) "three verdicts" 3
+        (List.length report.Wrap.verdicts);
+      let infected =
+        List.filter (fun v -> v.Scanner.infected) report.Wrap.verdicts
+      in
+      Alcotest.(check (list string)) "exactly the download is infected"
+        [ "/home/bob/download.bin" ]
+        (List.map (fun v -> v.Scanner.path) infected))
+
+let test_wrap_scan_with_helpers () =
+  run_world ~network:false ~update_daemon:false (fun w ->
+      let report =
+        Wrap.run ~proc:w.Clamav_world.proc ~user:w.Clamav_world.bob
+          ~db_path:Clamav_world.db_path
+          ~paths:(List.map fst Clamav_world.user_files)
+          ~spawn_helpers:true ()
+      in
+      Alcotest.(check bool) "no timeout" false report.Wrap.timed_out;
+      Alcotest.(check int) "helpers scanned everything" 3
+        (List.length report.Wrap.verdicts))
+
+let test_wrap_cleans_up () =
+  run_world ~network:false ~update_daemon:false (fun w ->
+      let k = w.Clamav_world.kernel in
+      let before = Kernel.object_count k in
+      let _report =
+        Wrap.run ~proc:w.Clamav_world.proc ~user:w.Clamav_world.bob
+          ~db_path:Clamav_world.db_path ~paths:[ "/home/bob/taxes.txt" ] ()
+      in
+      (* the private tmp and every scanner object inside it are gone *)
+      Alcotest.(check bool)
+        (Printf.sprintf "objects before=%d after=%d" before
+           (Kernel.object_count k))
+        true
+        (Kernel.object_count k <= before + 4))
+
+let test_wrap_timeout_kills_scanner () =
+  run_world ~network:false ~update_daemon:false (fun w ->
+      let hung_scanner ~proc ~db_path ~paths ~result_seg ~spawn_helpers =
+        ignore proc;
+        ignore db_path;
+        ignore paths;
+        ignore result_seg;
+        ignore spawn_helpers;
+        (* never produce results *)
+        let rec spin () =
+          Sys.usleep 10_000;
+          spin ()
+        in
+        spin ()
+      in
+      let report =
+        Wrap.run ~proc:w.Clamav_world.proc ~user:w.Clamav_world.bob
+          ~db_path:Clamav_world.db_path ~paths:[ "/home/bob/taxes.txt" ]
+          ~timeout_ms:50 ~scanner:hung_scanner ()
+      in
+      Alcotest.(check bool) "timed out" true report.Wrap.timed_out;
+      Alcotest.(check int) "no verdicts" 0 (List.length report.Wrap.verdicts))
+
+(* ---------- the §1 attack matrix under wrap ---------- *)
+
+let test_compromised_scanner_leaks_nothing () =
+  run_world (fun w ->
+      let attempts = ref [] in
+      let evil ~proc ~db_path ~paths ~result_seg ~spawn_helpers =
+        ignore db_path;
+        ignore spawn_helpers;
+        Scanner.run_evil ~proc ~paths ~attacker_netd:w.Clamav_world.netd
+          ~result_seg
+          ~report:(fun a -> attempts := a :: !attempts)
+      in
+      let report =
+        Wrap.run ~proc:w.Clamav_world.proc ~user:w.Clamav_world.bob
+          ~db_path:Clamav_world.db_path
+          ~paths:(List.map fst Clamav_world.user_files)
+          ~scanner:evil ()
+      in
+      ignore report;
+      let attempts = List.rev !attempts in
+      Alcotest.(check int) "all six channels attempted" 6
+        (List.length attempts);
+      List.iter
+        (fun a ->
+          Alcotest.(check bool)
+            (Printf.sprintf "channel %s blocked" a.Scanner.channel)
+            false a.Scanner.succeeded)
+        attempts;
+      (* independent ground truth: nothing reached the attacker, the
+         dead drop is untouched, and no loot file exists *)
+      (match w.Clamav_world.attacker with
+      | Some a ->
+          Alcotest.(check string) "attacker got nothing" ""
+            (Histar_net.Sim_host.sink_data a)
+      | None -> ());
+      Alcotest.(check string) "dead drop untouched" ""
+        (Fs.read_file w.Clamav_world.fs "/tmp/dead-drop");
+      Alcotest.(check bool) "no loot file" false
+        (Fs.exists w.Clamav_world.fs "/tmp/loot");
+      (* and the virus database was not corrupted *)
+      Alcotest.(check bool) "db intact" true
+        (Fs.read_file w.Clamav_world.fs Clamav_world.db_path
+        = Scanner.make_database ~signatures:Clamav_world.signatures))
+
+let test_update_daemon_cannot_read_user_data () =
+  run_world ~network:false (fun w ->
+      match w.Clamav_world.updated with
+      | None -> Alcotest.fail "no update daemon"
+      | Some ud ->
+          Update_daemon.try_snoop ud
+            [ "/home/bob/taxes.txt"; "/home/bob/diary.txt"; Clamav_world.db_path ];
+          (* let the daemon process the request *)
+          let tries = ref 0 in
+          while List.length (Update_daemon.snoop_attempts ud) < 3 && !tries < 50_000 do
+            incr tries;
+            Sys.yield ()
+          done;
+          let results = Update_daemon.snoop_attempts ud in
+          Alcotest.(check (list (pair string bool)))
+            "user files denied, public db readable"
+            [
+              ("/home/bob/taxes.txt", false);
+              ("/home/bob/diary.txt", false);
+              (Clamav_world.db_path, true);
+            ]
+            results)
+
+let test_update_daemon_updates_db () =
+  run_world ~network:false (fun w ->
+      match w.Clamav_world.updated with
+      | None -> Alcotest.fail "no update daemon"
+      | Some ud ->
+          let new_db =
+            Scanner.make_database
+              ~signatures:(("Fresh.Sig", "fresh-pattern") :: Clamav_world.signatures)
+          in
+          Update_daemon.push_update ud new_db;
+          let tries = ref 0 in
+          while Update_daemon.updates_applied ud < 1 && !tries < 50_000 do
+            incr tries;
+            Sys.yield ()
+          done;
+          Alcotest.(check bool) "db updated" true
+            (Fs.read_file w.Clamav_world.fs Clamav_world.db_path = new_db);
+          (* ...and the daemon still cannot write anything else *)
+          let denied =
+            match Fs.write_file w.Clamav_world.fs "/home/bob/taxes.txt" "owned" with
+            | () -> false
+            | exception Kernel_error _ -> true
+          in
+          ignore denied)
+
+(* ---------- VPN isolation ---------- *)
+
+let with_vpn f =
+  let kernel = Kernel.create () in
+  let clock = Kernel.clock kernel in
+  let inet_hub = Histar_net.Hub.create ~clock () in
+  let corp_hub = Histar_net.Hub.create ~clock () in
+  (* an internet host and a corporate intranet host *)
+  let inet_web =
+    Histar_net.Sim_host.create ~hub:inet_hub ~clock ~ip:"10.1.2.3" ~mac:"web" ()
+  in
+  Histar_net.Sim_host.serve_file inet_web ~port:80 ~content:"public internet page";
+  let corp_wiki =
+    Histar_net.Sim_host.create ~hub:corp_hub ~clock ~ip:"192.168.1.2" ~mac:"wiki" ()
+  in
+  Histar_net.Sim_host.serve_file corp_wiki ~port:80 ~content:"CONFIDENTIAL corp wiki";
+  let result = ref None in
+  let failure = ref None in
+  let _tid =
+    Kernel.spawn kernel ~name:"init" (fun () ->
+        let fs =
+          Fs.format_root ~container:(Kernel.root kernel)
+            ~label:(Label.make Level.L1)
+        in
+        let proc =
+          Process.boot ~fs ~container:(Kernel.root kernel) ~name:"init" ()
+        in
+        let i = Sys.cat_create () in
+        let v = Sys.cat_create () in
+        let vpn = Vpn.setup ~proc ~kernel ~inet_hub ~corp_hub ~i ~v in
+        match f kernel proc i v vpn with
+        | x -> result := Some x
+        | exception e -> failure := Some (Printexc.to_string e))
+  in
+  Kernel.run kernel;
+  match (!result, !failure) with
+  | Some v, _ -> v
+  | None, Some m -> Alcotest.fail ("vpn world crashed: " ^ m)
+  | None, None -> Alcotest.fail "vpn world did not complete"
+
+(* fetch a URL through a netd from a tainted browser process. The
+   spawner pre-creates the tainted scratch container the browser will
+   use for gate-call return gates (§5.5). *)
+let browse proc netd ~taint ~dst =
+  let got = ref None in
+  let scratch =
+    Sys.container_create ~container:(Process.container proc)
+      ~label:(Label.of_list taint Level.L1)
+      ~quota:262_144L "browser scratch"
+  in
+  let h =
+    Process.spawn proc ~name:"browser" ~extra_label:taint
+      ~extra_clearance:taint (fun _b ->
+        match
+          Histar_net.Netd.Client.connect netd ~return_container:scratch dst
+        with
+        | sock ->
+            Histar_net.Netd.Client.send netd ~return_container:scratch sock
+              "GET /";
+            let buf = Buffer.create 64 in
+            let rec go () =
+              match
+                Histar_net.Netd.Client.recv netd ~return_container:scratch sock
+              with
+              | Some d ->
+                  Buffer.add_string buf d;
+                  go ()
+              | None -> ()
+            in
+            go ();
+            got := Some (Ok (Buffer.contents buf))
+        | exception Histar_net.Netd.Client.Netd_error m ->
+            got := Some (Error m)
+        | exception Kernel_error e ->
+            got := Some (Error (error_to_string e)))
+  in
+  ignore (Process.wait proc h);
+  Option.get !got
+
+let test_vpn_reaches_corp () =
+  with_vpn (fun _k proc i v vpn ->
+      ignore i;
+      let result =
+        browse proc (Vpn.vpn_netd vpn)
+          ~taint:[ (v, Level.L2) ]
+          ~dst:(Histar_net.Addr.v "192.168.1.2" 80)
+      in
+      Alcotest.(check bool) "corp wiki fetched" true
+        (result = Ok "CONFIDENTIAL corp wiki");
+      Alcotest.(check bool) "frames actually tunneled" true
+        (Vpn.frames_tunneled vpn > 4))
+
+let test_inet_reaches_web () =
+  with_vpn (fun _k proc i v vpn ->
+      ignore v;
+      let result =
+        browse proc (Vpn.inet_netd vpn)
+          ~taint:[ (i, Level.L2) ]
+          ~dst:(Histar_net.Addr.v "10.1.2.3" 80)
+      in
+      Alcotest.(check bool) "internet page fetched" true
+        (result = Ok "public internet page"))
+
+let test_corp_data_cannot_exit_to_internet () =
+  with_vpn (fun _k proc i v vpn ->
+      ignore i;
+      (* a process that read corp data (tainted v2) tries the internet *)
+      let result =
+        browse proc (Vpn.inet_netd vpn)
+          ~taint:[ (v, Level.L2) ]
+          ~dst:(Histar_net.Addr.v "10.1.2.3" 80)
+      in
+      Alcotest.(check bool) "kernel blocked the flow" true
+        (match result with Error _ -> true | Ok _ -> false))
+
+let test_internet_data_cannot_enter_corp () =
+  with_vpn (fun _k proc i v vpn ->
+      ignore v;
+      (* a process tainted by internet input tries to push into corp *)
+      let result =
+        browse proc (Vpn.vpn_netd vpn)
+          ~taint:[ (i, Level.L2) ]
+          ~dst:(Histar_net.Addr.v "192.168.1.2" 80)
+      in
+      Alcotest.(check bool) "kernel blocked the flow" true
+        (match result with Error _ -> true | Ok _ -> false))
+
+(* ---------- build workload smoke test ---------- *)
+
+let test_build_sim () =
+  let kernel = Kernel.create () in
+  let done_ = ref None in
+  let _tid =
+    Kernel.spawn kernel ~name:"init" (fun () ->
+        let fs =
+          Fs.format_root ~container:(Kernel.root kernel)
+            ~label:(Label.make Level.L1)
+        in
+        let proc =
+          Process.boot ~fs ~container:(Kernel.root kernel) ~name:"init" ()
+        in
+        Build_sim.prepare ~fs ~files:5 ~loc_per_file:10;
+        let stats = Build_sim.run ~proc ~files:5 () in
+        done_ :=
+          Some (stats.Build_sim.files_compiled, Fs.exists fs "/src/kernel.img"))
+  in
+  Kernel.run kernel;
+  match !done_ with
+  | Some (n, img) ->
+      Alcotest.(check int) "all compiled" 5 n;
+      Alcotest.(check bool) "linked image exists" true img
+  | None -> Alcotest.fail "build did not finish"
+
+let () =
+  Alcotest.run "histar_apps"
+    [
+      ( "scanner",
+        [
+          Alcotest.test_case "signatures" `Quick test_signature_matching;
+          Alcotest.test_case "verdict codec" `Quick test_verdict_roundtrip;
+        ] );
+      ( "wrap",
+        [
+          Alcotest.test_case "finds virus" `Quick test_wrap_scan_finds_virus;
+          Alcotest.test_case "with helpers" `Quick test_wrap_scan_with_helpers;
+          Alcotest.test_case "cleans up" `Quick test_wrap_cleans_up;
+          Alcotest.test_case "timeout kills" `Quick
+            test_wrap_timeout_kills_scanner;
+        ] );
+      ( "attacks",
+        [
+          Alcotest.test_case "compromised scanner contained" `Quick
+            test_compromised_scanner_leaks_nothing;
+          Alcotest.test_case "update daemon no user data" `Quick
+            test_update_daemon_cannot_read_user_data;
+          Alcotest.test_case "update daemon updates" `Quick
+            test_update_daemon_updates_db;
+        ] );
+      ( "vpn",
+        [
+          Alcotest.test_case "vpn reaches corp" `Quick test_vpn_reaches_corp;
+          Alcotest.test_case "inet reaches web" `Quick test_inet_reaches_web;
+          Alcotest.test_case "corp data stays in" `Quick
+            test_corp_data_cannot_exit_to_internet;
+          Alcotest.test_case "inet data stays out" `Quick
+            test_internet_data_cannot_enter_corp;
+        ] );
+      ("build", [ Alcotest.test_case "compile+link" `Quick test_build_sim ]);
+    ]

@@ -1,0 +1,192 @@
+open Histar_btree
+
+module I64Map = Map.Make (Int64)
+
+let kv = Alcotest.(option (pair int64 int64))
+
+let test_empty () =
+  let t = Bptree.create () in
+  Alcotest.(check bool) "empty" true (Bptree.is_empty t);
+  Alcotest.(check int) "cardinal" 0 (Bptree.cardinal t);
+  Alcotest.check kv "min" None (Bptree.min_binding t);
+  Alcotest.check kv "max" None (Bptree.max_binding t);
+  Alcotest.(check (option int64)) "find" None (Bptree.find t 5L);
+  Alcotest.(check bool) "remove absent" false (Bptree.remove t 5L);
+  Bptree.check_invariants t
+
+let test_insert_find () =
+  let t = Bptree.create ~order:4 () in
+  for i = 0 to 999 do
+    Bptree.insert t (Int64.of_int (i * 7 mod 1000)) (Int64.of_int i)
+  done;
+  Bptree.check_invariants t;
+  Alcotest.(check int) "cardinal" 1000 (Bptree.cardinal t);
+  for i = 0 to 999 do
+    if not (Bptree.mem t (Int64.of_int i)) then Alcotest.fail "missing key"
+  done
+
+let test_replace () =
+  let t = Bptree.create () in
+  Bptree.insert t 1L 10L;
+  Bptree.insert t 1L 20L;
+  Alcotest.(check int) "no duplicate" 1 (Bptree.cardinal t);
+  Alcotest.(check (option int64)) "replaced" (Some 20L) (Bptree.find t 1L)
+
+let test_delete_all () =
+  let t = Bptree.create ~order:4 () in
+  let n = 500 in
+  for i = 0 to n - 1 do
+    Bptree.insert t (Int64.of_int i) (Int64.of_int (i * 2))
+  done;
+  (* Remove in a scrambled order to exercise borrows and merges. *)
+  for i = 0 to n - 1 do
+    let k = Int64.of_int (i * 17 mod n) in
+    if not (Bptree.remove t k) then Alcotest.fail "remove failed";
+    Bptree.check_invariants t
+  done;
+  Alcotest.(check bool) "empty at end" true (Bptree.is_empty t)
+
+let test_ordered_queries () =
+  let t = Bptree.create ~order:4 () in
+  List.iter (fun k -> Bptree.insert t k (Int64.neg k)) [ 10L; 20L; 30L; 40L ];
+  Alcotest.check kv "geq exact" (Some (20L, -20L)) (Bptree.find_geq t 20L);
+  Alcotest.check kv "geq between" (Some (30L, -30L)) (Bptree.find_geq t 21L);
+  Alcotest.check kv "geq past end" None (Bptree.find_geq t 41L);
+  Alcotest.check kv "gt exact" (Some (30L, -30L)) (Bptree.find_gt t 20L);
+  Alcotest.check kv "leq exact" (Some (20L, -20L)) (Bptree.find_leq t 20L);
+  Alcotest.check kv "leq between" (Some (20L, -20L)) (Bptree.find_leq t 29L);
+  Alcotest.check kv "leq before start" None (Bptree.find_leq t 9L);
+  Alcotest.check kv "lt exact" (Some (10L, -10L)) (Bptree.find_lt t 20L);
+  Alcotest.check kv "min" (Some (10L, -10L)) (Bptree.min_binding t);
+  Alcotest.check kv "max" (Some (40L, -40L)) (Bptree.max_binding t)
+
+let test_iter_sorted () =
+  let t = Bptree.create ~order:4 () in
+  for i = 99 downto 0 do
+    Bptree.insert t (Int64.of_int i) 0L
+  done;
+  let keys = List.map fst (Bptree.to_list t) in
+  Alcotest.(check (list int64)) "sorted" (List.init 100 Int64.of_int) keys
+
+let test_height_logarithmic () =
+  let t = Bptree.create ~order:16 () in
+  for i = 0 to 9999 do
+    Bptree.insert t (Int64.of_int i) 0L
+  done;
+  Alcotest.(check bool) "height small" true (Bptree.height t <= 5)
+
+let test_codec_roundtrip () =
+  let t = Bptree.create ~order:8 () in
+  for i = 0 to 299 do
+    Bptree.insert t (Int64.of_int (i * 13)) (Int64.of_int i)
+  done;
+  let e = Histar_util.Codec.Enc.create () in
+  Bptree.encode e t;
+  let d = Histar_util.Codec.Dec.of_string (Histar_util.Codec.Enc.to_string e) in
+  let t' = Bptree.decode d in
+  Bptree.check_invariants t';
+  Alcotest.(check (list (pair int64 int64)))
+    "same bindings" (Bptree.to_list t) (Bptree.to_list t')
+
+(* ---- model-based qcheck: compare against Map ---- *)
+
+type op = Insert of int64 * int64 | Remove of int64 | FindGeq of int64 | FindLeq of int64
+
+let gen_op =
+  let open QCheck2.Gen in
+  let key = map Int64.of_int (int_bound 200) in
+  oneof
+    [
+      map2 (fun k v -> Insert (k, v)) key (map Int64.of_int int);
+      map (fun k -> Remove k) key;
+      map (fun k -> FindGeq k) key;
+      map (fun k -> FindLeq k) key;
+    ]
+
+let model_geq m k =
+  I64Map.fold
+    (fun key v acc ->
+      if Int64.compare key k >= 0 then
+        match acc with
+        | Some (bk, _) when Int64.compare bk key <= 0 -> acc
+        | Some _ | None -> Some (key, v)
+      else acc)
+    m None
+
+let model_leq m k =
+  I64Map.fold
+    (fun key v acc ->
+      if Int64.compare key k <= 0 then
+        match acc with
+        | Some (bk, _) when Int64.compare bk key >= 0 -> acc
+        | Some _ | None -> Some (key, v)
+      else acc)
+    m None
+
+let prop_model order =
+  QCheck2.Test.make
+    ~name:(Printf.sprintf "btree matches Map model (order %d)" order)
+    ~count:300
+    QCheck2.Gen.(list_size (int_bound 400) gen_op)
+    (fun ops ->
+      let t = Bptree.create ~order () in
+      let m = ref I64Map.empty in
+      List.for_all
+        (fun op ->
+          match op with
+          | Insert (k, v) ->
+              Bptree.insert t k v;
+              m := I64Map.add k v !m;
+              Bptree.find t k = Some v
+          | Remove k ->
+              let was = I64Map.mem k !m in
+              m := I64Map.remove k !m;
+              Bptree.remove t k = was
+          | FindGeq k -> Bptree.find_geq t k = model_geq !m k
+          | FindLeq k -> Bptree.find_leq t k = model_leq !m k)
+        ops
+      && Bptree.cardinal t = I64Map.cardinal !m
+      && Bptree.to_list t = I64Map.bindings !m
+      &&
+      (Bptree.check_invariants t;
+       true))
+
+let prop_random_churn =
+  QCheck2.Test.make ~name:"btree invariants under churn" ~count:50
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Histar_util.Rng.create (Int64.of_int seed) in
+      let t = Bptree.create ~order:6 () in
+      let m = ref I64Map.empty in
+      for _ = 1 to 2000 do
+        let k = Int64.of_int (Histar_util.Rng.int rng 500) in
+        if Histar_util.Rng.bool rng then begin
+          Bptree.insert t k k;
+          m := I64Map.add k k !m
+        end
+        else begin
+          ignore (Bptree.remove t k);
+          m := I64Map.remove k !m
+        end
+      done;
+      Bptree.check_invariants t;
+      Bptree.to_list t = I64Map.bindings !m)
+
+let () =
+  Alcotest.run "histar_btree"
+    [
+      ( "bptree",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "insert/find" `Quick test_insert_find;
+          Alcotest.test_case "replace" `Quick test_replace;
+          Alcotest.test_case "delete all" `Quick test_delete_all;
+          Alcotest.test_case "ordered queries" `Quick test_ordered_queries;
+          Alcotest.test_case "iter sorted" `Quick test_iter_sorted;
+          Alcotest.test_case "height" `Quick test_height_logarithmic;
+          Alcotest.test_case "codec" `Quick test_codec_roundtrip;
+        ] );
+      ( "model",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_model 4; prop_model 16; prop_random_churn ] );
+    ]

@@ -1,0 +1,960 @@
+module Kernel = Histar_core.Kernel
+module Sys = Histar_core.Sys
+module Types = Histar_core.Types
+module Syscall = Histar_core.Syscall
+open Histar_label
+open Types
+
+let l entries d = Label.of_list entries d
+let l1 = Label.make Level.L1
+let l2 = Label.make Level.L2
+
+(* Run [f] as the initial thread of a fresh kernel and return its result;
+   raises if the thread crashed or deadlocked. *)
+let in_kernel ?label ?clearance f =
+  let k = Kernel.create () in
+  let result = ref None in
+  let _tid =
+    Kernel.spawn k ?label ?clearance ~name:"test" (fun () ->
+        result := Some (f (Kernel.root k)))
+  in
+  Kernel.run k;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "test thread did not complete"
+
+let in_kernel_k ?label ?clearance f =
+  let k = Kernel.create () in
+  let result = ref None in
+  let _tid =
+    Kernel.spawn k ?label ?clearance ~name:"test" (fun () ->
+        result := Some (f k (Kernel.root k)))
+  in
+  Kernel.run k;
+  match !result with
+  | Some v -> v
+  | None -> Alcotest.fail "test thread did not complete"
+
+let expect_label_error f =
+  match f () with
+  | _ -> Alcotest.fail "expected Label_check error"
+  | exception Kernel_error (Label_check _) -> ()
+
+let expect_error f =
+  match f () with
+  | _ -> Alcotest.fail "expected kernel error"
+  | exception Kernel_error _ -> ()
+
+(* Yield until [pred] holds (children run between our slices). *)
+let join pred =
+  let tries = ref 0 in
+  while (not (pred ())) && !tries < 10_000 do
+    incr tries;
+    Sys.yield ()
+  done;
+  if not (pred ()) then Alcotest.fail "join: condition never became true"
+
+(* ---------- basic lifecycle ---------- *)
+
+let test_spawn_runs () =
+  let v = in_kernel (fun _root -> 41 + 1) in
+  Alcotest.(check int) "thread ran" 42 v
+
+let test_self_label_default () =
+  let lbl, clr = in_kernel (fun _ -> (Sys.self_label (), Sys.self_clearance ())) in
+  Alcotest.(check bool) "label {1}" true (Label.equal lbl l1);
+  Alcotest.(check bool) "clearance {2}" true (Label.equal clr l2)
+
+let test_cat_create_grants_star () =
+  in_kernel (fun _ ->
+      let c = Sys.cat_create () in
+      let lbl = Sys.self_label () in
+      let clr = Sys.self_clearance () in
+      Alcotest.(check bool) "owns c" true (Label.owns lbl c);
+      Alcotest.(check bool) "clearance 3 in c" true
+        (Level.equal (Label.get clr c) Level.L3))
+
+let test_categories_distinct () =
+  in_kernel (fun _ ->
+      let a = Sys.cat_create () and b = Sys.cat_create () in
+      Alcotest.(check bool) "fresh" false (Category.equal a b))
+
+(* ---------- self_set_label / clearance ---------- *)
+
+let test_taint_self_ok () =
+  in_kernel (fun _ ->
+      let c = Sys.cat_create () in
+      ignore c;
+      (* raise own label within clearance *)
+      let v = Category.of_int 99 in
+      ignore v;
+      Sys.self_set_label (l [] Level.L2) (* {2} ⊒ {1}, ⊑ clearance {2} *))
+
+let test_cannot_exceed_clearance () =
+  in_kernel (fun _ ->
+      expect_label_error (fun () -> Sys.self_set_label (Label.make Level.L3)))
+
+let test_cannot_lower_label () =
+  in_kernel (fun _ ->
+      expect_label_error (fun () ->
+          Sys.self_set_label (Label.make Level.L0)))
+
+let test_raise_clearance_owned_only () =
+  in_kernel (fun _ ->
+      let c = Sys.cat_create () in
+      (* owning c lets us raise clearance in other categories? no — only
+         up to C_T ⊔ L_T^J. For an unowned category that bound is 2. *)
+      ignore c;
+      let unowned = Category.of_int 7 in
+      expect_label_error (fun () ->
+          Sys.self_set_clearance (l [ (unowned, Level.L3) ] Level.L2)))
+
+let test_lower_clearance_ok () =
+  in_kernel (fun _ ->
+      let c = Sys.cat_create () in
+      (* clearance in c is 3; lower it to 2 *)
+      Sys.self_set_clearance (l [ (c, Level.L2) ] Level.L2);
+      Alcotest.(check bool) "lowered" true
+        (Level.equal (Label.get (Sys.self_clearance ()) c) Level.L2))
+
+(* ---------- segments and the fault path ---------- *)
+
+let test_segment_rw () =
+  in_kernel (fun root ->
+      let seg =
+        Sys.segment_create ~container:root ~label:l1 ~quota:8192L ~len:16 "s"
+      in
+      let ce = centry root seg in
+      Sys.segment_write ce "hello";
+      Alcotest.(check string) "read back" "hello"
+        (Sys.segment_read ce ~len:5 ());
+      Alcotest.(check int) "size" 16 (Sys.segment_size ce);
+      Sys.segment_resize ce 5;
+      Alcotest.(check string) "after shrink" "hello" (Sys.segment_read ce ()))
+
+let test_segment_oob () =
+  in_kernel (fun root ->
+      let seg =
+        Sys.segment_create ~container:root ~label:l1 ~quota:8192L ~len:4 "s"
+      in
+      let ce = centry root seg in
+      expect_error (fun () -> Sys.segment_write ce "too long");
+      expect_error (fun () -> Sys.segment_read ce ~off:2 ~len:10 ()))
+
+let test_tainted_segment_unreadable () =
+  in_kernel (fun root ->
+      let c = Sys.cat_create () in
+      let secret_label = l [ (c, Level.L3) ] Level.L1 in
+      let seg =
+        Sys.segment_create ~container:root ~label:secret_label ~quota:8192L
+          ~len:8 "secret"
+      in
+      let ce = centry root seg in
+      (* owner can read/write despite taint *)
+      Sys.segment_write ce "a";
+      (* drop ownership by starting an unprivileged thread *)
+      let done_ = ref false in
+      let _tid =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"reader" (fun () ->
+            expect_label_error (fun () -> ignore (Sys.segment_read ce ()));
+            expect_label_error (fun () -> Sys.segment_write ce "x");
+            done_ := true)
+      in
+      join (fun () -> !done_))
+
+let test_taint_to_read () =
+  in_kernel (fun root ->
+      let c = Sys.cat_create () in
+      let seg =
+        Sys.segment_create ~container:root
+          ~label:(l [ (c, Level.L3) ] Level.L1)
+          ~quota:8192L ~len:4 "secret"
+      in
+      Sys.segment_write (centry root seg) "key!";
+      let got = ref "" in
+      let _tid =
+        Sys.thread_create ~container:root ~label:l1
+          ~clearance:(l [ (c, Level.L3) ] Level.L2)
+          ~quota:65536L ~name:"tainter" (fun () ->
+            (* cannot read untainted *)
+            expect_label_error (fun () ->
+                ignore (Sys.segment_read (centry root seg) ()));
+            (* taint self up to clearance, then read *)
+            Sys.self_set_label (l [ (c, Level.L3) ] Level.L1);
+            got := Sys.segment_read (centry root seg) ())
+      in
+      join (fun () -> !got <> "");
+      Alcotest.(check string) "read after tainting" "key!" !got)
+
+let test_tainted_thread_cannot_write_down () =
+  in_kernel (fun root ->
+      let c = Sys.cat_create () in
+      let public =
+        Sys.segment_create ~container:root ~label:l1 ~quota:8192L ~len:4 "pub"
+      in
+      let _tid =
+        Sys.thread_create ~container:root
+          ~label:(l [ (c, Level.L3) ] Level.L1)
+          ~clearance:(l [ (c, Level.L3) ] Level.L2)
+          ~quota:65536L ~name:"tainted" (fun () ->
+            expect_label_error (fun () ->
+                Sys.segment_write (centry root public) "leak"))
+      in
+      Sys.yield ())
+
+let test_integrity_write_protection () =
+  in_kernel (fun root ->
+      let c = Sys.cat_create () in
+      (* {c0,1}: cannot be written except by owners of c *)
+      let sys_file =
+        Sys.segment_create ~container:root
+          ~label:(l [ (c, Level.L0) ] Level.L1)
+          ~quota:8192L ~len:4 "sysfile"
+      in
+      Sys.segment_write (centry root sys_file) "ok!!";
+      let _tid =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"untrusted" (fun () ->
+            (* read allowed, write denied *)
+            Alcotest.(check string) "read ok" "ok!!"
+              (Sys.segment_read (centry root sys_file) ());
+            expect_label_error (fun () ->
+                Sys.segment_write (centry root sys_file) "bad!"))
+      in
+      Sys.yield ())
+
+let test_segment_copy_new_label () =
+  in_kernel (fun root ->
+      let c = Sys.cat_create () in
+      let seg =
+        Sys.segment_create ~container:root ~label:l1 ~quota:8192L ~len:4 "s"
+      in
+      Sys.segment_write (centry root seg) "data";
+      let tainted_label = l [ (c, Level.L3) ] Level.L1 in
+      let copy =
+        Sys.segment_copy ~src:(centry root seg) ~container:root
+          ~label:tainted_label ~quota:8192L "tainted copy"
+      in
+      Alcotest.(check string) "copy contents" "data"
+        (Sys.segment_read (centry root copy) ());
+      Alcotest.(check bool) "copy label" true
+        (Label.equal (Sys.obj_label (centry root copy)) tainted_label))
+
+let test_immutable () =
+  in_kernel (fun root ->
+      let seg =
+        Sys.segment_create ~container:root ~label:l1 ~quota:8192L ~len:4 "s"
+      in
+      Sys.set_immutable (centry root seg);
+      match Sys.segment_write (centry root seg) "x" with
+      | () -> Alcotest.fail "expected Immutable error"
+      | exception Kernel_error (Immutable _) -> ())
+
+(* ---------- TLS ---------- *)
+
+let test_tls_per_thread () =
+  in_kernel (fun root ->
+      Sys.tls_write "parent";
+      let child_saw = ref "?" in
+      let _tid =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"child" (fun () ->
+            Sys.tls_write "child";
+            child_saw := Sys.tls_read ())
+      in
+      join (fun () -> !child_saw <> "?");
+      Alcotest.(check string) "child tls" "child" !child_saw;
+      Alcotest.(check string) "parent tls intact" "parent" (Sys.tls_read ()))
+
+(* ---------- containers, entries, quotas ---------- *)
+
+let test_container_entries_require_read () =
+  in_kernel (fun root ->
+      let c = Sys.cat_create () in
+      (* a container only readable when tainted c3 *)
+      let hidden =
+        Sys.container_create ~container:root
+          ~label:(l [ (c, Level.L3) ] Level.L1)
+          ~quota:65536L "hidden"
+      in
+      let seg =
+        Sys.segment_create ~container:hidden
+          ~label:(l [ (c, Level.L3) ] Level.L1)
+          ~quota:8192L ~len:4 "s"
+      in
+      let _tid =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"outsider" (fun () ->
+            (* cannot use a container entry through an unreadable container *)
+            expect_label_error (fun () ->
+                ignore (Sys.segment_read (centry hidden seg) ())))
+      in
+      Sys.yield ())
+
+let test_container_self_entry () =
+  in_kernel (fun root ->
+      let d =
+        Sys.container_create ~container:root ~label:l1 ~quota:65536L "d"
+      in
+      (* ⟨D,D⟩ works even without naming the parent *)
+      let es = Sys.container_list (self_entry d) in
+      Alcotest.(check int) "empty" 0 (List.length es))
+
+let test_unref_recursive () =
+  in_kernel_k (fun k root ->
+      let d = Sys.container_create ~container:root ~label:l1 ~quota:65536L "d" in
+      let inner = Sys.container_create ~container:d ~label:l1 ~quota:32768L "i" in
+      let seg =
+        Sys.segment_create ~container:inner ~label:l1 ~quota:8192L ~len:4 "s"
+      in
+      let before = Kernel.object_count k in
+      Sys.unref (centry root d);
+      (* d, inner, seg all gone *)
+      Alcotest.(check int) "three objects freed" (before - 3)
+        (Kernel.object_count k);
+      Alcotest.(check bool) "segment gone" true
+        (Kernel.obj_kind k seg = None))
+
+let test_hard_link_keeps_alive () =
+  in_kernel_k (fun k root ->
+      let d1 = Sys.container_create ~container:root ~label:l1 ~quota:65536L "d1" in
+      let d2 = Sys.container_create ~container:root ~label:l1 ~quota:65536L "d2" in
+      let seg =
+        Sys.segment_create ~container:d1 ~label:l1 ~quota:4096L ~len:4 "s"
+      in
+      Sys.segment_write (centry d1 seg) "data";
+      Sys.set_fixed_quota (centry d1 seg);
+      Sys.container_link ~container:d2 ~target:(centry d1 seg);
+      Sys.unref (centry root d1);
+      (* still reachable through d2 *)
+      Alcotest.(check string) "alive via d2" "data"
+        (Sys.segment_read (centry d2 seg) ());
+      Sys.unref (centry d2 seg);
+      Alcotest.(check bool) "now gone" true (Kernel.obj_kind k seg = None))
+
+let test_link_requires_fixed_quota () =
+  in_kernel (fun root ->
+      let d2 = Sys.container_create ~container:root ~label:l1 ~quota:65536L "d2" in
+      let seg =
+        Sys.segment_create ~container:root ~label:l1 ~quota:4096L ~len:4 "s"
+      in
+      expect_error (fun () ->
+          Sys.container_link ~container:d2 ~target:(centry root seg)))
+
+let test_quota_exhaustion () =
+  in_kernel (fun root ->
+      let d =
+        Sys.container_create ~container:root ~label:l1 ~quota:4096L "small"
+      in
+      (* container overhead 512; a segment with quota 8192 can't fit *)
+      match
+        Sys.segment_create ~container:d ~label:l1 ~quota:8192L ~len:0 "big"
+      with
+      | _ -> Alcotest.fail "expected quota error"
+      | exception Kernel_error (Quota _) -> ())
+
+let test_quota_move () =
+  in_kernel (fun root ->
+      let d =
+        Sys.container_create ~container:root ~label:l1 ~quota:8192L "d"
+      in
+      let seg =
+        Sys.segment_create ~container:d ~label:l1 ~quota:1024L ~len:0 "s"
+      in
+      (* growing the segment beyond 1024 fails until we move quota in *)
+      expect_error (fun () -> Sys.segment_resize (centry d seg) 2048);
+      Sys.quota_move ~container:d ~target:seg ~nbytes:4096L;
+      Sys.segment_resize (centry d seg) 2048;
+      let q, u = Sys.obj_quota (centry d seg) in
+      Alcotest.(check int64) "quota" 5120L q;
+      Alcotest.(check bool) "usage within" true (Int64.compare u q <= 0))
+
+let test_segment_growth_bounded_by_quota () =
+  in_kernel (fun root ->
+      let seg =
+        Sys.segment_create ~container:root ~label:l1 ~quota:1024L ~len:0 "s"
+      in
+      match Sys.segment_resize (centry root seg) 100_000 with
+      | () -> Alcotest.fail "expected quota error"
+      | exception Kernel_error (Quota _) -> ())
+
+let test_avoid_types () =
+  in_kernel (fun root ->
+      let d =
+        Sys.container_create ~avoid:[ Thread ] ~container:root ~label:l1
+          ~quota:1_000_000L "no threads"
+      in
+      (match
+         Sys.thread_create ~container:d ~label:l1 ~clearance:l2 ~quota:65536L
+           ~name:"t" (fun () -> ())
+       with
+      | _ -> Alcotest.fail "expected avoid_type error"
+      | exception Kernel_error (Avoid_type _) -> ());
+      (* inherited by sub-containers *)
+      let sub = Sys.container_create ~container:d ~label:l1 ~quota:65536L "sub" in
+      match
+        Sys.thread_create ~container:sub ~label:l1 ~clearance:l2 ~quota:32768L
+          ~name:"t" (fun () -> ())
+      with
+      | _ -> Alcotest.fail "expected inherited avoid_type error"
+      | exception Kernel_error (Avoid_type _) -> ())
+
+(* ---------- threads ---------- *)
+
+let test_thread_label_rules () =
+  in_kernel (fun root ->
+      (* cannot spawn a thread owning a category we don't own *)
+      let foreign = Category.of_int 12345 in
+      expect_label_error (fun () ->
+          ignore
+            (Sys.thread_create ~container:root
+               ~label:(l [ (foreign, Level.Star) ] Level.L1)
+               ~clearance:l2 ~quota:65536L ~name:"evil" (fun () -> ())));
+      (* owning it makes the same spawn legal *)
+      let c = Sys.cat_create () in
+      let _tid =
+        Sys.thread_create ~container:root
+          ~label:(l [ (c, Level.Star) ] Level.L1)
+          ~clearance:(l [ (c, Level.L3) ] Level.L2)
+          ~quota:65536L ~name:"good" (fun () -> ())
+      in
+      ())
+
+let test_thread_clearance_bound () =
+  in_kernel (fun root ->
+      (* child clearance must be ⊑ parent clearance *)
+      expect_label_error (fun () ->
+          ignore
+            (Sys.thread_create ~container:root ~label:l1
+               ~clearance:(Label.make Level.L3) ~quota:65536L ~name:"over"
+               (fun () -> ()))))
+
+let test_alert_wakes () =
+  in_kernel (fun root ->
+      let asp = Sys.as_create ~container:root ~label:l1 ~quota:4096L "as" in
+      let got = ref (-1) in
+      let tid =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"waiter" (fun () ->
+            Sys.self_set_as (centry root asp);
+            got := Sys.wait_alert ())
+      in
+      Sys.yield ();
+      (* waiter is now blocked *)
+      Sys.thread_alert (centry root tid) 9;
+      join (fun () -> !got >= 0);
+      Alcotest.(check int) "alert delivered" 9 !got)
+
+let test_alert_requires_as_write () =
+  in_kernel (fun root ->
+      let c = Sys.cat_create () in
+      (* AS writable only by owners of c *)
+      let asp =
+        Sys.as_create ~container:root
+          ~label:(l [ (c, Level.L0) ] Level.L1)
+          ~quota:4096L "as"
+      in
+      let tid =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"victim" (fun () -> Sys.yield ())
+      in
+      (* victim adopts the AS: needs observe only *)
+      ignore asp;
+      let _attacker =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"attacker" (fun () ->
+            expect_error (fun () -> Sys.thread_alert (centry root tid) 9))
+      in
+      Sys.yield ())
+
+(* ---------- futexes ---------- *)
+
+let test_futex_wait_wake () =
+  in_kernel (fun root ->
+      let seg =
+        Sys.segment_create ~container:root ~label:l1 ~quota:8192L ~len:8 "f"
+      in
+      let ce = centry root seg in
+      let order = ref [] in
+      let _waiter =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"waiter" (fun () ->
+            Sys.futex_wait ce ~off:0 ~expected:0L;
+            order := "woke" :: !order)
+      in
+      Sys.yield ();
+      order := "waking" :: !order;
+      let n = Sys.futex_wake ce ~off:0 ~count:1 in
+      join (fun () -> List.mem "woke" !order);
+      Alcotest.(check int) "one woken" 1 n;
+      Alcotest.(check (list string)) "ordering" [ "woke"; "waking" ] !order)
+
+let test_futex_value_mismatch_returns () =
+  in_kernel (fun root ->
+      let seg =
+        Sys.segment_create ~container:root ~label:l1 ~quota:8192L ~len:8 "f"
+      in
+      let ce = centry root seg in
+      let e = Histar_util.Codec.Enc.create () in
+      Histar_util.Codec.Enc.i64 e 7L;
+      Sys.segment_write ce (Histar_util.Codec.Enc.to_string e);
+      (* expected 0 but value is 7: returns immediately *)
+      Sys.futex_wait ce ~off:0 ~expected:0L)
+
+(* ---------- gates ---------- *)
+
+let test_gate_grants_privilege () =
+  in_kernel (fun root ->
+      (* A privileged daemon owns c and exposes a gate granting c. The
+         caller picks up ownership by entering with L_R including c⋆ —
+         allowed because the gate's label owns c. *)
+      let c = Sys.cat_create () in
+      let glabel = l [ (c, Level.Star) ] Level.L1 in
+      let observed = ref None in
+      let gate =
+        Sys.gate_create ~container:root ~label:glabel ~clearance:l2
+          ~quota:4096L ~name:"grant-c" (fun () ->
+            observed := Some (Sys.self_label ());
+            Sys.self_halt ())
+      in
+      let _caller =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"caller" (fun () ->
+            Sys.gate_enter ~gate:(centry root gate)
+              ~label:(l [ (c, Level.Star) ] Level.L1)
+              ~clearance:l2 ())
+      in
+      join (fun () -> !observed <> None);
+      match !observed with
+      | Some lbl -> Alcotest.(check bool) "owns c inside gate" true (Label.owns lbl c)
+      | None -> Alcotest.fail "gate entry did not run")
+
+let test_gate_cannot_self_grant () =
+  in_kernel (fun root ->
+      (* entering a gate that does NOT own c cannot yield c⋆ *)
+      let gate =
+        Sys.gate_create ~container:root ~label:l1 ~clearance:l2 ~quota:4096L
+          ~name:"plain" (fun () -> Sys.self_halt ())
+      in
+      let foreign = Category.of_int 4242 in
+      let _caller =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"caller" (fun () ->
+            expect_label_error (fun () ->
+                Sys.gate_enter ~gate:(centry root gate)
+                  ~label:(l [ (foreign, Level.Star) ] Level.L1)
+                  ~clearance:l2 ()))
+      in
+      Sys.yield ())
+
+let test_gate_clearance_gates_invocation () =
+  in_kernel (fun root ->
+      let c = Sys.cat_create () in
+      (* gate requiring ownership of c to invoke: clearance {c0, 2} *)
+      let gate =
+        Sys.gate_create ~container:root ~label:l1
+          ~clearance:(l [ (c, Level.L0) ] Level.L2)
+          ~quota:4096L ~name:"locked" (fun () -> Sys.self_halt ())
+      in
+      let _outsider =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"outsider" (fun () ->
+            (* L_T = {1}: L_T ⊑ {c0,2} fails in category c *)
+            expect_label_error (fun () ->
+                Sys.gate_enter ~gate:(centry root gate) ~label:l1 ~clearance:l2
+                  ()))
+      in
+      Sys.yield ())
+
+let test_gate_call_round_trip () =
+  in_kernel (fun root ->
+      (* the timestamped-signature daemon of §5.5, minus the crypto *)
+      let service_calls = ref 0 in
+      let gate =
+        Sys.gate_create ~container:root ~label:l1 ~clearance:l2 ~quota:4096L
+          ~name:"sigd" (fun () ->
+            incr service_calls;
+            let input = Sys.tls_read () in
+            Sys.tls_write ("signed:" ^ input);
+            match Sys.self_get_return_gate () with
+            | Some rg -> Sys.gate_enter ~gate:rg ~label:l1 ~clearance:l2 ()
+            | None -> Alcotest.fail "no return gate")
+      in
+      let answer = ref "" in
+      let _caller =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"client" (fun () ->
+            Sys.tls_write "doc";
+            Sys.gate_call ~gate:(centry root gate) ~label:l1 ~clearance:l2
+              ~return_container:root ~return_label:l1 ~return_clearance:l2 ();
+            answer := Sys.tls_read ())
+      in
+      join (fun () -> !answer <> "");
+      Alcotest.(check int) "service ran once" 1 !service_calls;
+      Alcotest.(check string) "result returned" "signed:doc" !answer)
+
+let test_gate_call_restores_privilege () =
+  in_kernel (fun root ->
+      let c = Sys.cat_create () in
+      let my_label = l [ (c, Level.Star) ] Level.L1 in
+      let gate =
+        Sys.gate_create ~container:root ~label:l1 ~clearance:l2 ~quota:4096L
+          ~name:"svc" (fun () ->
+            (* inside the service we do NOT own c *)
+            Alcotest.(check bool) "dropped c" false
+              (Label.owns (Sys.self_label ()) c);
+            match Sys.self_get_return_gate () with
+            | Some rg ->
+                Sys.gate_enter ~gate:rg ~label:my_label
+                  ~clearance:(l [ (c, Level.L3) ] Level.L2)
+                  ()
+            | None -> Alcotest.fail "no return gate")
+      in
+      let restored = ref false in
+      let _caller =
+        Sys.thread_create ~container:root ~label:my_label
+          ~clearance:(l [ (c, Level.L3) ] Level.L2)
+          ~quota:65536L ~name:"client" (fun () ->
+            Sys.gate_call ~gate:(centry root gate) ~label:l1 ~clearance:l2
+              ~return_container:root ~return_label:my_label
+              ~return_clearance:(l [ (c, Level.L3) ] Level.L2)
+              ();
+            restored := Label.owns (Sys.self_label ()) c)
+      in
+      join (fun () -> !restored);
+      Alcotest.(check bool) "privilege restored after return" true !restored)
+
+let test_return_gate_single_use () =
+  in_kernel (fun root ->
+      let saved = ref None in
+      let gate =
+        Sys.gate_create ~container:root ~label:l1 ~clearance:l2 ~quota:4096L
+          ~name:"svc" (fun () ->
+            let rg = Option.get (Sys.self_get_return_gate ()) in
+            saved := Some rg;
+            Sys.gate_enter ~gate:rg ~label:l1 ~clearance:l2 ())
+      in
+      let _caller =
+        Sys.thread_create ~container:root ~label:l1 ~clearance:l2 ~quota:65536L
+          ~name:"client" (fun () ->
+            Sys.gate_call ~gate:(centry root gate) ~label:l1 ~clearance:l2
+              ~return_container:root ~return_label:l1 ~return_clearance:l2 ();
+            (* calling the consumed return gate again must fail *)
+            expect_error (fun () ->
+                Sys.gate_enter ~gate:(Option.get !saved) ~label:l1
+                  ~clearance:l2 ()))
+      in
+      Sys.yield ();
+      Sys.yield ();
+      Sys.yield ())
+
+(* ---------- devices ---------- *)
+
+let test_netdev_taint () =
+  let k = Kernel.create () in
+  let root = Kernel.root k in
+  let sent = ref [] in
+  let i = Category.of_int 777 in
+  let dev_label = l [ (i, Level.L2) ] Level.L1 in
+  let dev =
+    Kernel.attach_netdev k ~container:root ~label:dev_label ~mac:"02:00:00:00:00:01"
+      ~transmit:(fun frame -> sent := frame :: !sent)
+  in
+  let phase = ref [] in
+  let _tid =
+    Kernel.spawn k ~name:"netd"
+      ~label:(l [ (i, Level.L2) ] Level.L1)
+      ~clearance:(l [ (i, Level.L2) ] Level.L2)
+      (fun () ->
+        let ce = centry root dev in
+        Alcotest.(check string) "mac" "02:00:00:00:00:01" (Sys.net_mac ce);
+        Sys.net_send ce "ping";
+        phase := "sent" :: !phase;
+        let pkt = Sys.net_recv ce in
+        phase := ("got:" ^ pkt) :: !phase)
+  in
+  Kernel.run k;
+  (* thread should now be blocked in net_recv *)
+  Alcotest.(check int) "blocked on rx" 1 (Kernel.blocked_count k);
+  Kernel.deliver_packet k dev "pong";
+  Kernel.run k;
+  Alcotest.(check (list string)) "tx seen" [ "ping" ] !sent;
+  Alcotest.(check (list string)) "phases" [ "got:pong"; "sent" ] !phase
+
+let test_netdev_untainted_cannot_recv () =
+  let k = Kernel.create () in
+  let root = Kernel.root k in
+  let i = Category.of_int 777 in
+  let dev =
+    Kernel.attach_netdev k ~container:root
+      ~label:(l [ (i, Level.L2) ] Level.L1)
+      ~mac:"02:00:00:00:00:02" ~transmit:ignore
+  in
+  let checked = ref false in
+  let _tid =
+    Kernel.spawn k ~name:"plain" (fun () ->
+        (* untainted thread: reading the device would taint-violate *)
+        expect_label_error (fun () -> ignore (Sys.net_recv (centry root dev)));
+        checked := true)
+  in
+  Kernel.run k;
+  Alcotest.(check bool) "denied" true !checked
+
+let test_netdev_vpn_tainted_cannot_send () =
+  let k = Kernel.create () in
+  let root = Kernel.root k in
+  let i = Category.of_int 777 and v = Category.of_int 888 in
+  let dev =
+    Kernel.attach_netdev k ~container:root
+      ~label:(l [ (i, Level.L2) ] Level.L1)
+      ~mac:"02:00:00:00:00:03" ~transmit:ignore
+  in
+  let checked = ref false in
+  let _tid =
+    Kernel.spawn k ~name:"vpn-tainted"
+      ~label:(l [ (v, Level.L2) ] Level.L1)
+      ~clearance:(l [ (v, Level.L2) ] Level.L2)
+      (fun () ->
+        (* v-tainted data must not leave via the internet device *)
+        expect_label_error (fun () -> Sys.net_send (centry root dev) "secret");
+        checked := true)
+  in
+  Kernel.run k;
+  Alcotest.(check bool) "blocked transmission" true !checked
+
+(* ---------- persistence ---------- *)
+
+let mk_store () =
+  let clock = Histar_util.Sim_clock.create () in
+  let disk =
+    Histar_disk.Disk.create
+      ~geometry:{ Histar_disk.Disk.sectors = 500_000; sector_bytes = 512 }
+      ~clock ()
+  in
+  (disk, Histar_store.Store.format ~disk ~wal_sectors:1024 ())
+
+let test_checkpoint_recover () =
+  let _disk, store = mk_store () in
+  let k = Kernel.create ~store () in
+  let root = Kernel.root k in
+  let seg_id = ref 0L in
+  let dir_id = ref 0L in
+  let _tid =
+    Kernel.spawn k ~name:"init" (fun () ->
+        let d = Sys.container_create ~container:root ~label:l1 ~quota:65536L "home" in
+        let s = Sys.segment_create ~container:d ~label:l1 ~quota:8192L ~len:5 "file" in
+        Sys.segment_write (centry d s) "hello";
+        dir_id := d;
+        seg_id := s)
+  in
+  Kernel.run k;
+  Kernel.checkpoint k;
+  (* "reboot": rebuild from the store *)
+  let k' = Kernel.recover ~store in
+  Alcotest.(check (option string)) "segment data survives" (Some "hello")
+    (Kernel.segment_data k' !seg_id);
+  Alcotest.(check bool) "container structure survives" true
+    (match Kernel.container_children k' !dir_id with
+    | Some kids -> List.mem_assoc !seg_id kids
+    | None -> false);
+  (* labels survive *)
+  Alcotest.(check bool) "label survives" true
+    (match Kernel.obj_label k' !seg_id with
+    | Some lbl -> Label.equal lbl l1
+    | None -> false);
+  (* recovered kernel can run new threads against old objects *)
+  let root' = Kernel.root k' in
+  ignore root';
+  let readback = ref "" in
+  let _tid =
+    Kernel.spawn k' ~name:"reader" (fun () ->
+        readback := Sys.segment_read (centry !dir_id !seg_id) ())
+  in
+  Kernel.run k';
+  Alcotest.(check string) "readable after recovery" "hello" !readback
+
+let test_sync_object_path () =
+  let _disk, store = mk_store () in
+  let k = Kernel.create ~store () in
+  let root = Kernel.root k in
+  let _tid =
+    Kernel.spawn k ~name:"init" (fun () ->
+        let s =
+          Sys.segment_create ~container:root ~label:l1 ~quota:8192L ~len:4 "f"
+        in
+        Sys.segment_write (centry root s) "sync";
+        Sys.sync_object (centry root s))
+  in
+  Kernel.run k;
+  let st = Histar_store.Store.stats store in
+  Alcotest.(check bool) "wal commit happened" true
+    (st.Histar_store.Store.wal_commits >= 1)
+
+(* ---------- flow oracle ---------- *)
+
+let prop_flow_oracle =
+  QCheck2.Test.make ~name:"every permitted access obeys the flow rules"
+    ~count:60
+    QCheck2.Gen.(int_range 1 100_000)
+    (fun seed ->
+      let k = Kernel.create ~seed:(Int64.of_int seed) () in
+      let violations = ref [] in
+      Kernel.set_trace k
+        (Some
+           (fun ev ->
+             let ok =
+               match ev.Kernel.ev_dir with
+               | `Observe ->
+                   Label.can_observe ~thread:ev.Kernel.ev_thread_label
+                     ~obj:ev.Kernel.ev_obj_label
+               | `Modify ->
+                   Label.can_modify ~thread:ev.Kernel.ev_thread_label
+                     ~obj:ev.Kernel.ev_obj_label
+             in
+             if not ok then violations := ev :: !violations));
+      let root = Kernel.root k in
+      let rng = Histar_util.Rng.create (Int64.of_int seed) in
+      let _tid =
+        Kernel.spawn k ~name:"fuzz" (fun () ->
+            let cats = Array.init 3 (fun _ -> Sys.cat_create ()) in
+            (* drop ownership of a random subset by spawning children *)
+            let segs = ref [] in
+            for _ = 1 to 30 do
+              let c = cats.(Histar_util.Rng.int rng 3) in
+              let lv =
+                match Histar_util.Rng.int rng 4 with
+                | 0 -> Level.L0
+                | 1 -> Level.L1
+                | 2 -> Level.L2
+                | _ -> Level.L3
+              in
+              let lbl = l [ (c, lv) ] Level.L1 in
+              match
+                Sys.segment_create ~container:root ~label:lbl ~quota:4096L
+                  ~len:8 "fz"
+              with
+              | s -> segs := s :: !segs
+              | exception Kernel_error _ -> ()
+            done;
+            (* children with random labels try random accesses *)
+            for _ = 1 to 10 do
+              let c = cats.(Histar_util.Rng.int rng 3) in
+              let taint = Histar_util.Rng.bool rng in
+              let lbl = if taint then l [ (c, Level.L3) ] Level.L1 else l1 in
+              let clr = if taint then l [ (c, Level.L3) ] Level.L2 else l2 in
+              let segs' = !segs in
+              match
+                Sys.thread_create ~container:root ~label:lbl ~clearance:clr
+                  ~quota:65536L ~name:"fz-child" (fun () ->
+                    List.iter
+                      (fun s ->
+                        let ce = centry root s in
+                        (try ignore (Sys.segment_read ce ())
+                         with Kernel_error _ -> ());
+                        try Sys.segment_write ce "xxxxxxxx"
+                        with Kernel_error _ -> ())
+                      segs')
+              with
+              | _ -> ()
+              | exception Kernel_error _ -> ()
+            done)
+      in
+      Kernel.run k;
+      !violations = [])
+
+let () =
+  Alcotest.run "histar_kernel"
+    [
+      ( "lifecycle",
+        [
+          Alcotest.test_case "spawn runs" `Quick test_spawn_runs;
+          Alcotest.test_case "default labels" `Quick test_self_label_default;
+          Alcotest.test_case "cat_create grants star" `Quick
+            test_cat_create_grants_star;
+          Alcotest.test_case "categories distinct" `Quick
+            test_categories_distinct;
+        ] );
+      ( "self labels",
+        [
+          Alcotest.test_case "taint self" `Quick test_taint_self_ok;
+          Alcotest.test_case "clearance bound" `Quick
+            test_cannot_exceed_clearance;
+          Alcotest.test_case "no label lowering" `Quick test_cannot_lower_label;
+          Alcotest.test_case "clearance raise needs ownership" `Quick
+            test_raise_clearance_owned_only;
+          Alcotest.test_case "clearance lowering" `Quick test_lower_clearance_ok;
+        ] );
+      ( "segments",
+        [
+          Alcotest.test_case "read/write/resize" `Quick test_segment_rw;
+          Alcotest.test_case "bounds" `Quick test_segment_oob;
+          Alcotest.test_case "tainted unreadable" `Quick
+            test_tainted_segment_unreadable;
+          Alcotest.test_case "taint to read" `Quick test_taint_to_read;
+          Alcotest.test_case "no write down" `Quick
+            test_tainted_thread_cannot_write_down;
+          Alcotest.test_case "integrity protection" `Quick
+            test_integrity_write_protection;
+          Alcotest.test_case "copy with new label" `Quick
+            test_segment_copy_new_label;
+          Alcotest.test_case "immutable" `Quick test_immutable;
+          Alcotest.test_case "tls per thread" `Quick test_tls_per_thread;
+        ] );
+      ( "containers",
+        [
+          Alcotest.test_case "entries require read" `Quick
+            test_container_entries_require_read;
+          Alcotest.test_case "self entry" `Quick test_container_self_entry;
+          Alcotest.test_case "recursive unref" `Quick test_unref_recursive;
+          Alcotest.test_case "hard links" `Quick test_hard_link_keeps_alive;
+          Alcotest.test_case "link needs fixed quota" `Quick
+            test_link_requires_fixed_quota;
+          Alcotest.test_case "quota exhaustion" `Quick test_quota_exhaustion;
+          Alcotest.test_case "quota move" `Quick test_quota_move;
+          Alcotest.test_case "segment growth bounded" `Quick
+            test_segment_growth_bounded_by_quota;
+          Alcotest.test_case "avoid types" `Quick test_avoid_types;
+        ] );
+      ( "threads",
+        [
+          Alcotest.test_case "label rules" `Quick test_thread_label_rules;
+          Alcotest.test_case "clearance bound" `Quick
+            test_thread_clearance_bound;
+          Alcotest.test_case "alert wakes" `Quick test_alert_wakes;
+          Alcotest.test_case "alert needs AS write" `Quick
+            test_alert_requires_as_write;
+        ] );
+      ( "futexes",
+        [
+          Alcotest.test_case "wait/wake" `Quick test_futex_wait_wake;
+          Alcotest.test_case "value mismatch" `Quick
+            test_futex_value_mismatch_returns;
+        ] );
+      ( "gates",
+        [
+          Alcotest.test_case "grant privilege" `Quick test_gate_grants_privilege;
+          Alcotest.test_case "no self-grant" `Quick test_gate_cannot_self_grant;
+          Alcotest.test_case "clearance gates invocation" `Quick
+            test_gate_clearance_gates_invocation;
+          Alcotest.test_case "call round trip" `Quick test_gate_call_round_trip;
+          Alcotest.test_case "privilege restored" `Quick
+            test_gate_call_restores_privilege;
+          Alcotest.test_case "return gate single use" `Quick
+            test_return_gate_single_use;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "send/recv with taint" `Quick test_netdev_taint;
+          Alcotest.test_case "untainted cannot recv" `Quick
+            test_netdev_untainted_cannot_recv;
+          Alcotest.test_case "vpn taint cannot send" `Quick
+            test_netdev_vpn_tainted_cannot_send;
+        ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "checkpoint/recover" `Quick test_checkpoint_recover;
+          Alcotest.test_case "sync object" `Quick test_sync_object_path;
+        ] );
+      ("flow oracle", [ QCheck_alcotest.to_alcotest prop_flow_oracle ]);
+    ]

@@ -1,0 +1,225 @@
+open Histar_label
+
+let cat = Category.of_int
+let lbl entries d = Label.of_list entries d
+let label_t = Alcotest.testable Label.pp Label.equal
+let level_t = Alcotest.testable Level.pp Level.equal
+
+(* The paper's running example (§2): L = {w0, r3, 1}. *)
+let w = cat 1
+let r = cat 2
+let v = cat 3
+
+let test_paper_example () =
+  let l = lbl [ (w, Level.L0); (r, Level.L3) ] Level.L1 in
+  Alcotest.check level_t "L(w)=0" Level.L0 (Label.get l w);
+  Alcotest.check level_t "L(r)=3" Level.L3 (Label.get l r);
+  Alcotest.check level_t "L(other)=1" Level.L1 (Label.get l v)
+
+let test_normalization () =
+  let l = Label.set (lbl [ (w, Level.L0) ] Level.L1) w Level.L1 in
+  Alcotest.check label_t "set to default removes entry" (Label.make Level.L1) l;
+  Alcotest.(check int) "no entries" 0 (List.length (Label.entries l))
+
+let test_leq_basics () =
+  let t = Label.make Level.L1 in
+  let o_more = lbl [ (v, Level.L3) ] Level.L1 in
+  let o_less = lbl [ (v, Level.L0) ] Level.L1 in
+  (* §2: thread {1} cannot read {c3,1}, cannot write {c0,1} *)
+  Alcotest.(check bool) "more tainted not ⊑ thread" false (Label.leq o_more t);
+  Alcotest.(check bool) "thread ⊑ more tainted" true (Label.leq t o_more);
+  Alcotest.(check bool) "thread not ⊑ less tainted" false (Label.leq t o_less);
+  Alcotest.(check bool) "less tainted ⊑ thread" true (Label.leq o_less t)
+
+let test_observe_modify () =
+  let thread = Label.make Level.L1 in
+  let tainted = lbl [ (v, Level.L3) ] Level.L1 in
+  let integrity = lbl [ (v, Level.L0) ] Level.L1 in
+  Alcotest.(check bool) "cannot observe more tainted" false
+    (Label.can_observe ~thread ~obj:tainted);
+  Alcotest.(check bool) "cannot modify low-integrity" false
+    (Label.can_modify ~thread ~obj:integrity);
+  Alcotest.(check bool) "can observe low-integrity" true
+    (Label.can_observe ~thread ~obj:integrity);
+  (* Ownership bypasses both. *)
+  let owner = lbl [ (v, Level.Star) ] Level.L1 in
+  Alcotest.(check bool) "owner observes tainted" true
+    (Label.can_observe ~thread:owner ~obj:tainted);
+  Alcotest.(check bool) "owner modifies low-integrity" true
+    (Label.can_modify ~thread:owner ~obj:integrity)
+
+let test_star_j_shift () =
+  (* §2.2: if L = {a*, bJ, 1} then L^J = {aJ, bJ, 1}, L^* = {a*, b*, 1} *)
+  let a = cat 10 and b = cat 11 in
+  let l =
+    Label.set (Label.set (Label.make Level.L1) a Level.Star) b Level.J
+  in
+  Alcotest.check label_t "raise_j"
+    (lbl [ (a, Level.J); (b, Level.J) ] Level.L1)
+    (Label.raise_j l);
+  Alcotest.check label_t "lower_star"
+    (lbl [ (a, Level.Star); (b, Level.Star) ] Level.L1)
+    (Label.lower_star l)
+
+let test_taint_to_read () =
+  (* To observe O labeled {v3,1}, thread {1} must raise to {v3,1}. *)
+  let thread = Label.make Level.L1 in
+  let obj = lbl [ (v, Level.L3) ] Level.L1 in
+  let raised = Label.taint_to_read ~thread ~obj in
+  Alcotest.check label_t "minimal taint" obj raised;
+  (* An owner of v keeps its star after tainting to read. *)
+  let owner = lbl [ (v, Level.Star) ] Level.L1 in
+  let raised = Label.taint_to_read ~thread:owner ~obj in
+  Alcotest.check level_t "ownership preserved" Level.Star (Label.get raised v)
+
+let test_taint_to_read_satisfies_both () =
+  let thread = lbl [ (w, Level.L0) ] Level.L1 in
+  let obj = lbl [ (v, Level.L3); (r, Level.L2) ] Level.L1 in
+  let raised = Label.taint_to_read ~thread ~obj in
+  Alcotest.(check bool) "L_T ⊑ L'_T" true (Label.leq thread raised);
+  Alcotest.(check bool) "L_O ⊑ L'_T^J" true
+    (Label.can_observe ~thread:raised ~obj)
+
+let test_wrap_scenario () =
+  (* Figure 4: the ClamAV port label configuration. *)
+  let br = cat 20 and bw = cat 21 and vv = cat 22 in
+  let user_data = lbl [ (bw, Level.L0); (br, Level.L3) ] Level.L1 in
+  let wrap = lbl [ (br, Level.Star); (vv, Level.Star) ] Level.L1 in
+  let scanner = lbl [ (br, Level.L3); (vv, Level.L3) ] Level.L1 in
+  let update_daemon = Label.make Level.L1 in
+  let network = Label.make Level.L1 in
+  Alcotest.(check bool) "wrap reads user data" true
+    (Label.can_observe ~thread:wrap ~obj:user_data);
+  Alcotest.(check bool) "scanner reads user data" true
+    (Label.can_observe ~thread:scanner ~obj:user_data);
+  Alcotest.(check bool) "update daemon cannot read user data" false
+    (Label.can_observe ~thread:update_daemon ~obj:user_data);
+  (* Information tainted v3 cannot flow to the untainted network. *)
+  Alcotest.(check bool) "scanner output cannot reach network" false
+    (Label.can_flow ~src:scanner ~dst:network);
+  (* wrap, owning v, can untaint: scanner ⊑ wrap^J. *)
+  Alcotest.(check bool) "wrap can receive scanner output" true
+    (Label.leq scanner (Label.raise_j wrap))
+
+let test_validity () =
+  let obj = lbl [ (v, Level.L3) ] Level.L1 in
+  let thr = lbl [ (v, Level.Star) ] Level.L1 in
+  Alcotest.(check bool) "object label valid" true (Label.is_object_label obj);
+  Alcotest.(check bool) "star not object label" false (Label.is_object_label thr);
+  Alcotest.(check bool) "star storable" true (Label.is_storable thr);
+  Alcotest.(check bool) "J not storable" false
+    (Label.is_storable (Label.raise_j thr))
+
+let test_codec_roundtrip () =
+  let l = lbl [ (w, Level.L0); (r, Level.L3); (v, Level.Star) ] Level.L2 in
+  let e = Histar_util.Codec.Enc.create () in
+  Label.encode e l;
+  let d = Histar_util.Codec.Dec.of_string (Histar_util.Codec.Enc.to_string e) in
+  Alcotest.check label_t "round-trip" l (Label.decode d)
+
+let test_pp () =
+  let l = lbl [ (w, Level.L0) ] Level.L1 in
+  Alcotest.(check string) "paper notation" "{c1 0, 1}" (Label.to_string l)
+
+(* ---------- qcheck: lattice laws ---------- *)
+
+let gen_level_storable =
+  QCheck2.Gen.oneofl Level.[ Star; L0; L1; L2; L3 ]
+
+let gen_level_numeric = QCheck2.Gen.oneofl Level.[ L0; L1; L2; L3 ]
+
+let gen_label =
+  let open QCheck2.Gen in
+  let* d = gen_level_numeric in
+  let* n = int_bound 4 in
+  let* entries =
+    list_size (return n)
+      (pair (map cat (int_bound 7)) gen_level_storable)
+  in
+  return (Label.of_list entries d)
+
+let prop name gen f = QCheck2.Test.make ~name ~count:500 gen f
+
+let qcheck_tests =
+  let open QCheck2.Gen in
+  [
+    prop "leq reflexive" gen_label (fun l -> Label.leq l l);
+    prop "leq antisymmetric" (pair gen_label gen_label) (fun (a, b) ->
+        if Label.leq a b && Label.leq b a then Label.equal a b else true);
+    prop "leq transitive" (triple gen_label gen_label gen_label)
+      (fun (a, b, c) ->
+        if Label.leq a b && Label.leq b c then Label.leq a c else true);
+    prop "lub is upper bound" (pair gen_label gen_label) (fun (a, b) ->
+        let u = Label.lub a b in
+        Label.leq a u && Label.leq b u);
+    prop "lub is least" (triple gen_label gen_label gen_label)
+      (fun (a, b, c) ->
+        if Label.leq a c && Label.leq b c then Label.leq (Label.lub a b) c
+        else true);
+    prop "glb is lower bound" (pair gen_label gen_label) (fun (a, b) ->
+        let g = Label.glb a b in
+        Label.leq g a && Label.leq g b);
+    prop "glb is greatest" (triple gen_label gen_label gen_label)
+      (fun (a, b, c) ->
+        if Label.leq c a && Label.leq c b then Label.leq c (Label.glb a b)
+        else true);
+    prop "lub commutative" (pair gen_label gen_label) (fun (a, b) ->
+        Label.equal (Label.lub a b) (Label.lub b a));
+    prop "lub associative" (triple gen_label gen_label gen_label)
+      (fun (a, b, c) ->
+        Label.equal (Label.lub a (Label.lub b c)) (Label.lub (Label.lub a b) c));
+    prop "lub idempotent" gen_label (fun a -> Label.equal (Label.lub a a) a);
+    prop "absorption" (pair gen_label gen_label) (fun (a, b) ->
+        Label.equal (Label.lub a (Label.glb a b)) a);
+    prop "raise_j . lower_star stable on storable" gen_label (fun a ->
+        Label.equal
+          (Label.lower_star (Label.raise_j a))
+          (Label.lower_star (Label.raise_j (Label.lower_star (Label.raise_j a)))));
+    prop "taint_to_read is minimal" (pair gen_label gen_label)
+      (fun (thread, obj) ->
+        let raised = Label.taint_to_read ~thread ~obj in
+        Label.leq thread raised && Label.can_observe ~thread:raised ~obj);
+    prop "lattice distributivity" (triple gen_label gen_label gen_label)
+      (fun (a, b, c) ->
+        Label.equal
+          (Label.glb a (Label.lub b c))
+          (Label.lub (Label.glb a b) (Label.glb a c)));
+    prop "raise_j is extensive" gen_label (fun a ->
+        (* ⋆ < everything < J, so lifting ⋆ to J can only go up *)
+        Label.leq a (Label.raise_j a));
+    prop "lower_star . raise_j identity on star-free" gen_label (fun a ->
+        if Label.has_star a then true
+        else Label.equal (Label.lower_star (Label.raise_j a)) a);
+    prop "codec round-trip" gen_label (fun l ->
+        let e = Histar_util.Codec.Enc.create () in
+        Label.encode e l;
+        let d =
+          Histar_util.Codec.Dec.of_string (Histar_util.Codec.Enc.to_string e)
+        in
+        Label.equal l (Label.decode d));
+    prop "can_modify implies can_observe" (pair gen_label gen_label)
+      (fun (thread, obj) ->
+        if Label.can_modify ~thread ~obj then Label.can_observe ~thread ~obj
+        else true);
+  ]
+
+let () =
+  Alcotest.run "histar_label"
+    [
+      ( "label",
+        [
+          Alcotest.test_case "paper example" `Quick test_paper_example;
+          Alcotest.test_case "normalization" `Quick test_normalization;
+          Alcotest.test_case "leq basics" `Quick test_leq_basics;
+          Alcotest.test_case "observe/modify" `Quick test_observe_modify;
+          Alcotest.test_case "star/J shift" `Quick test_star_j_shift;
+          Alcotest.test_case "taint to read" `Quick test_taint_to_read;
+          Alcotest.test_case "taint satisfies both sides" `Quick
+            test_taint_to_read_satisfies_both;
+          Alcotest.test_case "wrap scenario (Fig 4)" `Quick test_wrap_scenario;
+          Alcotest.test_case "validity" `Quick test_validity;
+          Alcotest.test_case "codec" `Quick test_codec_roundtrip;
+          Alcotest.test_case "printing" `Quick test_pp;
+        ] );
+      ("lattice laws", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+    ]

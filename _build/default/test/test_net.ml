@@ -1,0 +1,399 @@
+module Clock = Histar_util.Sim_clock
+module Kernel = Histar_core.Kernel
+module Sys = Histar_core.Sys
+open Histar_net
+open Histar_label
+open Histar_core.Types
+
+let l entries d = Label.of_list entries d
+
+(* ---------- addr / packet ---------- *)
+
+let test_addr_roundtrip () =
+  let ip = Addr.ip_of_string "192.168.1.42" in
+  Alcotest.(check string) "dotted quad" "192.168.1.42" (Addr.ip_to_string ip);
+  Alcotest.(check bool) "equal" true
+    (Addr.equal (Addr.v "10.0.0.1" 80) (Addr.v "10.0.0.1" 80));
+  (try
+     ignore (Addr.ip_of_string "300.1.1.1");
+     Alcotest.fail "expected failure"
+   with Invalid_argument _ -> ())
+
+let test_packet_roundtrip () =
+  let f =
+    {
+      Packet.src_mac = "m1";
+      dst_mac = "m2";
+      ip =
+        {
+          Packet.src_ip = 1;
+          dst_ip = 2;
+          proto =
+            Packet.Tcp
+              {
+                Packet.src_port = 1000;
+                dst_port = 80;
+                seq = 7;
+                ack_no = 9;
+                flags = { Packet.no_flags with syn = true };
+                window = 65535;
+                payload = "payload";
+              };
+        };
+    }
+  in
+  match Packet.frame_of_bytes (Packet.frame_to_bytes f) with
+  | Some f' -> Alcotest.(check string) "same" (Packet.frame_to_bytes f) (Packet.frame_to_bytes f')
+  | None -> Alcotest.fail "decode failed"
+
+let test_packet_garbage () =
+  Alcotest.(check bool) "garbage rejected" true
+    (Packet.frame_of_bytes "not a frame" = None)
+
+let prop_frame_roundtrip =
+  let open QCheck2.Gen in
+  let gen_frame =
+    let* src_mac = string_size (int_bound 8) in
+    let* dst_mac = string_size (int_bound 8) in
+    let* src_ip = int_bound 0xFFFF in
+    let* dst_ip = int_bound 0xFFFF in
+    let* tcp = bool in
+    if tcp then
+      let* seq = int_bound 1_000_000 in
+      let* ack_no = int_bound 1_000_000 in
+      let* payload = string_size (int_bound 200) in
+      let* bits = int_bound 15 in
+      return
+        {
+          Packet.src_mac;
+          dst_mac;
+          ip =
+            {
+              Packet.src_ip;
+              dst_ip;
+              proto =
+                Packet.Tcp
+                  {
+                    Packet.src_port = 1;
+                    dst_port = 2;
+                    seq;
+                    ack_no;
+                    flags =
+                      {
+                        Packet.syn = bits land 1 <> 0;
+                        ack = bits land 2 <> 0;
+                        fin = bits land 4 <> 0;
+                        rst = bits land 8 <> 0;
+                      };
+                    window = 65535;
+                    payload;
+                  };
+            };
+        }
+    else
+      let* upayload = string_size (int_bound 200) in
+      return
+        {
+          Packet.src_mac;
+          dst_mac;
+          ip =
+            {
+              Packet.src_ip;
+              dst_ip;
+              proto = Packet.Udp { Packet.usrc_port = 3; udst_port = 4; upayload };
+            };
+        }
+  in
+  QCheck2.Test.make ~name:"frame codec round-trip" ~count:300 gen_frame
+    (fun f ->
+      match Packet.frame_of_bytes (Packet.frame_to_bytes f) with
+      | Some f' -> Packet.frame_to_bytes f = Packet.frame_to_bytes f'
+      | None -> false)
+
+let prop_garbage_never_crashes =
+  QCheck2.Test.make ~name:"arbitrary bytes never crash the decoder" ~count:300
+    QCheck2.Gen.(string_size (int_bound 300))
+    (fun s ->
+      match Packet.frame_of_bytes s with Some _ | None -> true)
+
+(* ---------- two standalone stacks over a hub ---------- *)
+
+let mk_pair () =
+  let clock = Clock.create () in
+  let hub = Hub.create ~clock () in
+  let a = Sim_host.create ~hub ~clock ~ip:"10.0.0.1" ~mac:"aa" () in
+  let b = Sim_host.create ~hub ~clock ~ip:"10.0.0.2" ~mac:"bb" () in
+  (clock, hub, a, b)
+
+let drain conn =
+  let buf = Buffer.create 64 in
+  let rec go () =
+    let d = Stack.recv conn in
+    if String.length d > 0 then begin
+      Buffer.add_string buf d;
+      go ()
+    end
+  in
+  go ();
+  Buffer.contents buf
+
+let test_tcp_connect_and_echo () =
+  let _clock, _hub, a, b = mk_pair () in
+  Sim_host.echo b ~port:7;
+  let c = Stack.connect (Sim_host.stack a) ~dst:(Addr.v "10.0.0.2" 7) in
+  (* handshake completes inline through the hub *)
+  Alcotest.(check bool) "established" true (Stack.state c = Stack.Established);
+  Stack.send c "hello over tcp";
+  Alcotest.(check string) "echoed" "hello over tcp" (drain c);
+  Stack.close c
+
+let test_tcp_large_transfer () =
+  let _clock, _hub, a, b = mk_pair () in
+  let content = String.init 300_000 (fun i -> Char.chr (i land 0xff)) in
+  Sim_host.serve_file b ~port:80 ~content;
+  let c = Stack.connect (Sim_host.stack a) ~dst:(Addr.v "10.0.0.2" 80) in
+  Stack.send c "GET /file";
+  let buf = Buffer.create 1024 in
+  let guard = ref 0 in
+  while (not (Stack.recv_eof c)) && !guard < 1_000_000 do
+    incr guard;
+    Buffer.add_string buf (Stack.recv c)
+  done;
+  Alcotest.(check int) "full content" (String.length content)
+    (Buffer.length buf);
+  Alcotest.(check bool) "bytes identical" true
+    (String.equal content (Buffer.contents buf))
+
+let test_tcp_rst_on_closed_port () =
+  let _clock, _hub, a, _b = mk_pair () in
+  let c = Stack.connect (Sim_host.stack a) ~dst:(Addr.v "10.0.0.2" 9999) in
+  Alcotest.(check bool) "reset" true (Stack.state c = Stack.Closed)
+
+let test_tcp_loss_recovery () =
+  let clock = Clock.create () in
+  let rng = Histar_util.Rng.create 42L in
+  let hub = Hub.create ~clock ~loss_rate:0.05 ~rng () in
+  let a = Sim_host.create ~hub ~clock ~ip:"10.0.0.1" ~mac:"aa" () in
+  let b = Sim_host.create ~hub ~clock ~ip:"10.0.0.2" ~mac:"bb" () in
+  let content = String.init 50_000 (fun i -> Char.chr (i * 7 land 0xff)) in
+  Sim_host.serve_file b ~port:80 ~content;
+  let sa = Sim_host.stack a in
+  let c = Stack.connect sa ~dst:(Addr.v "10.0.0.2" 80) in
+  (* the SYN itself may be lost: drive timers until established *)
+  let guard = ref 0 in
+  while Stack.state c <> Stack.Established && !guard < 1000 do
+    incr guard;
+    Clock.advance_ms clock 250.0;
+    Stack.tick sa;
+    Stack.tick (Sim_host.stack b)
+  done;
+  Alcotest.(check bool) "established despite loss" true
+    (Stack.state c = Stack.Established);
+  Stack.send c "GET /file";
+  let buf = Buffer.create 1024 in
+  let guard = ref 0 in
+  while (not (Stack.recv_eof c)) && !guard < 20_000 do
+    incr guard;
+    Buffer.add_string buf (Stack.recv c);
+    Clock.advance_ms clock 50.0;
+    Stack.tick sa;
+    Stack.tick (Sim_host.stack b)
+  done;
+  Alcotest.(check bool) "retransmissions happened" true
+    (Stack.segments_retransmitted sa + Stack.segments_retransmitted (Sim_host.stack b) > 0);
+  Alcotest.(check bool) "content intact despite loss" true
+    (String.equal content (Buffer.contents buf))
+
+let test_udp () =
+  let _clock, _hub, a, b = mk_pair () in
+  Stack.udp_bind (Sim_host.stack b) ~port:53;
+  Stack.udp_send (Sim_host.stack a) ~dst:(Addr.v "10.0.0.2" 53) "query";
+  match Stack.udp_recv (Sim_host.stack b) ~port:53 with
+  | Some (from, payload) ->
+      Alcotest.(check string) "payload" "query" payload;
+      Alcotest.(check string) "source ip" "10.0.0.1" (Addr.ip_to_string from.Addr.ip)
+  | None -> Alcotest.fail "no datagram"
+
+let test_hub_bandwidth_model () =
+  let clock = Clock.create () in
+  let hub = Hub.create ~bandwidth_bps:100e6 ~latency_us:100.0 ~clock () in
+  let _a = Sim_host.create ~hub ~clock ~ip:"10.0.0.1" ~mac:"aa" () in
+  let b = Sim_host.create ~hub ~clock ~ip:"10.0.0.2" ~mac:"bb" () in
+  (* ~10 MB transfer should take at least 0.8 virtual seconds at 100 Mbps *)
+  let content = String.make 10_000_000 'x' in
+  Sim_host.serve_file b ~port:80 ~content;
+  let a2 = Sim_host.create ~hub ~clock ~ip:"10.0.0.3" ~mac:"cc" () in
+  let c = Stack.connect (Sim_host.stack a2) ~dst:(Addr.v "10.0.0.2" 80) in
+  Stack.send c "GET /";
+  let guard = ref 0 in
+  let total = ref 0 in
+  while (not (Stack.recv_eof c)) && !guard < 100_000 do
+    incr guard;
+    total := !total + String.length (Stack.recv c)
+  done;
+  Alcotest.(check int) "all bytes" 10_000_000 !total;
+  let secs = Clock.to_seconds (Clock.now_ns clock) in
+  Alcotest.(check bool)
+    (Printf.sprintf "took %.2fs (expect ~0.8s+)" secs)
+    true
+    (secs > 0.7 && secs < 5.0)
+
+(* ---------- netd inside HiStar ---------- *)
+
+let test_netd_end_to_end () =
+  let k = Kernel.create () in
+  let clock = Kernel.clock k in
+  let hub = Hub.create ~clock () in
+  let root = Kernel.root k in
+  let server = Sim_host.create ~hub ~clock ~ip:"10.0.0.2" ~mac:"bb" () in
+  Sim_host.serve_file server ~port:80 ~content:"the quick brown fox";
+  let netd =
+    Netd.start k ~hub ~container:root ~ip:(Addr.ip_of_string "10.0.0.1")
+      ~mac:"aa" ()
+  in
+  let got = ref "" in
+  let _client =
+    Kernel.spawn k ~name:"wget" (fun () ->
+        let sock =
+          Netd.Client.connect netd ~return_container:root (Addr.v "10.0.0.2" 80)
+        in
+        Netd.Client.send netd ~return_container:root sock "GET /";
+        let buf = Buffer.create 64 in
+        let rec go () =
+          match Netd.Client.recv netd ~return_container:root sock with
+          | Some d ->
+              Buffer.add_string buf d;
+              go ()
+          | None -> ()
+        in
+        go ();
+        Netd.Client.close netd ~return_container:root sock;
+        got := Buffer.contents buf)
+  in
+  Kernel.run k;
+  Alcotest.(check string) "downloaded through netd" "the quick brown fox" !got
+
+let test_netd_taint_blocks_vpn_data () =
+  (* A thread tainted in a foreign category v must not be able to send
+     through the internet netd: the kernel stops it at netd's tainted
+     request segment, and netd's own check reports a label error. *)
+  let k = Kernel.create () in
+  let clock = Kernel.clock k in
+  let hub = Hub.create ~clock () in
+  let root = Kernel.root k in
+  let attacker_box = Sim_host.create ~hub ~clock ~ip:"10.9.9.9" ~mac:"ee" () in
+  Sim_host.sink attacker_box ~port:6666;
+  let refused = ref false in
+  let _init =
+    Kernel.spawn k ~name:"init" (fun () ->
+        let i = Sys.cat_create () in
+        let netd =
+          Netd.start k ~hub ~container:root ~ip:(Addr.ip_of_string "10.0.0.1")
+            ~mac:"aa" ~taint:i ()
+        in
+        let v = Sys.cat_create () in
+        (* scratch container writable once tainted v2+i2 *)
+        let scratch =
+          Sys.container_create ~container:root
+            ~label:(l [ (v, Level.L2); (i, Level.L2) ] Level.L1)
+            ~quota:262_144L "scratch"
+        in
+        let _leaker =
+          Sys.thread_create ~container:root
+            ~label:(l [ (v, Level.L2); (i, Level.L2) ] Level.L1)
+            ~clearance:(l [ (v, Level.L2); (i, Level.L2) ] Level.L2)
+            ~quota:65536L ~name:"leaker"
+            (fun () ->
+              match
+                Netd.Client.connect netd ~return_container:scratch
+                  (Addr.v "10.9.9.9" 6666)
+              with
+              | _ -> ()
+              | exception Netd.Client.Netd_error _ -> refused := true
+              | exception Kernel_error _ -> refused := true)
+        in
+        ())
+  in
+  Kernel.run k;
+  Alcotest.(check bool) "vpn-tainted send refused" true !refused;
+  Alcotest.(check string) "nothing reached the attacker" ""
+    (Sim_host.sink_data attacker_box)
+
+let test_netd_tainted_client_can_browse () =
+  (* the legitimate pattern of Figure 11: a browser tainted {i2} *)
+  let k = Kernel.create () in
+  let clock = Kernel.clock k in
+  let hub = Hub.create ~clock () in
+  let root = Kernel.root k in
+  let server = Sim_host.create ~hub ~clock ~ip:"10.0.0.2" ~mac:"bb" () in
+  Sim_host.serve_file server ~port:80 ~content:"<html>hi</html>";
+  let got = ref "" in
+  let _init =
+    Kernel.spawn k ~name:"init" (fun () ->
+        let i = Sys.cat_create () in
+        let netd =
+          Netd.start k ~hub ~container:root ~ip:(Addr.ip_of_string "10.0.0.1")
+            ~mac:"aa" ~taint:i ()
+        in
+        let scratch =
+          Sys.container_create ~container:root
+            ~label:(l [ (i, Level.L2) ] Level.L1)
+            ~quota:262_144L "browser scratch"
+        in
+        let _browser =
+          Sys.thread_create ~container:root
+            ~label:(l [ (i, Level.L2) ] Level.L1)
+            ~clearance:(l [ (i, Level.L2) ] Level.L2)
+            ~quota:65536L ~name:"browser"
+            (fun () ->
+              let sock =
+                Netd.Client.connect netd ~return_container:scratch
+                  (Addr.v "10.0.0.2" 80)
+              in
+              Netd.Client.send netd ~return_container:scratch sock "GET /";
+              let buf = Buffer.create 64 in
+              let rec go () =
+                match Netd.Client.recv netd ~return_container:scratch sock with
+                | Some d ->
+                    Buffer.add_string buf d;
+                    go ()
+                | None -> ()
+              in
+              go ();
+              got := Buffer.contents buf)
+        in
+        ())
+  in
+  Kernel.run k;
+  Alcotest.(check string) "browser downloaded" "<html>hi</html>" !got
+
+let () =
+  Alcotest.run "histar_net"
+    [
+      ( "packets",
+        [
+          Alcotest.test_case "addr" `Quick test_addr_roundtrip;
+          Alcotest.test_case "frame round-trip" `Quick test_packet_roundtrip;
+          Alcotest.test_case "garbage" `Quick test_packet_garbage;
+          QCheck_alcotest.to_alcotest prop_frame_roundtrip;
+          QCheck_alcotest.to_alcotest prop_garbage_never_crashes;
+        ] );
+      ( "tcp",
+        [
+          Alcotest.test_case "connect+echo" `Quick test_tcp_connect_and_echo;
+          Alcotest.test_case "large transfer" `Quick test_tcp_large_transfer;
+          Alcotest.test_case "rst on closed port" `Quick
+            test_tcp_rst_on_closed_port;
+          Alcotest.test_case "loss recovery" `Quick test_tcp_loss_recovery;
+          Alcotest.test_case "udp" `Quick test_udp;
+          Alcotest.test_case "bandwidth model" `Quick test_hub_bandwidth_model;
+        ] );
+      ( "netd",
+        [
+          Alcotest.test_case "end to end" `Quick test_netd_end_to_end;
+          Alcotest.test_case "vpn taint blocked" `Quick
+            test_netd_taint_blocks_vpn_data;
+          Alcotest.test_case "tainted browser works" `Quick
+            test_netd_tainted_client_can_browse;
+        ] );
+    ]

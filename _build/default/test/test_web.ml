@@ -1,0 +1,249 @@
+(* §6.4 web services and the §5.8 untainting gates. *)
+
+module Kernel = Histar_core.Kernel
+module Sys = Histar_core.Sys
+open Histar_core.Types
+open Histar_unix
+open Histar_auth
+open Histar_apps
+open Histar_label
+
+let l1 = Label.make Level.L1
+
+type world = {
+  proc : Process.t;
+  fs : Fs.t;
+  dir : Dird.t;
+  alice : Process.user;
+  bob : Process.user;
+}
+
+let with_world f =
+  let k = Kernel.create () in
+  let result = ref None in
+  let failure = ref None in
+  let _tid =
+    Kernel.spawn k ~name:"init" (fun () ->
+        let fs = Fs.format_root ~container:(Kernel.root k) ~label:l1 in
+        let proc = Process.boot ~fs ~container:(Kernel.root k) ~name:"init" () in
+        let log = Logd.start proc in
+        let dir = Dird.start proc in
+        let alice = Users.create_user ~fs ~name:"alice" in
+        let bob = Users.create_user ~fs ~name:"bob" in
+        Fs.write_file fs "/home/alice/profile" "alice: ssn 111-11-1111";
+        Fs.write_file fs "/home/bob/profile" "bob: ssn 222-22-2222";
+        ignore (Authd.start proc ~user:alice ~password:"apw" ~log ~dir ());
+        ignore (Authd.start proc ~user:bob ~password:"bpw" ~log ~dir ());
+        let w = { proc; fs; dir; alice; bob } in
+        match f w with
+        | v -> result := Some v
+        | exception e -> failure := Some (Printexc.to_string e))
+  in
+  Kernel.run k;
+  match (!result, !failure) with
+  | Some v, _ -> v
+  | None, Some m -> Alcotest.fail ("web world crashed: " ^ m)
+  | None, None -> Alcotest.fail "web world did not complete"
+
+(* ---------- web server ---------- *)
+
+let test_serves_own_profile () =
+  with_world (fun w ->
+      let ws =
+        Webserver.start ~proc:w.proc ~dir:w.dir
+          ~handler:Webserver.profile_handler
+      in
+      match
+        Webserver.serve_one ws
+          {
+            Webserver.req_user = "alice";
+            req_password = "apw";
+            req_path = "/home/alice/profile";
+          }
+      with
+      | Webserver.Ok body ->
+          Alcotest.(check string) "alice's data" "alice: ssn 111-11-1111" body
+      | Webserver.Denied m -> Alcotest.fail ("denied: " ^ m))
+
+let test_wrong_password_denied () =
+  with_world (fun w ->
+      let ws =
+        Webserver.start ~proc:w.proc ~dir:w.dir
+          ~handler:Webserver.profile_handler
+      in
+      match
+        Webserver.serve_one ws
+          {
+            Webserver.req_user = "alice";
+            req_password = "wrong";
+            req_path = "/home/alice/profile";
+          }
+      with
+      | Webserver.Ok _ -> Alcotest.fail "authenticated with a wrong password"
+      | Webserver.Denied m ->
+          Alcotest.(check string) "reason" "bad password" m)
+
+let test_worker_cannot_cross_users () =
+  (* the §6.4 property: even *malicious* service code running in
+     alice's authenticated worker cannot read bob's data *)
+  with_world (fun w ->
+      let evil_handler worker_proc _req =
+        let fs = Process.fs worker_proc in
+        match Fs.read_file fs "/home/bob/profile" with
+        | stolen -> Webserver.Ok ("stolen: " ^ stolen)
+        | exception Kernel_error (Label_check _) ->
+            Webserver.Denied "kernel stopped the cross-user read"
+        | exception Kernel_error e -> Webserver.Denied (error_to_string e)
+      in
+      let ws = Webserver.start ~proc:w.proc ~dir:w.dir ~handler:evil_handler in
+      match
+        Webserver.serve_one ws
+          {
+            Webserver.req_user = "alice";
+            req_password = "apw";
+            req_path = "/home/bob/profile";
+          }
+      with
+      | Webserver.Ok body -> Alcotest.fail ("leak: " ^ body)
+      | Webserver.Denied m ->
+          Alcotest.(check string) "kernel denial"
+            "kernel stopped the cross-user read" m)
+
+let test_two_users_isolated_sessions () =
+  with_world (fun w ->
+      let ws =
+        Webserver.start ~proc:w.proc ~dir:w.dir
+          ~handler:Webserver.profile_handler
+      in
+      let get user pw path =
+        Webserver.serve_one ws
+          { Webserver.req_user = user; req_password = pw; req_path = path }
+      in
+      (match get "alice" "apw" "/home/alice/profile" with
+      | Webserver.Ok b -> Alcotest.(check bool) "alice ok" true (b <> "")
+      | Webserver.Denied m -> Alcotest.fail m);
+      (match get "bob" "bpw" "/home/bob/profile" with
+      | Webserver.Ok b ->
+          Alcotest.(check string) "bob's own data" "bob: ssn 222-22-2222" b
+      | Webserver.Denied m -> Alcotest.fail m);
+      (* bob's worker cannot serve alice's path *)
+      (match get "bob" "bpw" "/home/alice/profile" with
+      | Webserver.Ok _ -> Alcotest.fail "bob read alice's profile"
+      | Webserver.Denied _ -> ());
+      Alcotest.(check int) "served" 3 (Webserver.requests_served ws))
+
+(* ---------- untainting gates (§5.8) ---------- *)
+
+let test_file_create_gate () =
+  with_world (fun w ->
+      let fs = w.fs in
+      ignore (Fs.mkdir fs "/work");
+      let v = Sys.cat_create () in
+      let gate =
+        Untaint.make_file_create_gate ~fs ~container:(Process.container w.proc)
+          ~taints:[ v ]
+      in
+      (* a tainted scratch container for the tainted thread's gate calls *)
+      let scratch =
+        Sys.container_create ~container:(Process.container w.proc)
+          ~label:(Label.of_list [ (v, Level.L3) ] Level.L1)
+          ~quota:262_144L "tainted scratch"
+      in
+      let created = ref None in
+      let direct_denied = ref false in
+      let child =
+        Process.spawn w.proc ~name:"tainted"
+          ~extra_label:[ (v, Level.L3) ]
+          ~extra_clearance:[ (v, Level.L3) ]
+          (fun child ->
+            let cfs = Process.fs child in
+            (* direct creation in the untainted directory is denied *)
+            (match Fs.create cfs "/work/direct" with
+            | _ -> ()
+            | exception Kernel_error _ -> direct_denied := true);
+            (* ... but the category owner's untainting gate allows it *)
+            let ce =
+              Untaint.create_file_via ~gate ~return_container:scratch
+                "/work/via-gate"
+            in
+            (* and the tainted thread can then write the tainted file *)
+            Sys.segment_resize ce 6;
+            Sys.segment_write ce "sekret";
+            created := Some ce)
+      in
+      ignore (Process.wait w.proc child);
+      Alcotest.(check bool) "direct create denied" true !direct_denied;
+      (match !created with
+      | None -> Alcotest.fail "gate creation failed"
+      | Some ce ->
+          (* the name leaked into the directory... *)
+          Alcotest.(check bool) "name visible" true (Fs.exists fs "/work/via-gate");
+          (* ...but the contents are still protected by the taint *)
+          let unprivileged_read = ref None in
+          let probe =
+            Process.spawn w.proc ~name:"probe" (fun p ->
+                ignore p;
+                match Sys.segment_read ce () with
+                | s -> unprivileged_read := Some s
+                | exception Kernel_error _ -> unprivileged_read := None)
+          in
+          ignore (Process.wait w.proc probe);
+          Alcotest.(check (option string)) "contents still tainted" None
+            !unprivileged_read))
+
+let test_quota_gate () =
+  with_world (fun w ->
+      let v = Sys.cat_create () in
+      (* a tainted work area with a small sub-object *)
+      let area =
+        Sys.container_create ~container:(Process.container w.proc)
+          ~label:(Label.of_list [ (v, Level.L3) ] Level.L1)
+          ~quota:1_048_576L "area"
+      in
+      let seg =
+        Sys.segment_create ~container:area
+          ~label:(Label.of_list [ (v, Level.L3) ] Level.L1)
+          ~quota:5120L ~len:0 "growing"
+      in
+      let gate =
+        Untaint.make_quota_gate ~container:(Process.container w.proc)
+          ~taints:[ v ]
+      in
+      let grew = ref false in
+      let child =
+        Process.spawn w.proc ~name:"tainted"
+          ~extra_label:[ (v, Level.L3) ]
+          ~extra_clearance:[ (v, Level.L3) ]
+          (fun _child ->
+            (* growth beyond quota fails... *)
+            (match Sys.segment_resize (centry area seg) 100_000 with
+            | () -> ()
+            | exception Kernel_error (Quota _) ->
+                (* ...until the owner's quota gate moves some in *)
+                Untaint.adjust_quota_via ~gate ~return_container:area
+                  ~container:area ~target:seg ~nbytes:131_072L;
+                Sys.segment_resize (centry area seg) 100_000;
+                grew := true))
+      in
+      ignore (Process.wait w.proc child);
+      Alcotest.(check bool) "grew through the gate" true !grew)
+
+let () =
+  Alcotest.run "histar_web"
+    [
+      ( "webserver",
+        [
+          Alcotest.test_case "serves own profile" `Quick
+            test_serves_own_profile;
+          Alcotest.test_case "wrong password" `Quick test_wrong_password_denied;
+          Alcotest.test_case "malicious handler contained" `Quick
+            test_worker_cannot_cross_users;
+          Alcotest.test_case "two users isolated" `Quick
+            test_two_users_isolated_sessions;
+        ] );
+      ( "untaint gates",
+        [
+          Alcotest.test_case "file creation" `Quick test_file_create_gate;
+          Alcotest.test_case "quota adjustment" `Quick test_quota_gate;
+        ] );
+    ]
