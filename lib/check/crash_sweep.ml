@@ -1,0 +1,76 @@
+module Disk = Histar_disk.Disk
+
+type instance = {
+  disk : Disk.t;
+  run : unit -> unit;
+  check : crashed:bool -> Disk.t -> unit;
+}
+
+type t = { name : string; mk : int64 -> instance }
+
+type report = { workload : string; total_writes : int; points : int }
+
+let pp_report fmt r =
+  Format.fprintf fmt "%s: %d crash points over %d media writes" r.workload
+    r.points r.total_writes
+
+let replay_filter name =
+  match Stdlib.Sys.getenv_opt "HISTAR_CHECK_WORKLOAD" with
+  | Some w when w <> "" && w <> name -> `Skip
+  | _ -> (
+      match Stdlib.Sys.getenv_opt "HISTAR_CHECK_CRASH_INDEX" with
+      | Some s when s <> "" -> (
+          match int_of_string_opt s with
+          | Some i -> `Only i
+          | None ->
+              invalid_arg ("HISTAR_CHECK_CRASH_INDEX: cannot parse " ^ s))
+      | _ -> `All)
+
+(* Evenly-strided sample of [n] indices from [0, total), endpoints
+   included. *)
+let strided ~total ~n =
+  if total <= n then List.init total Fun.id
+  else
+    List.init n (fun i -> i * (total - 1) / (n - 1))
+    |> List.sort_uniq Int.compare
+
+let crash_one w ~seed ~total i =
+  let inst = w.mk seed in
+  Disk.set_crash_after_writes inst.disk i;
+  (match inst.run () with () -> () | exception Disk.Crashed -> ());
+  let crashed = Disk.crashed inst.disk in
+  let disk =
+    if crashed then Disk.reopen_after_crash inst.disk else inst.disk
+  in
+  try inst.check ~crashed disk
+  with e ->
+    raise
+      (Check.Falsified
+         (Printf.sprintf
+            "crash sweep '%s': invariant violation at crash index %d of %d \
+             (seed 0x%LX)\n\
+             cause: %s\n\
+             replay: HISTAR_CHECK_SEED=0x%LX HISTAR_CHECK_WORKLOAD=%s \
+             HISTAR_CHECK_CRASH_INDEX=%d dune runtest"
+            w.name i total seed
+            (match e with Failure m -> m | e -> Printexc.to_string e)
+            seed w.name i))
+
+let sweep ?seed:seed_arg ?(max_points = 64) ?full w =
+  let seed = match seed_arg with Some s -> s | None -> Check.seed () in
+  let full = match full with Some f -> f | None -> Check.full_mode () in
+  (* Clean run: count media writes and make sure the invariants hold
+     with no crash at all. *)
+  let inst = w.mk seed in
+  inst.run ();
+  let total = Disk.media_writes inst.disk in
+  inst.check ~crashed:false inst.disk;
+  let indices =
+    match replay_filter w.name with
+    | `Skip -> []
+    | `Only i -> [ i ]
+    | `All ->
+        if full then List.init total Fun.id else strided ~total ~n:max_points
+  in
+  List.iter (crash_one w ~seed ~total) indices;
+  { workload = w.name; total_writes = total; points = List.length indices }

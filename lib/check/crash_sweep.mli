@@ -1,0 +1,46 @@
+(** Deterministic crash-point sweep driver (§4 durability claim).
+
+    A workload is a factory producing, from a seed, a fresh simulated
+    disk plus a deterministic [run] against it and a recovery [check].
+    The driver executes the workload once cleanly and records the total
+    number of media sector writes [W] via {!Histar_disk.Disk.media_writes};
+    every [i] in [\[0, W)] is then a distinct crash point: re-execute
+    with [set_crash_after_writes i], reopen the surviving media, and run
+    [check], which must recover and validate every invariant.
+
+    By default a strided sample of at most [max_points] indices
+    (always including [0] and [W-1]) is swept so the test stays tier-1
+    fast; with [HISTAR_CHECK_FULL=1] every crash point is visited.
+
+    Any violation raises {!Check.Falsified} with the seed and crash
+    index, replayable in one command:
+
+    {v
+    HISTAR_CHECK_SEED=0xSEED HISTAR_CHECK_WORKLOAD=store \
+      HISTAR_CHECK_CRASH_INDEX=123 dune runtest
+    v} *)
+
+type instance = {
+  disk : Histar_disk.Disk.t;  (** fresh, unformatted *)
+  run : unit -> unit;
+      (** Execute the workload against [disk]; must be deterministic in
+          the seed, and must let {!Histar_disk.Disk.Crashed} escape. *)
+  check : crashed:bool -> Histar_disk.Disk.t -> unit;
+      (** Validate recovery; the disk has been reopened if [crashed].
+          Raises on any invariant violation. *)
+}
+
+type t = { name : string; mk : int64 -> instance }
+
+type report = {
+  workload : string;
+  total_writes : int;  (** media writes in the clean run *)
+  points : int;  (** crash indices actually exercised *)
+}
+
+val sweep : ?seed:int64 -> ?max_points:int -> ?full:bool -> t -> report
+(** Defaults: seed from {!Check.seed}, [max_points] 64, [full] from
+    {!Check.full_mode}. Honors [HISTAR_CHECK_WORKLOAD] /
+    [HISTAR_CHECK_CRASH_INDEX] for single-point replay. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -359,7 +359,16 @@ let decode_obj payload =
 
 (* ---------- allocation / deallocation ---------- *)
 
-let next_oid k = Category_gen.next k.oidgen
+(* Skip oids already in use: after a crash the generator counter is
+   restored from the last durable metadata record, so it may replay
+   values already handed out to objects that reached the disk through a
+   later sync barrier. *)
+let next_oid k =
+  let rec fresh () =
+    let oid = Category_gen.next k.oidgen in
+    if Hashtbl.mem k.objects oid then fresh () else oid
+  in
+  fresh ()
 
 let rec destroy k o =
   Hashtbl.remove k.objects o.id;
@@ -494,6 +503,14 @@ let futex_queue k key =
 
 (* ---------- syscall implementation ---------- *)
 
+let meta_record k =
+  let e = Codec.Enc.create () in
+  Codec.Enc.i64 e k.root;
+  Codec.Enc.i64 e (Category_gen.counter k.oidgen);
+  Codec.Enc.i64 e (Category_gen.counter k.catgen);
+  Codec.Enc.i64 e k.key;
+  Codec.Enc.to_string e
+
 (* Whole-system snapshot: serialize every object plus the kernel
    metadata record (root, generators) so that recovery can rebuild. *)
 let do_checkpoint k =
@@ -501,12 +518,7 @@ let do_checkpoint k =
   | None -> ()
   | Some s ->
       Hashtbl.iter (fun oid o -> Store.put s ~oid (encode_obj o)) k.objects;
-      let e = Codec.Enc.create () in
-      Codec.Enc.i64 e k.root;
-      Codec.Enc.i64 e (Category_gen.counter k.oidgen);
-      Codec.Enc.i64 e (Category_gen.counter k.catgen);
-      Codec.Enc.i64 e k.key;
-      Store.put s ~oid:meta_oid (Codec.Enc.to_string e);
+      Store.put s ~oid:meta_oid (meta_record k);
       Store.checkpoint s
 
 type action =
@@ -1182,8 +1194,13 @@ let handle_syscall k kont req : action =
         (match k.store with
         | None -> ok_resp R_unit
         | Some s ->
+            (* The metadata record rides along so the id/category
+               counters are durable whenever a freshly allocated object
+               is: otherwise recovery would restore an older counter and
+               re-issue this object's id to something else. *)
             Store.put s ~oid:o.id (encode_obj o);
-            Store.sync_oid s ~oid:o.id;
+            Store.put s ~oid:meta_oid (meta_record k);
+            Store.sync_oids s ~oids:[ o.id; meta_oid ];
             ok_resp R_unit)
     | Sync_many ces ->
         let* objs =
@@ -1198,7 +1215,8 @@ let handle_syscall k kont req : action =
         | None -> ok_resp R_unit
         | Some s ->
             List.iter (fun o -> Store.put s ~oid:o.id (encode_obj o)) objs;
-            Store.sync_oids s ~oids:(List.map (fun o -> o.id) objs);
+            Store.put s ~oid:meta_oid (meta_record k);
+            Store.sync_oids s ~oids:(List.map (fun o -> o.id) objs @ [ meta_oid ]);
             ok_resp R_unit)
     | Sync_range (ce, off, len) ->
         let* o, _ = resolve_segment k ~op:"sync_range" ce in
@@ -1206,7 +1224,14 @@ let handle_syscall k kont req : action =
         | None -> ok_resp R_unit
         | Some s ->
             Store.put s ~oid:o.id (encode_obj o);
-            Store.sync_range s ~oid:o.id ~off ~len;
+            (* The in-place fast path implies the object has a
+               checkpointed home location, so the counters already cover
+               its id; only the log fallback can make a new object
+               durable and must carry the metadata record with it. *)
+            if not (Store.sync_range s ~oid:o.id ~off ~len) then begin
+              Store.put s ~oid:meta_oid (meta_record k);
+              Store.sync_oid s ~oid:meta_oid
+            end;
             ok_resp R_unit)
     | Sync_all ->
         do_checkpoint k;

@@ -39,6 +39,8 @@ type t = {
   mutable head : int;  (** current head position (sector) *)
   mutable crash_after : int option;  (** media writes remaining before crash *)
   mutable is_crashed : bool;
+  mutable media_writes : int;  (** lifetime media sector writes (monotonic) *)
+  mutable write_trace : (sector:int -> data:string -> unit) option;
 }
 
 let create ?(geometry = default_geometry) ?(params = default_params) ~clock () =
@@ -60,6 +62,8 @@ let create ?(geometry = default_geometry) ?(params = default_params) ~clock () =
     head = 0;
     crash_after = None;
     is_crashed = false;
+    media_writes = 0;
+    write_trace = None;
   }
 
 let geometry t = t.geometry
@@ -142,7 +146,11 @@ let media_write_one t i data =
   | Some n -> t.crash_after <- Some (n - 1)
   | None -> ());
   Hashtbl.replace t.media i data;
-  t.stats.sectors_written <- t.stats.sectors_written + 1
+  t.stats.sectors_written <- t.stats.sectors_written + 1;
+  t.media_writes <- t.media_writes + 1;
+  match t.write_trace with
+  | Some f -> f ~sector:i ~data
+  | None -> ()
 
 let flush t =
   check_alive t;
@@ -181,6 +189,8 @@ let set_crash_after_writes t n =
   t.crash_after <- Some n
 
 let crashed t = t.is_crashed
+let media_writes t = t.media_writes
+let set_write_trace t f = t.write_trace <- f
 
 let reopen_after_crash t =
   if not t.is_crashed then invalid_arg "Disk.reopen_after_crash: not crashed";
@@ -191,6 +201,8 @@ let reopen_after_crash t =
     head = 0;
     crash_after = None;
     is_crashed = false;
+    media_writes = 0;
+    write_trace = None;
     stats =
       {
         reads = 0;

@@ -72,6 +72,17 @@ type stats = {
 val stats : t -> stats
 val reset_stats : t -> unit
 
+val media_writes : t -> int
+(** Lifetime count of sector writes that reached the media through this
+    handle (monotonic; unaffected by {!reset_stats}). The crash-sweep
+    driver records this after a clean run to enumerate every possible
+    crash point. A handle from {!reopen_after_crash} starts at zero. *)
+
+val set_write_trace : t -> (sector:int -> data:string -> unit) option -> unit
+(** Observe every media sector write (after it lands). Used by the
+    checking harness to record write traces; [None] disables. The hook
+    does not fire for writes absorbed by the volatile cache. *)
+
 (** {1 Crash injection} *)
 
 val set_crash_after_writes : t -> int -> unit

@@ -77,6 +77,12 @@ let free_sectors t =
 
 let extent_count t = Bptree.cardinal t.by_loc
 
+let to_list t =
+  List.rev
+    (Bptree.fold
+       (fun acc start len -> (Int64.to_int start, Int64.to_int len) :: acc)
+       [] t.by_loc)
+
 let largest_extent t =
   match Bptree.max_binding t.by_size with
   | None -> 0

@@ -30,6 +30,11 @@ val extent_count : t -> int
 val largest_extent : t -> int
 (** Size of the largest free extent (0 if none). *)
 
+val to_list : t -> (int * int) list
+(** Free extents as [(start, sectors)] in increasing start order. Used
+    by the store's fsck to prove free and allocated extents tile the
+    data region. *)
+
 val copy : t -> t
 (** An independent copy (used to encode "allocator as of the end of the
     checkpoint" while deferring frees for crash atomicity). *)

@@ -30,6 +30,12 @@ type t = {
   stats : stats;
   mutable generation : int64;
   mutable checkpoint_extent : (int * int) option;  (** start, sectors *)
+  mutable wal_epoch : int64;
+      (** WAL epoch whose records are valid to replay over the snapshot
+          this superblock describes. A checkpoint's superblock names the
+          post-truncate epoch, so a crash between the superblock write
+          and the log truncate cannot replay stale records over the new
+          snapshot (which would regress synced objects). *)
 }
 
 let wal_start = 1
@@ -83,6 +89,7 @@ let superblock_image t =
   let e = Codec.Enc.create () in
   Codec.Enc.i64 e store_magic;
   Codec.Enc.i64 e t.generation;
+  Codec.Enc.i64 e t.wal_epoch;
   Codec.Enc.u32 e t.apply_threshold;
   Codec.Enc.u32 e t.wal_sectors;
   (match t.checkpoint_extent with
@@ -149,6 +156,7 @@ let format ~disk ?(wal_sectors = default_wal_sectors) ?(apply_threshold = 1000)
       stats = fresh_stats ();
       generation = 0L;
       checkpoint_extent = None;
+      wal_epoch = Wal.epoch wal;
     }
   in
   write_superblock t;
@@ -268,6 +276,9 @@ let checkpoint t =
       t.checkpoint_extent <- Some (start, sectors));
   Disk.flush t.disk;
   t.generation <- Int64.add t.generation 1L;
+  (* Only records of the post-truncate epoch may be replayed over this
+     snapshot; everything in the current epoch is already applied. *)
+  t.wal_epoch <- Int64.add (Wal.epoch t.wal) 1L;
   write_superblock t;
   (* The new snapshot is durable: vacated extents may now be reused. *)
   List.iter (fun (start, sectors) -> Extent_alloc.free t.alloc ~start ~sectors) !to_free;
@@ -311,7 +322,10 @@ let sync_range t ~oid ~off ~len =
       let image = object_image t payload in
       let sectors = String.length image / t.sector_bytes in
       let start, home_sectors = unpack packed in
-      if sectors <> home_sectors then sync_oid t ~oid
+      if sectors <> home_sectors then begin
+        sync_oid t ~oid;
+        false
+      end
       else begin
         let sb = t.sector_bytes in
         let header_bytes = 16 in
@@ -325,11 +339,16 @@ let sync_range t ~oid ~off ~len =
         Disk.flush t.disk;
         (* the home copy is now current; the object is clean *)
         Hashtbl.remove t.dirty oid;
-        Hashtbl.replace t.cache oid payload
+        Hashtbl.replace t.cache oid payload;
+        true
       end
-  | Some None, _ -> sync_oid t ~oid
-  | None, _ -> () (* already clean *)
-  | Some (Some _), None -> sync_oid t ~oid
+  | Some None, _ ->
+      sync_oid t ~oid;
+      false
+  | None, _ -> true (* already clean: the home copy is current *)
+  | Some (Some _), None ->
+      sync_oid t ~oid;
+      false
 
 (* ---------- recovery ---------- *)
 
@@ -342,6 +361,7 @@ let recover ~disk =
   if not (Int64.equal m store_magic) then
     invalid_arg "Store.recover: no store on this disk";
   let generation = Codec.Dec.i64 d in
+  let wal_epoch = Codec.Dec.i64 d in
   let apply_threshold = Codec.Dec.u32 d in
   let wal_sectors = Codec.Dec.u32 d in
   let has_ckpt = Codec.Dec.bool d in
@@ -369,6 +389,19 @@ let recover ~disk =
     end
   in
   let wal, records = Wal.recover ~disk ~start:wal_start ~sectors:wal_sectors in
+  (* Crash between a checkpoint's superblock write and its log
+     truncate: the log still holds the pre-checkpoint epoch, whose
+     records are already folded into the snapshot. Replaying them would
+     regress objects, so discard them and finish the truncate. *)
+  let records =
+    if Int64.equal (Wal.epoch wal) wal_epoch then records
+    else begin
+      Wal.truncate wal;
+      if not (Int64.equal (Wal.epoch wal) wal_epoch) then
+        failwith "Store.recover: WAL epoch diverged from superblock";
+      []
+    end
+  in
   let t =
     {
       disk;
@@ -383,6 +416,7 @@ let recover ~disk =
       stats = fresh_stats ();
       generation;
       checkpoint_extent;
+      wal_epoch;
     }
   in
   List.iter
@@ -428,3 +462,58 @@ let check_invariants t =
       if not (Hashtbl.mem t.dirty oid) then
         ignore (parse_object_image (Disk.read t.disk ~sector:start ~count:sectors)))
     t.object_map
+
+(* Whole-disk accounting, for the crash-sweep harness. Beyond
+   [check_invariants], prove that the object map, the checkpoint
+   metadata extent and the allocator's free extents exactly tile the
+   data region: any gap is a leaked extent, any overlap is a double
+   allocation. Also re-verify the on-disk checkpoint image checksum and
+   the WAL's structural invariants. *)
+let fsck t =
+  check_invariants t;
+  Wal.check_invariants t.wal;
+  let geometry = Disk.geometry t.disk in
+  let data_start = wal_start + t.wal_sectors in
+  let extents = ref [] in
+  let add what start sectors = extents := (what, start, sectors) :: !extents in
+  Bptree.iter
+    (fun oid packed ->
+      let start, sectors = unpack packed in
+      add (Printf.sprintf "object %Ld" oid) start sectors)
+    t.object_map;
+  (match t.checkpoint_extent with
+  | Some (start, sectors) ->
+      add "checkpoint metadata" start sectors;
+      (* Checkpoint checksum integrity: the snapshot we would recover
+         from must still be readable. *)
+      let image = Disk.read t.disk ~sector:start ~count:sectors in
+      let d = Codec.Dec.of_string image in
+      let sum = Codec.Dec.i64 d in
+      let body = Codec.Dec.str d in
+      if not (Int64.equal (Checksum.fnv64 body) sum) then
+        failwith "Store.fsck: checkpoint checksum mismatch"
+  | None -> ());
+  List.iter
+    (fun (start, sectors) -> add "free extent" start sectors)
+    (Extent_alloc.to_list t.alloc);
+  let extents =
+    List.sort (fun (_, a, _) (_, b, _) -> Int.compare a b) !extents
+  in
+  let pos = ref data_start in
+  List.iter
+    (fun (what, start, sectors) ->
+      if start < !pos then
+        failwith
+          (Printf.sprintf
+             "Store.fsck: %s [%d, %d) overlaps allocation ending at %d" what
+             start (start + sectors) !pos);
+      if start > !pos then
+        failwith
+          (Printf.sprintf "Store.fsck: leaked sectors [%d, %d) before %s" !pos
+             start what);
+      pos := start + sectors)
+    extents;
+  if !pos <> geometry.Disk.sectors then
+    failwith
+      (Printf.sprintf "Store.fsck: leaked sectors [%d, %d) at end of disk" !pos
+         geometry.Disk.sectors)

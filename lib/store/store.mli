@@ -47,11 +47,13 @@ val sync_oids : t -> oids:int64 list -> unit
 (** Like {!sync_oid} for several objects with a single commit (one
     barrier) — the group-commit advantage of the log. *)
 
-val sync_range : t -> oid:int64 -> off:int -> len:int -> unit
+val sync_range : t -> oid:int64 -> off:int -> len:int -> bool
 (** In-place page flush (§7.1): force only the sectors covering the
     byte range to the object's existing home location — no log record,
     no checkpoint. Falls back to {!sync_oid} when the object has no
-    same-size home copy. *)
+    same-size home copy. Returns [true] when the in-place path was
+    taken (the object already had a checkpointed home), [false] when it
+    fell back to the log. *)
 
 val checkpoint : t -> unit
 (** Whole-system snapshot: write every dirty object to its home
@@ -79,4 +81,15 @@ type stats = {
 
 val stats : t -> stats
 val free_sectors : t -> int
+
 val check_invariants : t -> unit
+(** Structural checks: allocator and object-map B+-trees are valid and
+    every mapped object image parses with a clean checksum. *)
+
+val fsck : t -> unit
+(** Everything in {!check_invariants}, plus whole-disk accounting: the
+    object map, checkpoint metadata extent and free extents must
+    exactly tile the data region (no leaked sectors, no double
+    allocation), the on-disk checkpoint image must checksum clean, and
+    the WAL must satisfy {!Histar_wal.Wal.check_invariants}. Intended
+    for the crash-sweep harness after {!recover}. *)

@@ -162,3 +162,36 @@ let truncate t =
 
 let committed_records t = t.committed
 let pending_records t = List.length t.pending
+let epoch t = t.epoch
+
+let check_invariants t =
+  if t.head < 1 || t.head > t.sectors then
+    failwith
+      (Printf.sprintf "Wal: head %d outside region of %d sectors" t.head
+         t.sectors);
+  if Int64.compare t.seq (Int64.of_int (t.committed + List.length t.pending)) <> 0
+  then failwith "Wal: seq does not count committed + pending records";
+  (* The on-disk log must re-parse to exactly the committed records of
+     the current epoch, ending at [head]. *)
+  let sb = Disk.read t.disk ~sector:t.start ~count:1 in
+  let d = Codec.Dec.of_string sb in
+  (match Codec.Dec.i64 d with
+  | m when Int64.equal m magic -> ()
+  | _ -> failwith "Wal: bad superblock magic"
+  | exception Codec.Truncated -> failwith "Wal: truncated superblock");
+  let disk_epoch = Codec.Dec.i64 d in
+  if not (Int64.equal disk_epoch t.epoch) then
+    failwith "Wal: superblock epoch disagrees with handle";
+  let rec scan rel seq n =
+    match parse_record t ~epoch:t.epoch ~expect_seq:seq ~rel_sector:rel with
+    | None -> (rel, n)
+    | Some (_, nsectors) -> scan (rel + nsectors) (Int64.add seq 1L) (n + 1)
+  in
+  let head, n = scan 1 0L 0 in
+  if n <> t.committed then
+    failwith
+      (Printf.sprintf "Wal: %d committed records in memory, %d on disk"
+         t.committed n);
+  if head <> t.head then
+    failwith
+      (Printf.sprintf "Wal: head %d in memory, %d by on-disk scan" t.head head)

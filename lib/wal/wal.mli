@@ -44,3 +44,16 @@ val pending_records : t -> int
 
 val free_sectors : t -> int
 val sectors_used : t -> int
+
+val epoch : t -> int64
+(** Current epoch; bumped by {!truncate}. The store records in its
+    superblock which epoch's records are valid to replay over the
+    snapshot, closing the crash window between a checkpoint's
+    superblock write and the log truncate. *)
+
+val check_invariants : t -> unit
+(** Raises [Failure] if the handle and the on-disk log disagree: the
+    region must re-parse to exactly [committed_records] records of the
+    current epoch ending at the in-memory head, the superblock epoch
+    must match, and the sequence counter must account for every
+    committed and pending record. *)

@@ -172,6 +172,83 @@ let prop_random_churn =
       Bptree.check_invariants t;
       Bptree.to_list t = I64Map.bindings !m)
 
+(* ---------- histar_check: differential test against Map with
+   integrated shrinking — a divergence shrinks to a minimal op
+   sequence over a handful of keys. ---------- *)
+
+module Gen = Histar_check.Gen
+module Check = Histar_check.Check
+
+type dop = Ins of int64 * int64 | Del of int64 | Find of int64
+
+let pp_op = function
+  | Ins (k, v) -> Printf.sprintf "Ins(%Ld,%Ld)" k v
+  | Del k -> Printf.sprintf "Del %Ld" k
+  | Find k -> Printf.sprintf "Find %Ld" k
+
+let pp_ops ops = "[" ^ String.concat "; " (List.map pp_op ops) ^ "]"
+
+(* Keys from a small window so inserts, deletes and probes collide;
+   shrinking drives keys towards 0 and drops ops chunk-wise. *)
+let gen_key = Gen.map Int64.of_int (Gen.int_range 0 50)
+
+let gen_op =
+  Gen.oneof
+    [
+      Gen.map (fun k -> Find k) gen_key;
+      Gen.map2 (fun k v -> Ins (k, Int64.of_int v)) gen_key (Gen.int_range 0 1000);
+      Gen.map (fun k -> Del k) gen_key;
+    ]
+
+let gen_ops = Gen.(resize 60 (list gen_op))
+
+let apply_differential order ops =
+  let t = Bptree.create ~order () in
+  let m = ref I64Map.empty in
+  List.iter
+    (fun op ->
+      (match op with
+      | Ins (k, v) ->
+          Bptree.insert t k v;
+          m := I64Map.add k v !m
+      | Del k ->
+          let removed = Bptree.remove t k in
+          Check.ensure ~msg:(Printf.sprintf "remove %Ld disagrees" k)
+            (removed = I64Map.mem k !m);
+          m := I64Map.remove k !m
+      | Find k ->
+          Check.ensure ~msg:(Printf.sprintf "find %Ld disagrees" k)
+            (Bptree.find t k = I64Map.find_opt k !m));
+      Bptree.check_invariants t;
+      Check.ensure ~msg:"cardinal disagrees"
+        (Bptree.cardinal t = I64Map.cardinal !m))
+    ops;
+  Check.ensure ~msg:"final bindings disagree"
+    (Bptree.to_list t = I64Map.bindings !m);
+  (* ordered queries against the model, at every key in the window *)
+  let bindings = I64Map.bindings !m in
+  for k = 0 to 50 do
+    let k = Int64.of_int k in
+    let geq = List.find_opt (fun (k', _) -> Int64.compare k' k >= 0) bindings in
+    Check.ensure ~msg:(Printf.sprintf "find_geq %Ld disagrees" k)
+      (Bptree.find_geq t k = geq);
+    let leq =
+      List.fold_left
+        (fun acc (k', v) -> if Int64.compare k' k <= 0 then Some (k', v) else acc)
+        None bindings
+    in
+    Check.ensure ~msg:(Printf.sprintf "find_leq %Ld disagrees" k)
+      (Bptree.find_leq t k = leq)
+  done
+
+let check_tests =
+  [
+    Check.test_case ~print:pp_ops "differential vs Map (order 4)" gen_ops
+      (apply_differential 4);
+    Check.test_case ~print:pp_ops "differential vs Map (order 16)" gen_ops
+      (apply_differential 16);
+  ]
+
 let () =
   Alcotest.run "histar_btree"
     [
@@ -189,4 +266,5 @@ let () =
       ( "model",
         List.map QCheck_alcotest.to_alcotest
           [ prop_model 4; prop_model 16; prop_random_churn ] );
+      ("differential (histar_check)", check_tests);
     ]

@@ -203,6 +203,92 @@ let qcheck_tests =
         else true);
   ]
 
+(* ---------- histar_check: the same algebra through the in-tree
+   engine, with integrated shrinking so a lattice-law violation shrinks
+   to a minimal pair of labels. ---------- *)
+
+module Gen = Histar_check.Gen
+module Check = Histar_check.Check
+
+let gen_level_storable' = Gen.choose Level.[ L0; L1; L2; L3; Star ]
+let gen_level_numeric' = Gen.choose Level.[ L0; L1; L2; L3 ]
+
+(* Small category pool so generated labels collide on categories, which
+   is where leq/lub/glb actually have to merge entries. *)
+let gen_label' =
+  let open Gen in
+  let* d = gen_level_numeric' in
+  let* n = int_range 0 4 in
+  let* entries =
+    list_len n (pair (map cat (int_range 0 7)) gen_level_storable')
+  in
+  return (Label.of_list entries d)
+
+let pp_label l = Label.to_string l
+let pp2 (a, b) = Printf.sprintf "(%s, %s)" (pp_label a) (pp_label b)
+
+let pp3 (a, b, c) =
+  Printf.sprintf "(%s, %s, %s)" (pp_label a) (pp_label b) (pp_label c)
+
+let check_tests =
+  let open Gen in
+  [
+    Check.test_case ~print:pp_label "leq reflexive" gen_label' (fun l ->
+        Check.ensure (Label.leq l l));
+    Check.test_case ~print:pp2 "leq antisymmetric" (pair gen_label' gen_label')
+      (fun (a, b) ->
+        if Label.leq a b && Label.leq b a then
+          Check.ensure ~msg:"leq both ways but not equal" (Label.equal a b));
+    Check.test_case ~print:pp3 "leq transitive"
+      (triple gen_label' gen_label' gen_label')
+      (fun (a, b, c) ->
+        if Label.leq a b && Label.leq b c then
+          Check.ensure ~msg:"a ⊑ b ⊑ c but not a ⊑ c" (Label.leq a c));
+    Check.test_case ~print:pp2 "lub least upper bound"
+      (pair gen_label' gen_label')
+      (fun (a, b) ->
+        let u = Label.lub a b in
+        Check.ensure ~msg:"not an upper bound" (Label.leq a u && Label.leq b u));
+    Check.test_case ~print:pp3 "lub minimality"
+      (triple gen_label' gen_label' gen_label')
+      (fun (a, b, c) ->
+        if Label.leq a c && Label.leq b c then
+          Check.ensure ~msg:"lub above another upper bound"
+            (Label.leq (Label.lub a b) c));
+    Check.test_case ~print:pp3 "glb maximality"
+      (triple gen_label' gen_label' gen_label')
+      (fun (a, b, c) ->
+        let g = Label.glb a b in
+        Check.ensure ~msg:"not a lower bound" (Label.leq g a && Label.leq g b);
+        if Label.leq c a && Label.leq c b then
+          Check.ensure ~msg:"glb below another lower bound" (Label.leq c g));
+    Check.test_case ~print:pp2 "lub/glb commute" (pair gen_label' gen_label')
+      (fun (a, b) ->
+        Check.ensure (Label.equal (Label.lub a b) (Label.lub b a));
+        Check.ensure (Label.equal (Label.glb a b) (Label.glb b a)));
+    Check.test_case ~print:pp2 "taint_to_read minimal sufficient"
+      (pair gen_label' gen_label')
+      (fun (thread, obj) ->
+        let raised = Label.taint_to_read ~thread ~obj in
+        Check.ensure ~msg:"thread label lowered" (Label.leq thread raised);
+        Check.ensure ~msg:"still cannot observe"
+          (Label.can_observe ~thread:raised ~obj));
+    Check.test_case ~print:pp2 "ownership survives taint_to_read"
+      (pair gen_label' gen_label')
+      (fun (thread, obj) ->
+        let raised = Label.taint_to_read ~thread ~obj in
+        List.iter
+          (fun (c, lv) ->
+            if Level.equal lv Level.Star then
+              Check.ensure ~msg:"⋆ lost while tainting"
+                (Level.equal (Label.get raised c) Level.Star))
+          (Label.entries thread));
+    Check.test_case ~print:pp_label "star-free raise_j/lower_star identity"
+      gen_label' (fun a ->
+        if not (Label.has_star a) then
+          Check.ensure (Label.equal (Label.lower_star (Label.raise_j a)) a));
+  ]
+
 let () =
   Alcotest.run "histar_label"
     [
@@ -222,4 +308,5 @@ let () =
           Alcotest.test_case "printing" `Quick test_pp;
         ] );
       ("lattice laws", List.map QCheck_alcotest.to_alcotest qcheck_tests);
+      ("lattice laws (histar_check)", check_tests);
     ]

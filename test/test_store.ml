@@ -205,7 +205,8 @@ let test_sync_range_in_place () =
   Store.put s ~oid:9L (Bytes.to_string big);
   let t0 = Clock.now_ns clock in
   let commits0 = (Store.stats s).Store.wal_commits in
-  Store.sync_range s ~oid:9L ~off:50_000 ~len:100;
+  let in_place = Store.sync_range s ~oid:9L ~off:50_000 ~len:100 in
+  Alcotest.(check bool) "in-place path taken" true in_place;
   let dt = Int64.sub (Clock.now_ns clock) t0 in
   Alcotest.(check int) "no log commit" commits0 (Store.stats s).Store.wal_commits;
   (* cheap: a couple of sectors plus one barrier, far below a full
