@@ -1,0 +1,391 @@
+(* Deterministic benchmark runner: executes the §7 workloads under a
+   fixed seed, snapshots the global metrics registry around each one,
+   and emits a schema-versioned JSON trajectory (BENCH_*.json).
+
+   Determinism contract: every workload runs on the virtual clock with
+   fixed RNG seeds, so [virtual_ns] and every counter delta are
+   bit-identical across runs on the same build. Only [wall_ms] (host
+   wall-clock, informational) varies; consumers comparing trajectories
+   must strip it. *)
+
+open Harness
+module Metrics = Histar_metrics.Metrics
+module Json = Histar_metrics.Json
+module Profile = Histar_core.Profile
+module Hub = Histar_net.Hub
+module Addr = Histar_net.Addr
+module Sim_host = Histar_net.Sim_host
+module Netd = Histar_net.Netd
+open Histar_label
+
+let schema_version = 1
+
+(* Counters every workload entry must carry, even when zero: the
+   trajectory's stable spine. Everything else rides along as nonzero
+   deltas. *)
+let required_counters =
+  [
+    "kernel.syscalls";
+    "label.checks";
+    "disk.media_sector_writes";
+    "wal.commits";
+  ]
+
+type size = Smoke | Full
+
+let size_to_string = function Smoke -> "smoke" | Full -> "full"
+let pick size ~smoke ~full = match size with Smoke -> smoke | Full -> full
+
+(* ---------- workloads ----------
+
+   Each returns the virtual nanoseconds its measured phase took. Every
+   workload builds a fresh machine from the fixed default seed so state
+   never leaks between entries. *)
+
+let ipc_pingpong size =
+  let rtts = pick size ~smoke:50 ~full:2_000 in
+  let m = mk_machine () in
+  boot m (fun _fs proc ->
+      let r1, w1 = Process.pipe proc in
+      let r2, w2 = Process.pipe proc in
+      let _echo =
+        Process.spawn proc ~name:"echo" ~fds:[ r1; w2 ] (fun child ->
+            let rec loop () =
+              let msg = Process.read child r1 8 in
+              if String.length msg > 0 then begin
+                ignore (Process.write child w2 msg);
+                loop ()
+              end
+            in
+            loop ();
+            Process.close child w2)
+      in
+      ignore (Process.write proc w1 "warmup!!");
+      ignore (Process.read proc r2 8);
+      let (), ns =
+        timed m.clock (fun () ->
+            for _ = 1 to rtts do
+              ignore (Process.write proc w1 "8bytemsg");
+              ignore (Process.read proc r2 8)
+            done)
+      in
+      Process.close proc w1;
+      ns)
+
+let proc_cycle ~use_spawn size =
+  let iters = pick size ~smoke:3 ~full:30 in
+  let m = mk_machine () in
+  boot m (fun fs proc ->
+      ignore (Fs.mkdir fs "/bin");
+      Fs.write_file fs "/bin/true" "#!true";
+      Fs.write_file fs "/dev-console" "";
+      let fds = List.init 3 (fun _ -> Process.open_file proc "/dev-console") in
+      let one () =
+        let h =
+          if use_spawn then
+            Process.spawn proc ~name:"true" ~fds (fun c -> Process.exit c 0)
+          else
+            Process.fork_exec proc ~name:"true" ~text:"/bin/true" ~fds (fun c ->
+                Process.exit c 0)
+        in
+        ignore (Process.wait proc h)
+      in
+      one () (* warmup *);
+      let (), ns =
+        timed m.clock (fun () ->
+            for _ = 1 to iters do
+              one ()
+            done)
+      in
+      ns)
+
+let lfs_content = String.make 1024 'd'
+
+let lfs_create ~mode size =
+  let files =
+    match mode with
+    | `Sync -> pick size ~smoke:5 ~full:100
+    | `Group -> pick size ~smoke:20 ~full:800
+  in
+  let m = mk_machine () in
+  boot m (fun fs _proc ->
+      ignore (Fs.mkdir fs "/lfs");
+      let (), ns =
+        timed m.clock (fun () ->
+            for i = 0 to files - 1 do
+              let p = Printf.sprintf "/lfs/f%05d" i in
+              Fs.write_file fs p lfs_content;
+              match mode with `Sync -> Fs.fsync fs p | `Group -> ()
+            done;
+            match mode with `Group -> Sys.sync_all () | `Sync -> ())
+      in
+      ns)
+
+let large_file_rand size =
+  let mb = pick size ~smoke:1 ~full:8 in
+  let writes = pick size ~smoke:10 ~full:400 in
+  let chunk = 8192 in
+  let bytes = mb * 1024 * 1024 in
+  let m = mk_machine () in
+  boot m (fun fs proc ->
+      ignore (Fs.mkdir fs "/big");
+      ignore (Fs.create fs "/big/file");
+      Fs.reserve fs "/big/file" (bytes + 65536);
+      let data = String.make chunk 'L' in
+      let fd = Process.open_file proc "/big/file" in
+      for _ = 1 to bytes / chunk do
+        ignore (Process.write proc fd data)
+      done;
+      Process.close proc fd;
+      Fs.fsync fs "/big/file";
+      Sys.sync_all ();
+      let rng = Histar_util.Rng.create 7L in
+      let (), ns =
+        timed m.clock (fun () ->
+            for _ = 1 to writes do
+              let off = Histar_util.Rng.int rng (bytes - chunk) in
+              let fd = Process.open_file proc "/big/file" in
+              Process.seek proc fd off;
+              ignore (Process.write proc fd data);
+              Process.close proc fd;
+              Fs.fsync_range fs "/big/file" ~off ~len:chunk
+            done)
+      in
+      ns)
+
+let wget size =
+  let bytes = pick size ~smoke:(64 * 1024) ~full:(4 * 1024 * 1024) in
+  let m = mk_machine () in
+  let hub = Hub.create ~clock:m.clock () in
+  let server =
+    Sim_host.create ~hub ~clock:m.clock ~ip:"10.0.0.2" ~mac:"www" ()
+  in
+  Sim_host.serve_file server ~port:80 ~content:(String.make bytes 'w');
+  let got = ref 0 in
+  let elapsed = ref (-1L) in
+  let _tid =
+    Kernel.spawn m.kernel ~name:"init" (fun () ->
+        let fs = Fs.format_root ~container:(Kernel.root m.kernel) ~label:l1 in
+        let proc =
+          Process.boot ~fs ~container:(Kernel.root m.kernel) ~name:"init" ()
+        in
+        let i = Sys.cat_create () in
+        let netd =
+          Netd.start m.kernel ~hub ~container:(Kernel.root m.kernel)
+            ~ip:(Addr.ip_of_string "10.0.0.1") ~mac:"km" ~taint:i ()
+        in
+        let scratch =
+          Sys.container_create
+            ~container:(Process.container proc)
+            ~label:(Label.of_list [ (i, Level.L2) ] Level.L1)
+            ~quota:2_097_152L "wget scratch"
+        in
+        let _wget =
+          Process.spawn proc ~name:"wget"
+            ~extra_label:[ (i, Level.L2) ]
+            ~extra_clearance:[ (i, Level.L2) ]
+            (fun _w ->
+              let t0 = Clock.now_ns m.clock in
+              let sock =
+                Netd.Client.connect netd ~return_container:scratch
+                  (Addr.v "10.0.0.2" 80)
+              in
+              Netd.Client.send netd ~return_container:scratch sock "GET /big";
+              let rec loop () =
+                match Netd.Client.recv netd ~return_container:scratch sock with
+                | Some d ->
+                    got := !got + String.length d;
+                    if !got < bytes then loop ()
+                | None -> ()
+              in
+              loop ();
+              elapsed := Int64.sub (Clock.now_ns m.clock) t0)
+        in
+        ())
+  in
+  Kernel.run m.kernel;
+  if !elapsed < 0L then failwith "wget: transfer did not complete";
+  if !got < bytes then
+    failwith (Printf.sprintf "wget: got %d of %d bytes" !got bytes);
+  !elapsed
+
+let workloads =
+  [
+    ("ipc-pingpong", "pipe round trips through the gate IPC path", ipc_pingpong);
+    ("fork-exec", "fork/exec/exit/wait of a /bin/true equivalent",
+     proc_cycle ~use_spawn:false);
+    ("spawn", "spawn/exit/wait of a /bin/true equivalent",
+     proc_cycle ~use_spawn:true);
+    ("lfs-create-sync", "small-file create with per-file fsync (WAL path)",
+     lfs_create ~mode:`Sync);
+    ("lfs-create-group", "small-file create with one group sync (checkpoint)",
+     lfs_create ~mode:`Group);
+    ("large-file-rand", "random synchronous in-place writes to a large file",
+     large_file_rand);
+    ("wget", "HTTP transfer through netd with a tainted client",
+     wget);
+  ]
+
+let workload_names = List.map (fun (n, _, _) -> n) workloads
+
+(* ---------- running ---------- *)
+
+exception Workload_failed of string * exn
+
+type entry = {
+  e_name : string;
+  e_descr : string;
+  e_wall_ms : float;
+  e_virtual_ns : int64;
+  e_counters : (string * int) list;
+}
+
+let run_one size (name, descr, f) =
+  let before = Metrics.snapshot () in
+  let w0 = Unix.gettimeofday () in
+  let virtual_ns =
+    try f size with e -> raise (Workload_failed (name, e))
+  in
+  let wall_ms = (Unix.gettimeofday () -. w0) *. 1e3 in
+  let after = Metrics.snapshot () in
+  let delta = Metrics.diff ~before ~after in
+  (* The required spine is always present; other deltas ride along. *)
+  let spine =
+    List.map
+      (fun k -> (k, Metrics.value_in after k - Metrics.value_in before k))
+      required_counters
+  in
+  let extras = List.filter (fun (k, _) -> not (List.mem k required_counters)) delta in
+  {
+    e_name = name;
+    e_descr = descr;
+    e_wall_ms = wall_ms;
+    e_virtual_ns = virtual_ns;
+    e_counters = spine @ extras;
+  }
+
+let run_suite ~size () =
+  let was_enabled = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  let entries =
+    Fun.protect
+      ~finally:(fun () -> Metrics.set_enabled was_enabled)
+      (fun () -> List.map (run_one size) workloads)
+  in
+  let total_virtual =
+    List.fold_left (fun a e -> Int64.add a e.e_virtual_ns) 0L entries
+  in
+  Json.Obj
+    [
+      ("schema_version", Json.Int schema_version);
+      ("suite", Json.Str "histar-bench");
+      ("size", Json.Str (size_to_string size));
+      ("seed", Json.Str "default (0x4853746172217221)");
+      ( "workloads",
+        Json.List
+          (List.map
+             (fun e ->
+               Json.Obj
+                 [
+                   ("name", Json.Str e.e_name);
+                   ("descr", Json.Str e.e_descr);
+                   ("wall_ms", Json.Float e.e_wall_ms);
+                   ("virtual_ns", Json.Int (Int64.to_int e.e_virtual_ns));
+                   ( "counters",
+                     Json.Obj
+                       (List.map (fun (k, v) -> (k, Json.Int v)) e.e_counters)
+                   );
+                 ])
+             entries) );
+      ("total_virtual_ns", Json.Int (Int64.to_int total_virtual));
+    ]
+
+(* ---------- schema validation ---------- *)
+
+let validate json =
+  let ( let* ) = Result.bind in
+  let err fmt = Printf.ksprintf (fun s -> Error s) fmt in
+  let* () =
+    match Json.member "schema_version" json with
+    | Some (Json.Int v) when v = schema_version -> Ok ()
+    | Some (Json.Int v) -> err "schema_version %d, expected %d" v schema_version
+    | Some _ | None -> err "missing integer schema_version"
+  in
+  let* () =
+    match Json.member "suite" json with
+    | Some (Json.Str "histar-bench") -> Ok ()
+    | _ -> err "suite is not \"histar-bench\""
+  in
+  let* () =
+    match Json.member "size" json with
+    | Some (Json.Str ("smoke" | "full")) -> Ok ()
+    | _ -> err "size is not smoke|full"
+  in
+  let* ws =
+    match Json.member "workloads" json with
+    | Some (Json.List (_ :: _ as ws)) -> Ok ws
+    | Some (Json.List []) -> err "workloads is empty"
+    | _ -> err "missing workloads array"
+  in
+  List.fold_left
+    (fun acc w ->
+      let* () = acc in
+      let* name =
+        match Json.member "name" w with
+        | Some (Json.Str n) -> Ok n
+        | _ -> err "workload without a name"
+      in
+      let* () =
+        match Json.member "wall_ms" w with
+        | Some (Json.Float _ | Json.Int _) -> Ok ()
+        | _ -> err "%s: missing wall_ms" name
+      in
+      let* () =
+        match Json.member "virtual_ns" w with
+        | Some (Json.Int v) when v >= 0 -> Ok ()
+        | _ -> err "%s: missing non-negative virtual_ns" name
+      in
+      let* counters =
+        match Json.member "counters" w with
+        | Some (Json.Obj _ as c) -> Ok c
+        | _ -> err "%s: missing counters object" name
+      in
+      List.fold_left
+        (fun acc k ->
+          let* () = acc in
+          match Json.member k counters with
+          | Some (Json.Int v) when v >= 0 -> Ok ()
+          | Some (Json.Int _) -> err "%s: counter %s is negative" name k
+          | _ -> err "%s: missing required counter %s" name k)
+        (Ok ()) required_counters)
+    (Ok ()) ws
+
+(* ---------- IO ---------- *)
+
+let write_file ~path json =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () ->
+      output_string oc (Json.to_string ~indent:2 json);
+      output_char oc '\n')
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in ic)
+    (fun () -> Json.of_string (really_input_string ic (in_channel_length ic)))
+
+(* Strip the nondeterministic wall-clock fields, for trajectory
+   comparison. *)
+let rec strip_wall = function
+  | Json.Obj fields ->
+      Json.Obj
+        (List.filter_map
+           (fun (k, v) ->
+             if String.equal k "wall_ms" then None else Some (k, strip_wall v))
+           fields)
+  | Json.List xs -> Json.List (List.map strip_wall xs)
+  | (Json.Null | Json.Bool _ | Json.Int _ | Json.Float _ | Json.Str _) as v ->
+      v

@@ -1,3 +1,12 @@
+module Metrics = Histar_metrics.Metrics
+
+(* Structural work counters for the mutating descents (find/insert/
+   remove): how many nodes each operation walks, and how often the tree
+   reorganises. *)
+let m_node_touches = Metrics.counter "btree.node_touches"
+let m_splits = Metrics.counter "btree.splits"
+let m_merges = Metrics.counter "btree.merges"
+
 type leaf = {
   mutable lkeys : int64 array;
   mutable lvals : int64 array;
@@ -64,6 +73,7 @@ let child_index n k =
 (* ----- find ----- *)
 
 let rec find_node node k =
+  Metrics.Counter.incr m_node_touches;
   match node with
   | Leaf l ->
       let i = lower_bound l.lkeys k in
@@ -80,6 +90,7 @@ let mem t k = Option.is_some (find t k)
 type split = (int64 * node) option
 
 let rec insert_node t node k v : split * bool =
+  Metrics.Counter.incr m_node_touches;
   match node with
   | Leaf l ->
       let i = lower_bound l.lkeys k in
@@ -103,6 +114,7 @@ let rec insert_node t node k v : split * bool =
           l.lkeys <- arr_sub l.lkeys 0 mid;
           l.lvals <- arr_sub l.lvals 0 mid;
           l.next <- Some right;
+          Metrics.Counter.incr m_splits;
           (Some (right.lkeys.(0), Leaf right), true)
         end
         else (None, true)
@@ -128,6 +140,7 @@ let rec insert_node t node k v : split * bool =
             in
             n.ikeys <- arr_sub n.ikeys 0 (mid - 1);
             n.children <- arr_sub n.children 0 mid;
+            Metrics.Counter.incr m_splits;
             (Some (up, Internal rnode), added)
           end
           else (None, added))
@@ -187,6 +200,7 @@ let fix_underflow t n i =
   in
   (* Merge children [li] and [li+1] into [li]; drop separator [li]. *)
   let merge li =
+    Metrics.Counter.incr m_merges;
     (match (n.children.(li), n.children.(li + 1)) with
     | Leaf l, Leaf r ->
         l.lkeys <- arr_append l.lkeys r.lkeys;
@@ -211,6 +225,7 @@ let fix_underflow t n i =
   else merge i
 
 let rec remove_node t node k =
+  Metrics.Counter.incr m_node_touches;
   match node with
   | Leaf l ->
       let i = lower_bound l.lkeys k in

@@ -7,6 +7,15 @@ module Sim_clock = Histar_util.Sim_clock
 module Codec = Histar_util.Codec
 open Types
 open Syscall
+module Metrics = Histar_metrics.Metrics
+module Mtrace = Histar_metrics.Trace
+
+(* Syscall dispatch counters: total traps, per-syscall virtual-time
+   latency (trap cost + handler work, including any disk time the
+   handler charges), and how many syscalls failed a label check. *)
+let m_syscalls = Metrics.counter "kernel.syscalls"
+let m_syscall_ns = Metrics.histogram "kernel.syscall_ns"
+let m_label_errors = Metrics.counter "kernel.syscall_label_errors"
 
 let infinite_quota = Int64.max_int
 let base_overhead = 512L
@@ -109,6 +118,7 @@ type t = {
   mutable root : oid;
   mutable trace : (trace_event -> unit) option;
   syscall_cost_ns : int;
+  instrument : bool;
   key : int64;
 }
 
@@ -676,22 +686,27 @@ let check_gate_invoke k gate_obj g ~requested_label ~requested_clearance
   let lt = cur_label k in
   let ct = cur_clearance k in
   let lg = gate_obj.label in
-  if not (Label.leq lt g.gclear) then
-    label_errf "gate: L_T=%s not ⊑ C_G=%s" (Label.to_string lt)
-      (Label.to_string g.gclear)
-  else if not (Label.leq lt verify_label) then
-    label_errf "gate: L_T not ⊑ L_V=%s" (Label.to_string verify_label)
-  else
-    let floor = Label.lower_star (Label.lub (Label.raise_j lt) (Label.raise_j lg)) in
-    if not (Label.leq floor requested_label) then
-      label_errf "gate: floor %s not ⊑ L_R=%s" (Label.to_string floor)
-        (Label.to_string requested_label)
-    else if not (Label.leq requested_label requested_clearance) then
-      label_errf "gate: L_R not ⊑ C_R"
-    else if not (Label.leq requested_clearance (Label.lub ct g.gclear)) then
-      label_errf "gate: C_R=%s not ⊑ C_T ⊔ C_G"
-        (Label.to_string requested_clearance)
-    else Ok ()
+  let result =
+    if not (Label.leq lt g.gclear) then
+      label_errf "gate: L_T=%s not ⊑ C_G=%s" (Label.to_string lt)
+        (Label.to_string g.gclear)
+    else if not (Label.leq lt verify_label) then
+      label_errf "gate: L_T not ⊑ L_V=%s" (Label.to_string verify_label)
+    else
+      let floor = Label.lower_star (Label.lub (Label.raise_j lt) (Label.raise_j lg)) in
+      if not (Label.leq floor requested_label) then
+        label_errf "gate: floor %s not ⊑ L_R=%s" (Label.to_string floor)
+          (Label.to_string requested_label)
+      else if not (Label.leq requested_label requested_clearance) then
+        label_errf "gate: L_R not ⊑ C_R"
+      else if not (Label.leq requested_clearance (Label.lub ct g.gclear)) then
+        label_errf "gate: C_R=%s not ⊑ C_T ⊔ C_G"
+          (Label.to_string requested_clearance)
+      else Ok ()
+  in
+  if k.instrument then
+    Label_cache.count_uncached_check ~allowed:(Result.is_ok result);
+  result
 
 let resolve_gate k ~op ce =
   let* o = resolve k ~op ce in
@@ -1289,8 +1304,32 @@ let rec run_state_loop k tid rs =
             k.syscall_cost_ns * 30
         | _ -> k.syscall_cost_ns
       in
-      Sim_clock.advance_ns k.clock (Int64.of_int cost_ns);
-      let action = handle_syscall k kont req in
+      let action =
+        if k.instrument then begin
+          let t0 = Sim_clock.now_ns k.clock in
+          Sim_clock.advance_ns k.clock (Int64.of_int cost_ns);
+          let action = handle_syscall k kont req in
+          Metrics.Counter.incr m_syscalls;
+          let t1 = Sim_clock.now_ns k.clock in
+          Metrics.Histogram.observe m_syscall_ns
+            (Int64.to_int (Int64.sub t1 t0));
+          (match action with
+          | A_resp (R_err (Label_check _)) -> Metrics.Counter.incr m_label_errors
+          | _ -> ());
+          if Mtrace.enabled () then
+            Mtrace.emit ~ts_ns:t1 "syscall"
+              [
+                ("name", req_name req);
+                ("thread", Int64.to_string tid);
+                ("virtual_ns", Int64.to_string (Int64.sub t1 t0));
+              ];
+          action
+        end
+        else begin
+          Sim_clock.advance_ns k.clock (Int64.of_int cost_ns);
+          handle_syscall k kont req
+        end
+      in
       match find_obj k tid with
       | None -> () (* thread was destroyed by its own syscall *)
       | Some { body = Thr th; _ } -> (
@@ -1398,7 +1437,7 @@ let thread_label k oid =
 (* ---------- construction ---------- *)
 
 let create ?(seed = 0x4853_7461_7221L) ?clock ?store ?(syscall_cost_ns = 500)
-    () =
+    ?(instrument = true) () =
   let clock = match clock with Some c -> c | None -> Sim_clock.create () in
   let k =
     {
@@ -1415,6 +1454,7 @@ let create ?(seed = 0x4853_7461_7221L) ?clock ?store ?(syscall_cost_ns = 500)
       root = 0L;
       trace = None;
       syscall_cost_ns;
+      instrument;
       key = seed;
     }
   in
@@ -1584,6 +1624,7 @@ let recover ~store =
       root;
       trace = None;
       syscall_cost_ns = 500;
+      instrument = true;
       key;
     }
   in

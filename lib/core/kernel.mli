@@ -35,8 +35,14 @@ val create :
   ?clock:Histar_util.Sim_clock.t ->
   ?store:Histar_store.Store.t ->
   ?syscall_cost_ns:int ->
+  ?instrument:bool ->
   unit ->
   t
+(** [instrument] (default [true]) controls whether the syscall dispatch
+    loop reports into the global {!Histar_metrics.Metrics} registry at
+    all. With it [true] but the registry disabled, each syscall costs
+    one flag load and branch; [false] skips even that, giving the
+    overhead test a no-instrumentation baseline. *)
 
 val clock : t -> Histar_util.Sim_clock.t
 val root : t -> oid

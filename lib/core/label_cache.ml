@@ -1,4 +1,13 @@
 module Label = Histar_label.Label
+module Metrics = Histar_metrics.Metrics
+
+(* Every cached-path label comparison, allowed or not, plus cache
+   effectiveness. Gate-invocation checks bypass the cache and report
+   into the same counters from the kernel. *)
+let m_checks = Metrics.counter "label.checks"
+let m_denied = Metrics.counter "label.denied"
+let m_cache_hits = Metrics.counter "label.cache_hits"
+let m_cache_misses = Metrics.counter "label.cache_misses"
 
 type key = Label.t * Label.t
 
@@ -20,16 +29,29 @@ let create ?(bound = 8192) () =
   }
 
 let lookup t tbl key compute =
-  match Hashtbl.find_opt tbl key with
-  | Some v ->
-      t.hits <- t.hits + 1;
-      v
-  | None ->
-      t.misses <- t.misses + 1;
-      let v = compute () in
-      if Hashtbl.length tbl >= t.bound then Hashtbl.reset tbl;
-      Hashtbl.replace tbl key v;
-      v
+  Metrics.Counter.incr m_checks;
+  let v =
+    match Hashtbl.find_opt tbl key with
+    | Some v ->
+        t.hits <- t.hits + 1;
+        Metrics.Counter.incr m_cache_hits;
+        v
+    | None ->
+        t.misses <- t.misses + 1;
+        Metrics.Counter.incr m_cache_misses;
+        let v = compute () in
+        if Hashtbl.length tbl >= t.bound then Hashtbl.reset tbl;
+        Hashtbl.replace tbl key v;
+        v
+  in
+  if not v then Metrics.Counter.incr m_denied;
+  v
+
+(* Exposed for the kernel's uncached check sites (gate invocation),
+   which must report into the same counters. *)
+let count_uncached_check ~allowed =
+  Metrics.Counter.incr m_checks;
+  if not allowed then Metrics.Counter.incr m_denied
 
 let observe t ~thread ~obj =
   lookup t t.observe_tbl (thread, obj) (fun () ->

@@ -23,3 +23,9 @@ val modify : t -> thread:Histar_label.Label.t -> obj:Histar_label.Label.t -> boo
 
 val hits : t -> int
 val misses : t -> int
+
+val count_uncached_check : allowed:bool -> unit
+(** Report a label comparison performed outside the cache (gate
+    invocation checks use {!Histar_label.Label.leq} directly) into the
+    global [label.checks] / [label.denied] metrics, so those counters
+    cover every kernel label decision. *)

@@ -1,5 +1,20 @@
 exception Crashed
 
+module Metrics = Histar_metrics.Metrics
+module Trace = Histar_metrics.Trace
+
+(* Process-global media counters and decomposed service-time totals
+   (§7's disk model made observable: where virtual time on the platter
+   actually goes). Per-instance counts stay in [stats]. *)
+let m_reads = Metrics.counter "disk.reads"
+let m_sectors_read = Metrics.counter "disk.sectors_read"
+let m_media_sector_writes = Metrics.counter "disk.media_sector_writes"
+let m_flushes = Metrics.counter "disk.flushes"
+let m_seeks = Metrics.counter "disk.seeks"
+let m_seek_ns = Metrics.counter "disk.seek_ns"
+let m_rotate_ns = Metrics.counter "disk.rotate_ns"
+let m_transfer_ns = Metrics.counter "disk.transfer_ns"
+
 type geometry = { sectors : int; sector_bytes : int }
 
 let default_geometry = { sectors = 78_125_000; sector_bytes = 512 }
@@ -67,6 +82,7 @@ let create ?(geometry = default_geometry) ?(params = default_params) ~clock () =
   }
 
 let geometry t = t.geometry
+let clock t = t.clock
 let stats t = t.stats
 
 let reset_stats t =
@@ -92,13 +108,17 @@ let charge_io t ~sector ~count =
   let p = t.params in
   if t.head <> sector then begin
     t.stats.seeks <- t.stats.seeks + 1;
+    Metrics.Counter.incr m_seeks;
     let dist = float_of_int (abs (sector - t.head)) in
     let frac = dist /. float_of_int t.geometry.sectors in
     let seek = p.seek_min_us +. ((p.seek_max_us -. p.seek_min_us) *. sqrt frac) in
+    Metrics.Counter.add m_seek_ns (int_of_float (seek *. 1e3));
+    Metrics.Counter.add m_rotate_ns (int_of_float (p.rotation_us /. 2.0 *. 1e3));
     Histar_util.Sim_clock.advance_us t.clock (seek +. (p.rotation_us /. 2.0))
   end;
-  Histar_util.Sim_clock.advance_us t.clock
-    (p.transfer_us_per_sector *. float_of_int count);
+  let transfer = p.transfer_us_per_sector *. float_of_int count in
+  Metrics.Counter.add m_transfer_ns (int_of_float (transfer *. 1e3));
+  Histar_util.Sim_clock.advance_us t.clock transfer;
   t.head <- sector + count
 
 let zero_sector t = String.make t.geometry.sector_bytes '\000'
@@ -116,6 +136,8 @@ let read t ~sector ~count =
   check_range t sector count;
   t.stats.reads <- t.stats.reads + 1;
   t.stats.sectors_read <- t.stats.sectors_read + count;
+  Metrics.Counter.incr m_reads;
+  Metrics.Counter.add m_sectors_read count;
   (* Cached (dirty) sectors cost nothing extra; charge for the whole run
      conservatively as one media access. *)
   charge_io t ~sector ~count;
@@ -148,6 +170,7 @@ let media_write_one t i data =
   Hashtbl.replace t.media i data;
   t.stats.sectors_written <- t.stats.sectors_written + 1;
   t.media_writes <- t.media_writes + 1;
+  Metrics.Counter.incr m_media_sector_writes;
   match t.write_trace with
   | Some f -> f ~sector:i ~data
   | None -> ()
@@ -155,14 +178,23 @@ let media_write_one t i data =
 let flush t =
   check_alive t;
   t.stats.flushes <- t.stats.flushes + 1;
+  Metrics.Counter.incr m_flushes;
   let dirty = Hashtbl.fold (fun i _ acc -> i :: acc) t.cache [] in
   let dirty = List.sort Int.compare dirty in
+  if Trace.enabled () then
+    Trace.emit
+      ~ts_ns:(Histar_util.Sim_clock.now_ns t.clock)
+      "disk.flush"
+      [ ("dirty_sectors", string_of_int (List.length dirty)) ];
   (* A write barrier waits for the platter: charge half a rotation for
      any non-empty flush, on top of per-run seek and transfer costs.
      This is what makes per-file fsync pay dearly compared to one big
      group sync (the paper's 459s vs 2.57s LFS result). *)
-  if dirty <> [] then
-    Histar_util.Sim_clock.advance_us t.clock (t.params.rotation_us /. 2.0);
+  if dirty <> [] then begin
+    Metrics.Counter.add m_rotate_ns
+      (int_of_float (t.params.rotation_us /. 2.0 *. 1e3));
+    Histar_util.Sim_clock.advance_us t.clock (t.params.rotation_us /. 2.0)
+  end;
   (* Elevator scan: charge per contiguous run, write each sector. *)
   let rec runs = function
     | [] -> []

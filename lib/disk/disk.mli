@@ -49,6 +49,9 @@ val create :
 
 val geometry : t -> geometry
 
+val clock : t -> Histar_util.Sim_clock.t
+(** The virtual clock this disk charges service time against. *)
+
 val read : t -> sector:int -> count:int -> string
 (** Reads [count] sectors; sees the write cache. Unwritten sectors read
     as zeros. *)

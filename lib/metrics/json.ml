@@ -1,0 +1,283 @@
+(* A minimal self-contained JSON codec, just enough for the benchmark
+   trajectory files and the trace dump: no external dependency, byte
+   strings allowed (non-ASCII and control bytes are \u00XX-escaped, so
+   to_string/of_string round-trips arbitrary OCaml strings). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* ---------- printing ---------- *)
+
+let escape_string b s =
+  Buffer.add_char b '"';
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 || Char.code c > 0x7e ->
+          Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.add_char b '"'
+
+let float_to_string f =
+  if Float.is_integer f && Float.abs f < 1e15 then Printf.sprintf "%.1f" f
+  else Printf.sprintf "%.12g" f
+
+let rec emit b ~indent ~level v =
+  let pad n = if indent > 0 then Buffer.add_string b (String.make (n * indent) ' ') in
+  let nl () = if indent > 0 then Buffer.add_char b '\n' in
+  match v with
+  | Null -> Buffer.add_string b "null"
+  | Bool true -> Buffer.add_string b "true"
+  | Bool false -> Buffer.add_string b "false"
+  | Int i -> Buffer.add_string b (string_of_int i)
+  | Float f -> Buffer.add_string b (float_to_string f)
+  | Str s -> escape_string b s
+  | List [] -> Buffer.add_string b "[]"
+  | List xs ->
+      Buffer.add_char b '[';
+      nl ();
+      List.iteri
+        (fun i x ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            nl ()
+          end;
+          pad (level + 1);
+          emit b ~indent ~level:(level + 1) x)
+        xs;
+      nl ();
+      pad level;
+      Buffer.add_char b ']'
+  | Obj [] -> Buffer.add_string b "{}"
+  | Obj fields ->
+      Buffer.add_char b '{';
+      nl ();
+      List.iteri
+        (fun i (k, x) ->
+          if i > 0 then begin
+            Buffer.add_char b ',';
+            nl ()
+          end;
+          pad (level + 1);
+          escape_string b k;
+          Buffer.add_string b (if indent > 0 then ": " else ":");
+          emit b ~indent ~level:(level + 1) x)
+        fields;
+      nl ();
+      pad level;
+      Buffer.add_char b '}'
+
+let to_string ?(indent = 0) v =
+  let b = Buffer.create 256 in
+  emit b ~indent ~level:0 v;
+  Buffer.contents b
+
+(* ---------- parsing ---------- *)
+
+type parser_state = { src : string; mutable pos : int }
+
+let peek p = if p.pos < String.length p.src then Some p.src.[p.pos] else None
+
+let fail p msg =
+  raise (Parse_error (Printf.sprintf "at byte %d: %s" p.pos msg))
+
+let advance p = p.pos <- p.pos + 1
+
+let rec skip_ws p =
+  match peek p with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance p;
+      skip_ws p
+  | _ -> ()
+
+let expect p c =
+  match peek p with
+  | Some c' when c' = c -> advance p
+  | Some c' -> fail p (Printf.sprintf "expected %c, found %c" c c')
+  | None -> fail p (Printf.sprintf "expected %c, found end of input" c)
+
+let literal p word value =
+  let n = String.length word in
+  if p.pos + n <= String.length p.src && String.sub p.src p.pos n = word then begin
+    p.pos <- p.pos + n;
+    value
+  end
+  else fail p ("expected " ^ word)
+
+let hex_digit p c =
+  match c with
+  | '0' .. '9' -> Char.code c - Char.code '0'
+  | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+  | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+  | _ -> fail p "bad hex digit in \\u escape"
+
+let parse_string p =
+  expect p '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek p with
+    | None -> fail p "unterminated string"
+    | Some '"' -> advance p
+    | Some '\\' -> (
+        advance p;
+        match peek p with
+        | None -> fail p "unterminated escape"
+        | Some c ->
+            advance p;
+            (match c with
+            | '"' -> Buffer.add_char b '"'
+            | '\\' -> Buffer.add_char b '\\'
+            | '/' -> Buffer.add_char b '/'
+            | 'n' -> Buffer.add_char b '\n'
+            | 't' -> Buffer.add_char b '\t'
+            | 'r' -> Buffer.add_char b '\r'
+            | 'b' -> Buffer.add_char b '\b'
+            | 'f' -> Buffer.add_char b '\012'
+            | 'u' ->
+                if p.pos + 4 > String.length p.src then fail p "truncated \\u";
+                let v =
+                  (hex_digit p p.src.[p.pos] lsl 12)
+                  lor (hex_digit p p.src.[p.pos + 1] lsl 8)
+                  lor (hex_digit p p.src.[p.pos + 2] lsl 4)
+                  lor hex_digit p p.src.[p.pos + 3]
+                in
+                p.pos <- p.pos + 4;
+                (* Code points <= 0xFF are raw bytes (we escape bytes on
+                   output); larger ones are encoded as UTF-8. *)
+                if v <= 0xFF then Buffer.add_char b (Char.chr v)
+                else if v <= 0x7FF then begin
+                  Buffer.add_char b (Char.chr (0xC0 lor (v lsr 6)));
+                  Buffer.add_char b (Char.chr (0x80 lor (v land 0x3F)))
+                end
+                else begin
+                  Buffer.add_char b (Char.chr (0xE0 lor (v lsr 12)));
+                  Buffer.add_char b (Char.chr (0x80 lor ((v lsr 6) land 0x3F)));
+                  Buffer.add_char b (Char.chr (0x80 lor (v land 0x3F)))
+                end
+            | c -> fail p (Printf.sprintf "bad escape \\%c" c));
+            go ())
+    | Some c ->
+        advance p;
+        Buffer.add_char b c;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number p =
+  let start = p.pos in
+  let is_num_char = function
+    | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+    | _ -> false
+  in
+  while (match peek p with Some c -> is_num_char c | None -> false) do
+    advance p
+  done;
+  let s = String.sub p.src start (p.pos - start) in
+  let is_float = String.exists (fun c -> c = '.' || c = 'e' || c = 'E') s in
+  if is_float then
+    match float_of_string_opt s with
+    | Some f -> Float f
+    | None -> fail p ("bad number " ^ s)
+  else
+    match int_of_string_opt s with
+    | Some i -> Int i
+    | None -> fail p ("bad number " ^ s)
+
+let rec parse_value p =
+  skip_ws p;
+  match peek p with
+  | None -> fail p "unexpected end of input"
+  | Some 'n' -> literal p "null" Null
+  | Some 't' -> literal p "true" (Bool true)
+  | Some 'f' -> literal p "false" (Bool false)
+  | Some '"' -> Str (parse_string p)
+  | Some '[' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some ']' then begin
+        advance p;
+        List []
+      end
+      else
+        let rec items acc =
+          let v = parse_value p in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              items (v :: acc)
+          | Some ']' ->
+              advance p;
+              List.rev (v :: acc)
+          | _ -> fail p "expected , or ] in array"
+        in
+        List (items [])
+  | Some '{' ->
+      advance p;
+      skip_ws p;
+      if peek p = Some '}' then begin
+        advance p;
+        Obj []
+      end
+      else
+        let field () =
+          skip_ws p;
+          let k = parse_string p in
+          skip_ws p;
+          expect p ':';
+          let v = parse_value p in
+          (k, v)
+        in
+        let rec fields acc =
+          let kv = field () in
+          skip_ws p;
+          match peek p with
+          | Some ',' ->
+              advance p;
+              fields (kv :: acc)
+          | Some '}' ->
+              advance p;
+              List.rev (kv :: acc)
+          | _ -> fail p "expected , or } in object"
+        in
+        Obj (fields [])
+  | Some ('-' | '0' .. '9') -> parse_number p
+  | Some c -> fail p (Printf.sprintf "unexpected character %c" c)
+
+let of_string s =
+  let p = { src = s; pos = 0 } in
+  let v = parse_value p in
+  skip_ws p;
+  if p.pos <> String.length s then fail p "trailing garbage after JSON value";
+  v
+
+(* ---------- accessors ---------- *)
+
+let member key = function Obj fields -> List.assoc_opt key fields | _ -> None
+
+let to_int_opt = function Int i -> Some i | _ -> None
+let to_str_opt = function Str s -> Some s | _ -> None
+
+let type_name = function
+  | Null -> "null"
+  | Bool _ -> "bool"
+  | Int _ -> "int"
+  | Float _ -> "float"
+  | Str _ -> "string"
+  | List _ -> "array"
+  | Obj _ -> "object"

@@ -1,0 +1,288 @@
+(* A zero-dependency metrics registry: monotonic counters, gauges and
+   fixed-bucket latency histograms, all named and process-global so
+   instrumentation points anywhere in the tree report into one place.
+
+   Everything is gated on a single [enabled] flag, off by default: a
+   disabled instrumentation point costs one load and one branch, which
+   is what lets the hot paths (syscall dispatch, sector writes) stay
+   instrumented permanently. The benchmark runner enables the registry,
+   snapshots it around each workload, and records the deltas. *)
+
+let on = ref false
+let enabled () = !on
+let set_enabled b = on := b
+
+(* ---------- metric bodies ---------- *)
+
+type counter = { c_name : string; mutable c_v : int }
+type gauge = { g_name : string; mutable g_v : int }
+
+type histogram = {
+  h_name : string;
+  bounds : int array;
+      (** strictly increasing inclusive upper bounds; observations above
+          the last bound land in an implicit overflow bucket *)
+  counts : int array;  (** length = Array.length bounds + 1 *)
+  mutable h_count : int;
+  mutable h_sum : int;
+  mutable h_min : int;
+  mutable h_max : int;
+}
+
+type metric = Counter of counter | Gauge of gauge | Histogram of histogram
+
+let metric_name = function
+  | Counter c -> c.c_name
+  | Gauge g -> g.g_name
+  | Histogram h -> h.h_name
+
+(* ---------- registry ---------- *)
+
+let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
+
+let register name make =
+  match Hashtbl.find_opt registry name with
+  | Some m -> m
+  | None ->
+      let m = make () in
+      Hashtbl.add registry name m;
+      m
+
+let kind_mismatch name want =
+  invalid_arg
+    (Printf.sprintf "Metrics: %s is already registered with a different kind (wanted %s)"
+       name want)
+
+let counter name =
+  match register name (fun () -> Counter { c_name = name; c_v = 0 }) with
+  | Counter c -> c
+  | Gauge _ | Histogram _ -> kind_mismatch name "counter"
+
+let gauge name =
+  match register name (fun () -> Gauge { g_name = name; g_v = 0 }) with
+  | Gauge g -> g
+  | Counter _ | Histogram _ -> kind_mismatch name "gauge"
+
+(* Latency buckets in nanoseconds: sub-microsecond syscall dispatch up
+   through multi-second checkpoints. *)
+let default_bounds =
+  [|
+    250; 500; 1_000; 2_500; 5_000; 10_000; 25_000; 50_000; 100_000; 250_000;
+    500_000; 1_000_000; 2_500_000; 5_000_000; 10_000_000; 50_000_000;
+    100_000_000; 500_000_000; 1_000_000_000; 10_000_000_000;
+  |]
+
+let check_bounds bounds =
+  if Array.length bounds = 0 then invalid_arg "Metrics: empty histogram bounds";
+  for i = 1 to Array.length bounds - 1 do
+    if bounds.(i) <= bounds.(i - 1) then
+      invalid_arg "Metrics: histogram bounds must be strictly increasing"
+  done
+
+let histogram ?(bounds = default_bounds) name =
+  check_bounds bounds;
+  match
+    register name (fun () ->
+        Histogram
+          {
+            h_name = name;
+            bounds = Array.copy bounds;
+            counts = Array.make (Array.length bounds + 1) 0;
+            h_count = 0;
+            h_sum = 0;
+            h_min = max_int;
+            h_max = min_int;
+          })
+  with
+  | Histogram h -> h
+  | Counter _ | Gauge _ -> kind_mismatch name "histogram"
+
+(* ---------- counters ---------- *)
+
+module Counter = struct
+  type t = counter
+
+  let incr c = if !on then c.c_v <- c.c_v + 1
+
+  let add c n =
+    if !on then
+      if n < 0 then invalid_arg "Metrics.Counter.add: negative increment"
+      else c.c_v <- c.c_v + n
+
+  let value c = c.c_v
+  let name c = c.c_name
+end
+
+module Gauge = struct
+  type t = gauge
+
+  let set g v = if !on then g.g_v <- v
+  let add g n = if !on then g.g_v <- g.g_v + n
+  let value g = g.g_v
+  let name g = g.g_name
+end
+
+(* ---------- histograms ---------- *)
+
+module Histogram = struct
+  type t = histogram
+
+  (* First bucket whose upper bound covers [v]; the overflow bucket is
+     index [Array.length bounds]. *)
+  let bucket_of_value h v =
+    let lo = ref 0 and hi = ref (Array.length h.bounds) in
+    while !lo < !hi do
+      let mid = (!lo + !hi) / 2 in
+      if v <= h.bounds.(mid) then hi := mid else lo := mid + 1
+    done;
+    !lo
+
+  (* Inclusive bounds of bucket [i]: (lower, Some upper), or (lower,
+     None) for the overflow bucket. *)
+  let bucket_bounds h i =
+    let lower = if i = 0 then min_int else h.bounds.(i - 1) + 1 in
+    let upper = if i < Array.length h.bounds then Some h.bounds.(i) else None in
+    (lower, upper)
+
+  let observe h v =
+    if !on then begin
+      let b = bucket_of_value h v in
+      h.counts.(b) <- h.counts.(b) + 1;
+      h.h_count <- h.h_count + 1;
+      h.h_sum <- h.h_sum + v;
+      if v < h.h_min then h.h_min <- v;
+      if v > h.h_max then h.h_max <- v
+    end
+
+  let count h = h.h_count
+  let sum h = h.h_sum
+  let name h = h.h_name
+  let bounds h = Array.copy h.bounds
+  let bucket_counts h = Array.copy h.counts
+  let min_value h = if h.h_count = 0 then None else Some h.h_min
+  let max_value h = if h.h_count = 0 then None else Some h.h_max
+
+  (* Quantile estimate: the value at rank ceil(q * count). The reported
+     value is the containing bucket's upper bound clamped to the
+     observed maximum, which keeps estimates inside the bucket that
+     holds the rank and makes q -> quantile monotone. *)
+  let quantile h q =
+    if h.h_count = 0 then None
+    else begin
+      if not (q > 0.0 && q <= 1.0) then
+        invalid_arg "Metrics.Histogram.quantile: q must be in (0, 1]";
+      let rank =
+        let r = int_of_float (ceil (q *. float_of_int h.h_count)) in
+        if r < 1 then 1 else if r > h.h_count then h.h_count else r
+      in
+      let b = ref 0 and cum = ref h.counts.(0) in
+      while !cum < rank do
+        incr b;
+        cum := !cum + h.counts.(!b)
+      done;
+      let upper =
+        if !b < Array.length h.bounds then h.bounds.(!b) else h.h_max
+      in
+      Some (if upper > h.h_max then h.h_max else upper)
+    end
+
+  let p50 h = quantile h 0.50
+  let p95 h = quantile h 0.95
+  let p99 h = quantile h 0.99
+end
+
+(* ---------- snapshots ---------- *)
+
+(* Scalar view of the registry: counters and gauges by value,
+   histograms flattened to _count / _sum so workload deltas can carry
+   them uniformly. Sorted by name for deterministic output. *)
+type snapshot = (string * int) list
+
+let snapshot () : snapshot =
+  Hashtbl.fold
+    (fun name m acc ->
+      match m with
+      | Counter c -> (name, c.c_v) :: acc
+      | Gauge g -> (name, g.g_v) :: acc
+      | Histogram h ->
+          (name ^ "_count", h.h_count) :: (name ^ "_sum", h.h_sum) :: acc)
+    registry []
+  |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+(* Per-name [after - before]; names absent from [before] count from 0,
+   zero deltas are dropped. *)
+let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
+  let base = Hashtbl.create 64 in
+  List.iter (fun (name, v) -> Hashtbl.replace base name v) before;
+  List.filter_map
+    (fun (name, v) ->
+      let v0 = Option.value (Hashtbl.find_opt base name) ~default:0 in
+      if v = v0 then None else Some (name, v - v0))
+    after
+
+let value_in (s : snapshot) name =
+  Option.value (List.assoc_opt name s) ~default:0
+
+let find name = Hashtbl.find_opt registry name
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some (Counter c) -> c.c_v
+  | Some (Gauge g) -> g.g_v
+  | Some (Histogram _) | None -> 0
+
+let reset () =
+  Hashtbl.iter
+    (fun _ m ->
+      match m with
+      | Counter c -> c.c_v <- 0
+      | Gauge g -> g.g_v <- 0
+      | Histogram h ->
+          Array.fill h.counts 0 (Array.length h.counts) 0;
+          h.h_count <- 0;
+          h.h_sum <- 0;
+          h.h_min <- max_int;
+          h.h_max <- min_int)
+    registry
+
+let all () =
+  Hashtbl.fold (fun _ m acc -> m :: acc) registry []
+  |> List.sort (fun a b -> String.compare (metric_name a) (metric_name b))
+
+(* ---------- rendering ---------- *)
+
+let to_json () =
+  let field_of = function
+    | Counter c -> (c.c_name, Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.c_v) ])
+    | Gauge g -> (g.g_name, Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Int g.g_v) ])
+    | Histogram h ->
+        let q name v = (name, match v with None -> Json.Null | Some x -> Json.Int x) in
+        ( h.h_name,
+          Json.Obj
+            [
+              ("type", Json.Str "histogram");
+              ("count", Json.Int h.h_count);
+              ("sum", Json.Int h.h_sum);
+              q "min" (Histogram.min_value h);
+              q "max" (Histogram.max_value h);
+              q "p50" (Histogram.p50 h);
+              q "p95" (Histogram.p95 h);
+              q "p99" (Histogram.p99 h);
+            ] )
+  in
+  Json.Obj (List.map field_of (all ()))
+
+let pp fmt () =
+  List.iter
+    (fun m ->
+      match m with
+      | Counter c -> Format.fprintf fmt "%-36s %d@." c.c_name c.c_v
+      | Gauge g -> Format.fprintf fmt "%-36s %d@." g.g_name g.g_v
+      | Histogram h ->
+          let s = function None -> "-" | Some v -> string_of_int v in
+          Format.fprintf fmt "%-36s n=%d sum=%d p50=%s p95=%s p99=%s@."
+            h.h_name h.h_count h.h_sum
+            (s (Histogram.p50 h))
+            (s (Histogram.p95 h))
+            (s (Histogram.p99 h)))
+    (all ())

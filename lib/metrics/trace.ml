@@ -1,0 +1,89 @@
+(* A bounded structured-event trace ring. Off by default; enabled with
+   HISTAR_TRACE=1 in the environment (checked once at startup) or
+   programmatically. Instrumented subsystems emit (timestamp, kind,
+   key/value fields) events; when the ring is full the oldest event is
+   evicted, so a dump is always the most recent window. Dumps are
+   JSON-lines, one event per line, for grep/jq-style inspection. *)
+
+type event = { ts_ns : int64; kind : string; fields : (string * string) list }
+
+let default_capacity = 4096
+
+type ring = {
+  mutable buf : event array;
+  mutable cap : int;
+  mutable start : int;  (** index of the oldest event *)
+  mutable len : int;
+  mutable evicted : int;  (** lifetime count of events pushed out *)
+}
+
+let nil_event = { ts_ns = 0L; kind = ""; fields = [] }
+
+let ring =
+  {
+    buf = Array.make default_capacity nil_event;
+    cap = default_capacity;
+    start = 0;
+    len = 0;
+    evicted = 0;
+  }
+
+let env_enabled =
+  match Stdlib.Sys.getenv_opt "HISTAR_TRACE" with
+  | Some ("1" | "true" | "yes") -> true
+  | _ -> false
+
+let on = ref env_enabled
+let enabled () = !on
+let set_enabled b = on := b
+
+let clear () =
+  ring.start <- 0;
+  ring.len <- 0;
+  ring.evicted <- 0
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Trace.set_capacity: capacity must be >= 1";
+  ring.buf <- Array.make n nil_event;
+  ring.cap <- n;
+  clear ()
+
+let capacity () = ring.cap
+let length () = ring.len
+let evicted () = ring.evicted
+
+let emit ?(ts_ns = 0L) kind fields =
+  if !on then begin
+    let e = { ts_ns; kind; fields } in
+    if ring.len < ring.cap then begin
+      ring.buf.((ring.start + ring.len) mod ring.cap) <- e;
+      ring.len <- ring.len + 1
+    end
+    else begin
+      (* full: overwrite the oldest slot and advance the window *)
+      ring.buf.(ring.start) <- e;
+      ring.start <- (ring.start + 1) mod ring.cap;
+      ring.evicted <- ring.evicted + 1
+    end
+  end
+
+(* Oldest first. *)
+let events () =
+  List.init ring.len (fun i -> ring.buf.((ring.start + i) mod ring.cap))
+
+let event_to_json e =
+  Json.Obj
+    (("ts_ns", Json.Int (Int64.to_int e.ts_ns))
+    :: ("kind", Json.Str e.kind)
+    :: List.map (fun (k, v) -> (k, Json.Str v)) e.fields)
+
+let to_jsonl () =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun e ->
+      Buffer.add_string b (Json.to_string (event_to_json e));
+      Buffer.add_char b '\n')
+    (events ());
+  Buffer.contents b
+
+let dump oc = output_string oc (to_jsonl ())

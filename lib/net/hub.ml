@@ -1,5 +1,11 @@
 module Sim_clock = Histar_util.Sim_clock
 module Rng = Histar_util.Rng
+module Metrics = Histar_metrics.Metrics
+
+(* Wire-level traffic counters across every hub instance. *)
+let m_frames_sent = Metrics.counter "net.frames_sent"
+let m_frames_dropped = Metrics.counter "net.frames_dropped"
+let m_bytes_sent = Metrics.counter "net.bytes_sent"
 
 type endpoint = {
   ep_mac : string;
@@ -68,14 +74,20 @@ let inject t bytes =
     +. (float_of_int (nbytes * 8) /. t.bandwidth_bps *. 1e6));
   t.frames_sent <- t.frames_sent + 1;
   t.bytes_sent <- t.bytes_sent + nbytes;
+  Metrics.Counter.incr m_frames_sent;
+  Metrics.Counter.add m_bytes_sent nbytes;
+  let drop () =
+    t.frames_dropped <- t.frames_dropped + 1;
+    Metrics.Counter.incr m_frames_dropped
+  in
   let lost =
     t.loss_rate > 0.0
     && Rng.int t.rng 1_000_000 < int_of_float (t.loss_rate *. 1e6)
   in
-  if lost then t.frames_dropped <- t.frames_dropped + 1
+  if lost then drop ()
   else
     match Packet.frame_of_bytes bytes with
-    | None -> t.frames_dropped <- t.frames_dropped + 1
+    | None -> drop ()
     | Some f ->
         if String.equal f.Packet.dst_mac broadcast_mac then
           Hashtbl.iter
@@ -85,7 +97,7 @@ let inject t bytes =
         else (
           match Hashtbl.find_opt t.endpoints f.Packet.dst_mac with
           | Some ep -> ep.ep_deliver bytes
-          | None -> t.frames_dropped <- t.frames_dropped + 1)
+          | None -> drop ())
 
 let frames_sent t = t.frames_sent
 let frames_dropped t = t.frames_dropped

@@ -3,6 +3,18 @@ module Wal = Histar_wal.Wal
 module Bptree = Histar_btree.Bptree
 module Codec = Histar_util.Codec
 module Checksum = Histar_util.Checksum
+module Metrics = Histar_metrics.Metrics
+module Trace = Histar_metrics.Trace
+
+(* Checkpoint frequency and virtual-time cost, plus global mirrors of
+   the per-instance WAL-path stats, so the benchmark runner's registry
+   snapshot sees storage work without holding a store handle. *)
+let m_checkpoints = Metrics.counter "store.checkpoints"
+let m_checkpoint_ns = Metrics.histogram "store.checkpoint_ns"
+let m_sync_batches = Metrics.counter "store.sync_batches"
+let m_synced_oids = Metrics.counter "store.synced_oids"
+let m_cache_hits = Metrics.counter "store.cache_hits"
+let m_cache_misses = Metrics.counter "store.cache_misses"
 
 let store_magic = 0x48695374L (* "HiSt" *)
 let object_magic = 0x4F424A31 (* "OBJ1" *)
@@ -179,9 +191,11 @@ let get t ~oid =
       match Hashtbl.find_opt t.cache oid with
       | Some payload ->
           t.stats.cache_hits <- t.stats.cache_hits + 1;
+          Metrics.Counter.incr m_cache_hits;
           Some payload
       | None -> (
           t.stats.cache_misses <- t.stats.cache_misses + 1;
+          Metrics.Counter.incr m_cache_misses;
           match read_from_home t oid with
           | Some payload ->
               Hashtbl.replace t.cache oid payload;
@@ -223,6 +237,10 @@ let encode_metadata ~object_map ~alloc =
    frees already applied. *)
 let checkpoint t =
   t.stats.checkpoints <- t.stats.checkpoints + 1;
+  Metrics.Counter.incr m_checkpoints;
+  let clock = Disk.clock t.disk in
+  let t0 = Histar_util.Sim_clock.now_ns clock in
+  let dirty_at_entry = Hashtbl.length t.dirty in
   let to_free = ref [] in
   (* Write dirty objects to fresh home locations, in oid order for
      locality. *)
@@ -282,7 +300,16 @@ let checkpoint t =
   write_superblock t;
   (* The new snapshot is durable: vacated extents may now be reused. *)
   List.iter (fun (start, sectors) -> Extent_alloc.free t.alloc ~start ~sectors) !to_free;
-  Wal.truncate t.wal
+  Wal.truncate t.wal;
+  let t1 = Histar_util.Sim_clock.now_ns clock in
+  Metrics.Histogram.observe m_checkpoint_ns (Int64.to_int (Int64.sub t1 t0));
+  if Trace.enabled () then
+    Trace.emit ~ts_ns:t1 "store.checkpoint"
+      [
+        ("generation", Int64.to_string t.generation);
+        ("dirty_objects", string_of_int dirty_at_entry);
+        ("virtual_ns", Int64.to_string (Int64.sub t1 t0));
+      ]
 
 (* ---------- sync (fsync path) ---------- *)
 
@@ -304,6 +331,8 @@ let sync_oids t ~oids =
   List.iter append oids;
   Wal.commit t.wal;
   t.stats.wal_commits <- t.stats.wal_commits + 1;
+  Metrics.Counter.incr m_sync_batches;
+  Metrics.Counter.add m_synced_oids (List.length oids);
   if Wal.committed_records t.wal >= t.apply_threshold then begin
     t.stats.log_applies <- t.stats.log_applies + 1;
     checkpoint t

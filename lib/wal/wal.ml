@@ -1,6 +1,17 @@
 module Disk = Histar_disk.Disk
 module Codec = Histar_util.Codec
 module Checksum = Histar_util.Checksum
+module Metrics = Histar_metrics.Metrics
+module Trace = Histar_metrics.Trace
+
+(* Log activity counters: every append/commit/truncate, plus records
+   re-read at recovery. Commit sectors expose how much batching the
+   group-commit path achieves per barrier. *)
+let m_appends = Metrics.counter "wal.appends"
+let m_commits = Metrics.counter "wal.commits"
+let m_commit_sectors = Metrics.counter "wal.commit_sectors"
+let m_truncates = Metrics.counter "wal.truncates"
+let m_replayed = Metrics.counter "wal.replayed_records"
 
 exception Log_full
 
@@ -124,6 +135,7 @@ let recover ~disk ~start ~sectors =
   t.head <- head;
   t.seq <- seq;
   t.committed <- List.length payloads;
+  Metrics.Counter.add m_replayed t.committed;
   (t, payloads)
 
 let image_sectors t image = String.length image / t.sector_bytes
@@ -137,6 +149,7 @@ let sectors_used t = t.head - 1 + pending_sectors t
 let append t payload =
   let image = record_image t payload in
   if image_sectors t image > free_sectors t then raise Log_full;
+  Metrics.Counter.incr m_appends;
   t.seq <- Int64.add t.seq 1L;
   t.pending <- image :: t.pending
 
@@ -148,11 +161,28 @@ let commit t =
       let blob = String.concat "" images in
       Disk.write t.disk ~sector:(t.start + t.head) blob;
       Disk.flush t.disk;
+      Metrics.Counter.incr m_commits;
+      Metrics.Counter.add m_commit_sectors (image_sectors t blob);
+      if Trace.enabled () then
+        Trace.emit
+          ~ts_ns:(Histar_util.Sim_clock.now_ns (Disk.clock t.disk))
+          "wal.commit"
+          [
+            ("records", string_of_int (List.length images));
+            ("sectors", string_of_int (image_sectors t blob));
+            ("epoch", Int64.to_string t.epoch);
+          ];
       t.head <- t.head + image_sectors t blob;
       t.committed <- t.committed + List.length images;
       t.pending <- []
 
 let truncate t =
+  Metrics.Counter.incr m_truncates;
+  if Trace.enabled () then
+    Trace.emit
+      ~ts_ns:(Histar_util.Sim_clock.now_ns (Disk.clock t.disk))
+      "wal.truncate"
+      [ ("next_epoch", Int64.to_string (Int64.add t.epoch 1L)) ];
   t.epoch <- Int64.add t.epoch 1L;
   t.head <- 1;
   t.seq <- 0L;

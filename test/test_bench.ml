@@ -1,0 +1,194 @@
+(* Tier-1 coverage for the deterministic benchmark runner: every §7
+   workload runs at smoke size, the emitted trajectory is
+   schema-valid and bit-identical across runs (modulo wall_ms), and
+   disabled instrumentation on the syscall path is near-free. *)
+
+module Runner = Histar_bench.Runner
+module Metrics = Histar_metrics.Metrics
+module Json = Histar_metrics.Json
+module Kernel = Histar_core.Kernel
+module Sys_h = Histar_core.Sys
+
+(* Each workload at minimal size, individually, so a trap names the
+   workload that caused it. *)
+let test_workloads_smoke () =
+  List.iter
+    (fun (name, _descr, f) ->
+      Metrics.set_enabled true;
+      Metrics.reset ();
+      Fun.protect
+        ~finally:(fun () -> Metrics.set_enabled false)
+        (fun () ->
+          match f Runner.Smoke with
+          | ns ->
+              if ns < 0L then
+                Alcotest.failf "workload %s: negative virtual time" name
+          | exception e ->
+              Alcotest.failf "workload %s failed: %s" name
+                (Printexc.to_string e)))
+    Runner.workloads
+
+let test_suite_validates () =
+  let json = Runner.run_suite ~size:Runner.Smoke () in
+  (match Runner.validate json with
+  | Ok () -> ()
+  | Error e -> Alcotest.failf "generated trajectory fails schema: %s" e);
+  (* the spine counters must be present for every workload, and the
+     suite must cover every registered workload *)
+  match Json.member "workloads" json with
+  | Some (Json.List ws) ->
+      Alcotest.(check int)
+        "all workloads present"
+        (List.length Runner.workload_names)
+        (List.length ws);
+      List.iter
+        (fun w ->
+          let counters = Option.get (Json.member "counters" w) in
+          List.iter
+            (fun k ->
+              match Json.member k counters with
+              | Some (Json.Int v) when v >= 0 -> ()
+              | _ -> Alcotest.failf "missing required counter %s" k)
+            Runner.required_counters)
+        ws
+  | _ -> Alcotest.fail "missing workloads array"
+
+let test_validate_rejects_tampering () =
+  let json = Runner.run_suite ~size:Runner.Smoke () in
+  let expect_error mutate what =
+    match Runner.validate (mutate json) with
+    | Error _ -> ()
+    | Ok () -> Alcotest.failf "validate accepted %s" what
+  in
+  let replace k v = function
+    | Json.Obj fields ->
+        Json.Obj (List.map (fun (k', v') -> if k' = k then (k, v) else (k', v')) fields)
+    | j -> j
+  in
+  expect_error (replace "schema_version" (Json.Int 999)) "bad schema_version";
+  expect_error (replace "suite" (Json.Str "other")) "bad suite name";
+  expect_error (replace "size" (Json.Str "huge")) "bad size";
+  expect_error (replace "workloads" (Json.List [])) "empty workloads";
+  (* drop a required counter from the first workload *)
+  expect_error
+    (fun j ->
+      match Json.member "workloads" j with
+      | Some (Json.List (w :: rest)) ->
+          let w' =
+            match w with
+            | Json.Obj fields ->
+                Json.Obj
+                  (List.map
+                     (fun (k, v) ->
+                       if k = "counters" then
+                         match v with
+                         | Json.Obj cs ->
+                             ( k,
+                               Json.Obj
+                                 (List.filter
+                                    (fun (ck, _) -> ck <> "kernel.syscalls")
+                                    cs) )
+                         | _ -> (k, v)
+                       else (k, v))
+                     fields)
+            | _ -> w
+          in
+          replace "workloads" (Json.List (w' :: rest)) j
+      | _ -> j)
+    "missing required counter"
+
+let test_suite_deterministic () =
+  let j1 = Runner.run_suite ~size:Runner.Smoke () in
+  let j2 = Runner.run_suite ~size:Runner.Smoke () in
+  Alcotest.(check string)
+    "trajectories identical modulo wall_ms"
+    (Json.to_string (Runner.strip_wall j1))
+    (Json.to_string (Runner.strip_wall j2))
+
+(* ---------- instrumentation overhead ----------
+
+   The acceptance bar: with the metrics registry disabled, the
+   flag-gated instrumentation on the syscall dispatch path costs ≤5%
+   against a build path with no instrumentation calls at all
+   (Kernel.create ~instrument:false). Wall-clock comparison, so:
+   min-of-N per side, interleaved, with retries to ride out host
+   noise. *)
+
+let syscall_microbench ~instrument n =
+  let k = Kernel.create ~instrument () in
+  let _tid =
+    Kernel.spawn k ~name:"spin" (fun () ->
+        for _ = 1 to n do
+          Sys_h.yield ()
+        done)
+  in
+  let t0 = Unix.gettimeofday () in
+  Kernel.run k;
+  Unix.gettimeofday () -. t0
+
+let test_disabled_overhead () =
+  Metrics.set_enabled false;
+  let n = 30_000 in
+  ignore (syscall_microbench ~instrument:false 1_000) (* warm up *);
+  let attempt () =
+    let t_off = ref infinity and t_on = ref infinity in
+    for _ = 1 to 4 do
+      t_off := min !t_off (syscall_microbench ~instrument:false n);
+      t_on := min !t_on (syscall_microbench ~instrument:true n)
+    done;
+    (!t_on, !t_off)
+  in
+  let rec go tries =
+    let t_on, t_off = attempt () in
+    (* 5% relative plus 2ms absolute slack for timer granularity *)
+    if t_on <= (t_off *. 1.05) +. 0.002 then ()
+    else if tries > 1 then go (tries - 1)
+    else
+      Alcotest.failf
+        "disabled instrumentation overhead too high: on=%.4fs off=%.4fs (%.1f%%)"
+        t_on t_off
+        ((t_on /. t_off -. 1.0) *. 100.0)
+  in
+  go 3
+
+(* With the registry enabled, the instrumented syscall path must
+   actually report: syscall count and latency observations. *)
+let test_instrumentation_reports () =
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled false)
+    (fun () ->
+      ignore (syscall_microbench ~instrument:true 100);
+      let syscalls = Metrics.counter_value "kernel.syscalls" in
+      Alcotest.(check bool)
+        "kernel.syscalls counted" true (syscalls >= 100);
+      match Metrics.find "kernel.syscall_ns" with
+      | Some (Metrics.Histogram h) ->
+          Alcotest.(check bool)
+            "latency histogram populated" true
+            (Metrics.Histogram.count h >= 100)
+      | _ -> Alcotest.fail "kernel.syscall_ns histogram missing")
+
+let () =
+  Alcotest.run "histar_bench"
+    [
+      ( "runner",
+        [
+          Alcotest.test_case "all workloads run at smoke size" `Quick
+            test_workloads_smoke;
+          Alcotest.test_case "trajectory is schema-valid" `Quick
+            test_suite_validates;
+          Alcotest.test_case "validation rejects tampering" `Quick
+            test_validate_rejects_tampering;
+          Alcotest.test_case "trajectory is deterministic" `Quick
+            test_suite_deterministic;
+        ] );
+      ( "overhead",
+        [
+          Alcotest.test_case "instrumented path reports" `Quick
+            test_instrumentation_reports;
+          Alcotest.test_case "disabled instrumentation near-free" `Slow
+            test_disabled_overhead;
+        ] );
+    ]

@@ -863,6 +863,160 @@ let prop_flow_oracle =
       Kernel.run k;
       !violations = [])
 
+(* ---------- label cache & observability ---------- *)
+
+module Metrics = Histar_metrics.Metrics
+module Label_cache = Histar_core.Label_cache
+module Check = Histar_check.Check
+module Gen = Histar_check.Gen
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+(* Labels over a small category pool so generated pairs actually share
+   categories (otherwise every comparison degenerates to defaults). *)
+let gen_label =
+  let open Gen in
+  let entry =
+    pair (int_range 1 5)
+      (choose [ Level.Star; Level.L0; Level.L1; Level.L2; Level.L3 ])
+  in
+  let* entries = list entry in
+  let* d = choose [ Level.L0; Level.L1; Level.L2; Level.L3 ] in
+  let dedup =
+    List.fold_left
+      (fun acc (c, lv) -> if List.mem_assoc c acc then acc else (c, lv) :: acc)
+      [] entries
+  in
+  return (Label.of_list (List.map (fun (c, lv) -> (Category.of_int c, lv)) dedup) d)
+
+let print_label_pairs ps =
+  String.concat "; "
+    (List.map
+       (fun (t, o) -> Label.to_string t ^ " vs " ^ Label.to_string o)
+       ps)
+
+(* Differential: the memoized cache must agree with the uncached
+   relations on both the miss path and the hit path, and its metrics
+   must account for every lookup and every denial. A tiny bound forces
+   wholesale clears mid-sequence. *)
+let prop_label_cache_differential pairs =
+  let cache = Label_cache.create ~bound:8 () in
+  let was = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled was)
+    (fun () ->
+      let checks0 = Metrics.counter_value "label.checks" in
+      let denied0 = Metrics.counter_value "label.denied" in
+      let denials = ref 0 in
+      List.iter
+        (fun (t, o) ->
+          let want_obs = Label.can_observe ~thread:t ~obj:o in
+          let want_mod = Label.can_modify ~thread:t ~obj:o in
+          for _ = 1 to 2 do
+            Check.ensure ~msg:"cached observe differs from Label.can_observe"
+              (Label_cache.observe cache ~thread:t ~obj:o = want_obs);
+            Check.ensure ~msg:"cached modify differs from Label.can_modify"
+              (Label_cache.modify cache ~thread:t ~obj:o = want_mod);
+            if not want_obs then incr denials;
+            if not want_mod then incr denials
+          done)
+        pairs;
+      Check.ensure ~msg:"label.checks missed lookups"
+        (Metrics.counter_value "label.checks" - checks0 = 4 * List.length pairs);
+      Check.ensure ~msg:"label.denied missed denials"
+        (Metrics.counter_value "label.denied" - denied0 = !denials))
+
+(* After a thread picks up ownership of c through a gate, the same
+   (thread, object) comparison must flip from denied to allowed — the
+   cache keys on the thread's label, so the pre-transfer denial must
+   not be served stale. *)
+let test_label_cache_gate_transfer () =
+  let was = Metrics.enabled () in
+  Metrics.set_enabled true;
+  let got = ref None in
+  let denied_before = ref (-1) in
+  let denied_after_denial = ref (-1) in
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled was)
+    (fun () ->
+      in_kernel (fun root ->
+          let c = Sys.cat_create () in
+          let secret =
+            Sys.segment_create ~container:root
+              ~label:(l [ (c, Level.L3) ] Level.L1)
+              ~quota:8192L ~len:6 "secret"
+          in
+          Sys.segment_write (centry root secret) "sealed";
+          let gate =
+            Sys.gate_create ~container:root
+              ~label:(l [ (c, Level.Star) ] Level.L1)
+              ~clearance:l2 ~quota:4096L ~name:"grant-c" (fun () ->
+                got := Some (Sys.segment_read (centry root secret) ());
+                Sys.self_halt ())
+          in
+          let _reader =
+            Sys.thread_create ~container:root ~label:l1 ~clearance:l2
+              ~quota:65536L ~name:"reader" (fun () ->
+                denied_before := Metrics.counter_value "label.denied";
+                expect_label_error (fun () ->
+                    ignore (Sys.segment_read (centry root secret) ()));
+                denied_after_denial := Metrics.counter_value "label.denied";
+                Sys.gate_enter ~gate:(centry root gate)
+                  ~label:(l [ (c, Level.Star) ] Level.L1)
+                  ~clearance:l2 ())
+          in
+          join (fun () -> !got <> None)));
+  Alcotest.(check bool)
+    "denied read hit the label.denied counter" true
+    (!denied_after_denial > !denied_before);
+  Alcotest.(check (option string))
+    "read allowed after ownership transfer" (Some "sealed") !got
+
+(* The gate invocation error path: a caller without clearance must get
+   the specific clearance-check failure, and the kernel must account
+   for it in both label.denied and kernel.syscall_label_errors. *)
+let test_gate_denied_message_and_counters () =
+  let was = Metrics.enabled () in
+  Metrics.set_enabled true;
+  let msg = ref "" in
+  let d0 = ref (-1) and e0 = ref (-1) in
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled was)
+    (fun () ->
+      in_kernel (fun root ->
+          let c = Sys.cat_create () in
+          let gate =
+            Sys.gate_create ~container:root ~label:l1
+              ~clearance:(l [ (c, Level.L0) ] Level.L2)
+              ~quota:4096L ~name:"locked" (fun () -> Sys.self_halt ())
+          in
+          let _outsider =
+            Sys.thread_create ~container:root ~label:l1 ~clearance:l2
+              ~quota:65536L ~name:"outsider" (fun () ->
+                d0 := Metrics.counter_value "label.denied";
+                e0 := Metrics.counter_value "kernel.syscall_label_errors";
+                match
+                  Sys.gate_enter ~gate:(centry root gate) ~label:l1
+                    ~clearance:l2 ()
+                with
+                | () -> ()
+                | exception Kernel_error (Label_check m) -> msg := m)
+          in
+          join (fun () -> !msg <> ""));
+      Alcotest.(check bool)
+        "error names the clearance check (not ⊑ C_G)" true
+        (contains !msg "not ⊑ C_G");
+      Alcotest.(check bool)
+        "label.denied incremented" true
+        (Metrics.counter_value "label.denied" > !d0);
+      Alcotest.(check bool)
+        "kernel.syscall_label_errors incremented" true
+        (Metrics.counter_value "kernel.syscall_label_errors" > !e0))
+
 let () =
   Alcotest.run "histar_kernel"
     [
@@ -955,6 +1109,17 @@ let () =
         [
           Alcotest.test_case "checkpoint/recover" `Quick test_checkpoint_recover;
           Alcotest.test_case "sync object" `Quick test_sync_object_path;
+        ] );
+      ( "label cache",
+        [
+          Check.test_case ~print:print_label_pairs
+            "differential vs uncached relations"
+            (Gen.list (Gen.pair gen_label gen_label))
+            prop_label_cache_differential;
+          Alcotest.test_case "invalidated by gate ownership transfer" `Quick
+            test_label_cache_gate_transfer;
+          Alcotest.test_case "gate denial message and counters" `Quick
+            test_gate_denied_message_and_counters;
         ] );
       ("flow oracle", [ QCheck_alcotest.to_alcotest prop_flow_oracle ]);
     ]
