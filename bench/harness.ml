@@ -20,10 +20,12 @@ type machine = {
 }
 
 (* A full HiStar machine with disk-backed store. The syscall cost is
-   calibrated so the paper's IPC numbers land in the right range. *)
-let mk_machine ?(syscall_cost_ns = 120) () =
+   calibrated so the paper's IPC numbers land in the right range.
+   [faults] optionally wires a disk-fault decision plan (from
+   [Histar_faults.Faults.Disk_faults.create]) under the media. *)
+let mk_machine ?(syscall_cost_ns = 120) ?faults () =
   let clock = Clock.create () in
-  let disk = Disk.create ~clock () in
+  let disk = Disk.create ?faults ~clock () in
   let store = Store.format ~disk ~wal_sectors:262_144 () in
   let kernel = Kernel.create ~clock ~store ~syscall_cost_ns () in
   { kernel; clock; disk; store }

@@ -16,6 +16,8 @@ module Hub = Histar_net.Hub
 module Addr = Histar_net.Addr
 module Sim_host = Histar_net.Sim_host
 module Netd = Histar_net.Netd
+module Stack = Histar_net.Stack
+module Faults = Histar_faults.Faults
 open Histar_label
 
 let schema_version = 1
@@ -209,6 +211,138 @@ let wget size =
     failwith (Printf.sprintf "wget: got %d of %d bytes" !got bytes);
   !elapsed
 
+(* The same transfer under a fixed fault schedule: 5% frame loss on
+   the wire plus 1% latent sector errors under the store. The client
+   retries at connection and request level, the fetched page is
+   persisted through the WAL, and the store is scrubbed back to clean
+   afterwards — so the entry's virtual time prices the whole graceful
+   degradation path (retransmissions, read retries, repair I/O). *)
+let faulty_schedule =
+  Faults.Schedule.mk ~seed:0xFA0175BEEFL
+    ~disk:
+      {
+        Faults.Schedule.latent_rate = 0.01;
+        transient_rate = 0.0;
+        corrupt_rate = 0.0;
+      }
+    ~net:
+      {
+        Faults.Schedule.default_net with
+        Faults.Schedule.loss_rate = 0.05;
+        corrupt_rate = 0.0;
+        duplicate_rate = 0.0;
+        reorder_rate = 0.0;
+        jitter_us = 0;
+      }
+    ()
+
+let wget_faulty size =
+  let bytes = pick size ~smoke:(32 * 1024) ~full:(1024 * 1024) in
+  let m = mk_machine ?faults:(Faults.Disk_faults.create faulty_schedule) () in
+  let hub =
+    Hub.create
+      ?faults:(Faults.Net_faults.create faulty_schedule)
+      ~clock:m.clock ()
+  in
+  let server =
+    Sim_host.create ~hub ~clock:m.clock ~ip:"10.0.0.2" ~mac:"www" ()
+  in
+  let content = String.make bytes 'w' in
+  Sim_host.serve_file server ~port:80 ~content;
+  let page = ref "" in
+  let elapsed = ref (-1L) in
+  let _tid =
+    Kernel.spawn m.kernel ~name:"init" (fun () ->
+        let fs = Fs.format_root ~container:(Kernel.root m.kernel) ~label:l1 in
+        let proc =
+          Process.boot ~fs ~container:(Kernel.root m.kernel) ~name:"init" ()
+        in
+        let i = Sys.cat_create () in
+        let netd =
+          Netd.start m.kernel ~hub ~container:(Kernel.root m.kernel)
+            ~ip:(Addr.ip_of_string "10.0.0.1") ~mac:"km" ~taint:i ()
+        in
+        let scratch =
+          Sys.container_create
+            ~container:(Process.container proc)
+            ~label:(Label.of_list [ (i, Level.L2) ] Level.L1)
+            ~quota:2_097_152L "wget-faulty scratch"
+        in
+        let t0 = Clock.now_ns m.clock in
+        let client =
+          Process.spawn proc ~name:"wget"
+            ~extra_label:[ (i, Level.L2) ]
+            ~extra_clearance:[ (i, Level.L2) ]
+            (fun _w ->
+              let attempt () =
+                let sock =
+                  Netd.Client.connect_retry netd ~return_container:scratch
+                    (Addr.v "10.0.0.2" 80)
+                in
+                let buf = Buffer.create bytes in
+                Netd.Client.send netd ~return_container:scratch sock
+                  "GET /big";
+                let rec loop () =
+                  match
+                    Netd.Client.recv netd ~return_container:scratch sock
+                  with
+                  | Some d ->
+                      Buffer.add_string buf d;
+                      loop ()
+                  | None -> ()
+                in
+                loop ();
+                Netd.Client.close netd ~return_container:scratch sock;
+                Buffer.contents buf
+              in
+              let rec go n =
+                match attempt () with
+                | p -> page := p
+                | exception Netd.Client.Netd_error _ when n > 1 -> go (n - 1)
+              in
+              go 3)
+        in
+        ignore (Process.wait proc client);
+        (* Persist the page through the WAL on the faulty disk. *)
+        ignore (Fs.mkdir fs "/srv");
+        Fs.write_file fs "/srv/page" !page;
+        Fs.fsync fs "/srv/page";
+        Sys.sync_all ();
+        elapsed := Int64.sub (Clock.now_ns m.clock) t0)
+  in
+  (* Frames can be lost with the kernel idle, leaving only the external
+     server's RTO armed; advance the clock to it and tick its stack
+     whenever [Kernel.run] drains without finishing the workload. *)
+  let rec drive n =
+    Kernel.run m.kernel;
+    if !elapsed < 0L then begin
+      if n <= 0 then failwith "wget-faulty: simulation stalled";
+      match Stack.next_timer_deadline (Sim_host.stack server) with
+      | Some d ->
+          let now = Clock.now_ns m.clock in
+          if Int64.compare d now > 0 then
+            Clock.advance_ns m.clock (Int64.sub d now);
+          Stack.tick (Sim_host.stack server);
+          drive (n - 1)
+      | None -> failwith "wget-faulty: stalled with no armed server timer"
+    end
+  in
+  drive 100_000;
+  if not (String.equal !page content) then
+    failwith
+      (Printf.sprintf "wget-faulty: got %d bytes, expected %d, payload %s"
+         (String.length !page) bytes
+         (if String.length !page = bytes then "corrupt" else "truncated"));
+  (* Repair the store back to clean; latent sectors struck during the
+     run must be recoverable without losing any object. *)
+  let scrub = Store.scrub m.store in
+  if not scrub.Store.clean then
+    failwith "wget-faulty: scrub did not converge";
+  if scrub.Store.lost <> [] then
+    failwith "wget-faulty: scrub lost objects";
+  Store.fsck m.store;
+  !elapsed
+
 let workloads =
   [
     ("ipc-pingpong", "pipe round trips through the gate IPC path", ipc_pingpong);
@@ -224,6 +358,9 @@ let workloads =
      large_file_rand);
     ("wget", "HTTP transfer through netd with a tainted client",
      wget);
+    ("wget-faulty",
+     "HTTP transfer under 5% loss + 1% latent sector errors, with scrub",
+     wget_faulty);
   ]
 
 let workload_names = List.map (fun (n, _, _) -> n) workloads

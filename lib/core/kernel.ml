@@ -33,7 +33,11 @@ and kont = (resp, run_state) Effect.Deep.continuation
 
 type runnable = Start of (unit -> unit) | Resume of kont * resp
 
-type wait_reason = W_futex of oid * int | W_net of oid | W_alert
+type wait_reason =
+  | W_futex of oid * int
+  | W_net of oid
+  | W_alert
+  | W_timer of int64  (** virtual-ns deadline *)
 
 (* ---------- kernel objects ---------- *)
 
@@ -953,6 +957,10 @@ let handle_syscall k kont req : action =
           Sim_clock.advance_us k.clock (float_of_int us);
           ok_resp R_unit
         end
+    | Self_sleep_until deadline ->
+        if Int64.compare deadline (Sim_clock.now_ns k.clock) <= 0 then
+          ok_resp R_unit
+        else Ok (A_block (W_timer deadline))
     | Self_wait_alert ->
         let _, th = cur_thread k in
         if Queue.is_empty th.alerts then Ok (A_block W_alert)
@@ -1371,9 +1379,40 @@ and run_slice k tid =
       | _ -> ())
   | Some _ | None -> ()
 
+(* When nothing is runnable but a thread is parked on a timer
+   deadline, play idle clock: jump virtual time forward to the
+   earliest deadline and wake that sleeper. This is what lets a
+   retransmission timer fire over a fully flapped link (no inbound
+   frames to drive progress) without busy-spinning the run queue.
+   Ties break on the lower deadline then the lower tid, so the wake
+   order is independent of hash-table iteration order. *)
+let fire_next_timer k =
+  let next =
+    Hashtbl.fold
+      (fun tid o acc ->
+        match o.body with
+        | Thr { tstate = `Blocked (W_timer d); _ } -> (
+            match acc with
+            | Some (tid', d')
+              when Int64.compare d' d < 0
+                   || (Int64.equal d' d && Int64.compare tid' tid < 0) ->
+                acc
+            | Some _ | None -> Some (tid, d))
+        | _ -> acc)
+      k.objects None
+  in
+  match next with
+  | None -> false
+  | Some (tid, d) ->
+      let now = Sim_clock.now_ns k.clock in
+      if Int64.compare d now > 0 then
+        Sim_clock.advance_ns k.clock (Int64.sub d now);
+      wake k tid R_unit;
+      true
+
 let step k =
   match Queue.take_opt k.runq with
-  | None -> false
+  | None -> fire_next_timer k
   | Some tid ->
       run_slice k tid;
       true

@@ -63,10 +63,15 @@ val spawn :
 val run : t -> unit
 (** Run until no thread is runnable. Threads blocked on futexes,
     alerts or device receive queues remain blocked; delivering a
-    packet or alert and calling [run] again resumes them. *)
+    packet or alert and calling [run] again resumes them. Threads
+    parked on a timer deadline ([Sys.sleep_until_ns]) do not keep the
+    system alive by themselves — when only timers remain, the clock
+    jumps to the earliest deadline and that thread runs; [run]
+    returns once every thread is blocked on an external event. *)
 
 val step : t -> bool
-(** Run a single thread slice; [false] if nothing was runnable. *)
+(** Run a single thread slice; [false] if nothing was runnable (after
+    attempting to fire the earliest parked timer deadline). *)
 
 val runnable_count : t -> int
 val blocked_count : t -> int

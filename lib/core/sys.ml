@@ -52,6 +52,9 @@ let self_halt () =
 let yield () = unit_resp "yield" Self_yield
 let usleep us = unit_resp "usleep" (Self_usleep us)
 
+let sleep_until_ns deadline =
+  unit_resp "sleep_until_ns" (Self_sleep_until deadline)
+
 let wait_alert () =
   match perform Self_wait_alert with
   | R_alert a -> a

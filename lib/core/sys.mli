@@ -28,6 +28,15 @@ val yield : unit -> unit
 
 (** Advance virtual time by this many microseconds and reschedule. *)
 val usleep : int -> unit
+
+val sleep_until_ns : int64 -> unit
+(** Block until virtual time reaches the deadline (ns). Unlike
+    {!usleep} this parks the thread: when nothing else is runnable
+    the scheduler advances the clock to the earliest parked deadline,
+    so periodic work (retransmission timers) makes progress even when
+    no other event would move time forward. Returns immediately if
+    the deadline has already passed. *)
+
 val wait_alert : unit -> int
 
 (** {1 Generic object operations} *)

@@ -39,6 +39,10 @@ type req =
   | Self_halt
   | Self_yield
   | Self_usleep of int  (** advance virtual time; reschedules *)
+  | Self_sleep_until of int64
+      (** block until virtual time reaches the deadline (ns); the
+          scheduler advances the clock to the earliest such deadline
+          when nothing else is runnable *)
   | Self_wait_alert
   (* generic object operations *)
   | Obj_get_label of centry
@@ -155,6 +159,7 @@ let req_name = function
   | Self_halt -> "self_halt"
   | Self_yield -> "self_yield"
   | Self_usleep _ -> "self_usleep"
+  | Self_sleep_until _ -> "self_sleep_until"
   | Self_wait_alert -> "self_wait_alert"
   | Obj_get_label _ -> "obj_get_label"
   | Obj_get_kind _ -> "obj_get_kind"

@@ -1,7 +1,9 @@
 exception Crashed
+exception Read_error of { sector : int; transient : bool }
 
 module Metrics = Histar_metrics.Metrics
 module Trace = Histar_metrics.Trace
+module Disk_faults = Histar_faults.Faults.Disk_faults
 
 (* Process-global media counters and decomposed service-time totals
    (§7's disk model made observable: where virtual time on the platter
@@ -14,6 +16,8 @@ let m_seeks = Metrics.counter "disk.seeks"
 let m_seek_ns = Metrics.counter "disk.seek_ns"
 let m_rotate_ns = Metrics.counter "disk.rotate_ns"
 let m_transfer_ns = Metrics.counter "disk.transfer_ns"
+let m_read_retries = Metrics.counter "disk.read_retries"
+let m_read_errors = Metrics.counter "disk.read_errors"
 
 type geometry = { sectors : int; sector_bytes : int }
 
@@ -56,10 +60,13 @@ type t = {
   mutable is_crashed : bool;
   mutable media_writes : int;  (** lifetime media sector writes (monotonic) *)
   mutable write_trace : (sector:int -> data:string -> unit) option;
+  mutable faults : Disk_faults.t option;  (** injected media faults *)
 }
 
-let create ?(geometry = default_geometry) ?(params = default_params) ~clock () =
+let create ?(geometry = default_geometry) ?(params = default_params) ?faults
+    ~clock () =
   {
+    faults;
     geometry;
     params;
     clock;
@@ -81,6 +88,8 @@ let create ?(geometry = default_geometry) ?(params = default_params) ~clock () =
     write_trace = None;
   }
 
+let set_faults t f = t.faults <- f
+let faults t = t.faults
 let geometry t = t.geometry
 let clock t = t.clock
 let stats t = t.stats
@@ -141,11 +150,41 @@ let read t ~sector ~count =
   (* Cached (dirty) sectors cost nothing extra; charge for the whole run
      conservatively as one media access. *)
   charge_io t ~sector ~count;
+  (* Injected media faults only apply to sectors actually served from
+     the platter; dirty sectors still in the volatile cache are RAM. *)
+  (match t.faults with
+  | None -> ()
+  | Some f ->
+      for i = sector to sector + count - 1 do
+        if not (Hashtbl.mem t.cache i) then
+          match Disk_faults.on_read f ~sector:i with
+          | Disk_faults.Read_ok -> ()
+          | Disk_faults.Read_transient ->
+              Metrics.Counter.incr m_read_errors;
+              raise (Read_error { sector = i; transient = true })
+          | Disk_faults.Read_latent ->
+              Metrics.Counter.incr m_read_errors;
+              raise (Read_error { sector = i; transient = false })
+      done);
   let buf = Buffer.create (count * t.geometry.sector_bytes) in
   for i = sector to sector + count - 1 do
     Buffer.add_string buf (sector_contents t i)
   done;
   Buffer.contents buf
+
+(* Bounded retry with exponential backoff charged on the virtual
+   clock.  Transient errors are retried; latent sector errors are
+   persistent by definition, so they propagate immediately and the
+   caller decides (give up, or repair + rewrite). *)
+let read_retrying ?(attempts = 6) t ~sector ~count =
+  let rec go n backoff_us =
+    try read t ~sector ~count with
+    | Read_error { transient = true; _ } when n + 1 < attempts ->
+        Metrics.Counter.incr m_read_retries;
+        Histar_util.Sim_clock.advance_us t.clock backoff_us;
+        go (n + 1) (backoff_us *. 2.0)
+  in
+  go 0 100.0
 
 let write t ~sector data =
   check_alive t;
@@ -167,6 +206,11 @@ let media_write_one t i data =
       raise Crashed
   | Some n -> t.crash_after <- Some (n - 1)
   | None -> ());
+  let data =
+    match t.faults with
+    | Some f -> Disk_faults.on_media_write f ~sector:i data
+    | None -> data
+  in
   Hashtbl.replace t.media i data;
   t.stats.sectors_written <- t.stats.sectors_written + 1;
   t.media_writes <- t.media_writes + 1;

@@ -23,6 +23,12 @@ type t
 
 exception Crashed
 
+exception Read_error of { sector : int; transient : bool }
+(** Raised by {!read} when the attached fault plan fails the access.
+    [transient = true] means a retry may succeed (see
+    {!read_retrying}); [transient = false] is a latent sector error
+    that persists until the sector is rewritten. *)
+
 type geometry = {
   sectors : int;  (** total sectors *)
   sector_bytes : int;  (** bytes per sector (512) *)
@@ -43,6 +49,7 @@ val default_params : params
 val create :
   ?geometry:geometry ->
   ?params:params ->
+  ?faults:Histar_faults.Faults.Disk_faults.t ->
   clock:Histar_util.Sim_clock.t ->
   unit ->
   t
@@ -54,7 +61,14 @@ val clock : t -> Histar_util.Sim_clock.t
 
 val read : t -> sector:int -> count:int -> string
 (** Reads [count] sectors; sees the write cache. Unwritten sectors read
-    as zeros. *)
+    as zeros. Raises {!Read_error} when an attached fault plan fails
+    one of the sectors (dirty cached sectors are exempt — they are
+    RAM). *)
+
+val read_retrying : ?attempts:int -> t -> sector:int -> count:int -> string
+(** Like {!read}, but retries transient errors up to [attempts] times
+    (default 6) with exponential backoff charged on the virtual clock
+    (100 µs base, doubling). Latent errors propagate immediately. *)
 
 val write : t -> sector:int -> string -> unit
 (** Buffers a write; the data length must be a multiple of the sector
@@ -85,6 +99,16 @@ val set_write_trace : t -> (sector:int -> data:string -> unit) option -> unit
 (** Observe every media sector write (after it lands). Used by the
     checking harness to record write traces; [None] disables. The hook
     does not fire for writes absorbed by the volatile cache. *)
+
+(** {1 Fault injection} *)
+
+val set_faults : t -> Histar_faults.Faults.Disk_faults.t option -> unit
+(** Attach (or clear) a deterministic media-fault plan. When set,
+    media writes may silently corrupt the stored bytes or mark the
+    sector latent-bad, and reads consult the plan (see
+    {!Histar_faults.Faults.Disk_faults}). *)
+
+val faults : t -> Histar_faults.Faults.Disk_faults.t option
 
 (** {1 Crash injection} *)
 

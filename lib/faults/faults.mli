@@ -1,0 +1,107 @@
+(* Seeded, deterministic, replayable fault schedules.
+
+   A [Schedule.t] is a compact description of which faults to inject
+   — disk (latent sector read errors, transient I/O errors, silent
+   bit corruption) and network (loss, corruption, duplication,
+   bounded reordering, delay jitter, link flaps) — plus the seed that
+   makes every decision reproducible.  The consumers ([Disk], [Hub])
+   take the decision plans built from a schedule and ask them on
+   every media write / read / injected frame.
+
+   Env knobs follow the HISTAR_CHECK_* discipline:
+     HISTAR_FAULTS       schedule string, e.g.
+                           "seed=0xc0ffee;disk:latent=0.01;net:loss=0.05,dup=0.02"
+     HISTAR_FAULTS_SEED  overrides the seed of HISTAR_FAULTS *)
+
+module Schedule : sig
+  type disk = {
+    latent_rate : float;
+        (** probability that a media write leaves the sector
+            latent-bad: subsequent reads fail persistently until the
+            sector is rewritten (drive-remap semantics) *)
+    transient_rate : float;
+        (** probability that any single read attempt fails with a
+            retryable I/O error *)
+    corrupt_rate : float;
+        (** probability that a media write silently flips one byte of
+            the stored sector *)
+  }
+
+  type net = {
+    loss_rate : float;  (** probability an injected frame is dropped *)
+    corrupt_rate : float;  (** probability one byte of the frame flips *)
+    duplicate_rate : float;  (** probability the frame is delivered twice *)
+    reorder_rate : float;
+        (** probability the frame is held back and released only after
+            up to [reorder_depth] later frames *)
+    reorder_depth : int;
+    jitter_us : int;  (** max extra per-frame delay, uniform in [0,jitter] *)
+    flap_period_ms : int;
+        (** link flaps: every [flap_period_ms] the link goes down for
+            the trailing [flap_down_ms]; 0 disables flaps *)
+    flap_down_ms : int;
+  }
+
+  type t = { seed : int64; disk : disk option; net : net option }
+
+  val default_disk : disk
+  val default_net : net
+  val none : t
+
+  val mk : ?seed:int64 -> ?disk:disk -> ?net:net -> unit -> t
+
+  val to_string : t -> string
+  (** Compact replayable form; [of_string (to_string t) = Ok t]. *)
+
+  val of_string : string -> (t, string) result
+  val of_env : unit -> t option
+  (** Reads HISTAR_FAULTS / HISTAR_FAULTS_SEED; [None] when unset. *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** Disk-side decision plan.  Pure state machine over a split of the
+    schedule seed; all probabilistic choices are deterministic given
+    the schedule. *)
+module Disk_faults : sig
+  type t
+
+  type read_verdict =
+    | Read_ok
+    | Read_transient  (** retryable: a later attempt may succeed *)
+    | Read_latent  (** persistent until the sector is rewritten *)
+
+  val create : Schedule.t -> t option
+  (** [None] when the schedule injects no disk faults. *)
+
+  val on_media_write : t -> sector:int -> string -> string
+  (** Called once per sector media write.  Returns the data actually
+      stored (possibly with a silently flipped byte), clears any
+      latent mark on the sector, and may mark it latent-bad. *)
+
+  val on_read : t -> sector:int -> read_verdict
+  val is_latent : t -> sector:int -> bool
+  val latent_count : t -> int
+end
+
+(** Network-side decision plan, consulted by [Hub] once per injected
+    frame. *)
+module Net_faults : sig
+  type t
+
+  type verdict = {
+    drop : [ `No | `Loss | `Flap ];
+    corrupt : bool;
+    duplicate : bool;
+    hold : int;  (** deliver after this many subsequent frames; 0 = now *)
+    jitter_ns : int64;
+  }
+
+  val create : Schedule.t -> t option
+  (** [None] when the schedule injects no network faults. *)
+
+  val link_up : t -> now_ns:int64 -> bool
+  val on_frame : t -> now_ns:int64 -> verdict
+  val corrupt_bytes : t -> bytes -> unit
+  (** Flip one deterministic-random byte in place. *)
+end

@@ -1,10 +1,17 @@
 module Sim_clock = Histar_util.Sim_clock
 module Rng = Histar_util.Rng
 module Metrics = Histar_metrics.Metrics
+module Net_faults = Histar_faults.Faults.Net_faults
 
-(* Wire-level traffic counters across every hub instance. *)
+(* Wire-level traffic counters across every hub instance.
+   [net.frames_dropped] stays the sum of the loss and no-route
+   streams so pre-split consumers keep working. *)
 let m_frames_sent = Metrics.counter "net.frames_sent"
 let m_frames_dropped = Metrics.counter "net.frames_dropped"
+let m_frames_lost = Metrics.counter "net.frames_lost"
+let m_frames_no_route = Metrics.counter "net.frames_no_route"
+let m_frames_duplicated = Metrics.counter "net.frames_duplicated"
+let m_frames_reordered = Metrics.counter "net.frames_reordered"
 let m_bytes_sent = Metrics.counter "net.bytes_sent"
 
 type endpoint = {
@@ -22,15 +29,19 @@ type t = {
   endpoints : (string, endpoint) Hashtbl.t;
   by_ip : (Addr.ip, string) Hashtbl.t;
   mutable frames_sent : int;
-  mutable frames_dropped : int;
+  mutable frames_lost : int;
+  mutable frames_no_route : int;
   mutable bytes_sent : int;
   mutable default_route : string option;  (** MAC for unknown IPs *)
+  mutable faults : Net_faults.t option;
+  mutable holdq : (int * string) list;
+      (** reordering: frames held back, released after N later injects *)
 }
 
 let broadcast_mac = "ff:ff:ff:ff:ff:ff"
 
 let create ?(bandwidth_bps = 100e6) ?(latency_us = 100.0) ?(loss_rate = 0.0)
-    ?rng ~clock () =
+    ?rng ?faults ~clock () =
   {
     clock;
     bandwidth_bps;
@@ -40,10 +51,15 @@ let create ?(bandwidth_bps = 100e6) ?(latency_us = 100.0) ?(loss_rate = 0.0)
     endpoints = Hashtbl.create 8;
     by_ip = Hashtbl.create 8;
     frames_sent = 0;
-    frames_dropped = 0;
+    frames_lost = 0;
+    frames_no_route = 0;
     bytes_sent = 0;
     default_route = None;
+    faults;
+    holdq = [];
   }
+
+let set_faults t f = t.faults <- f
 
 let attach t ep =
   Hashtbl.replace t.endpoints ep.ep_mac ep;
@@ -63,6 +79,47 @@ let resolve t ip =
 
 let set_default_route t ~mac = t.default_route <- Some mac
 
+let drop_lost t =
+  t.frames_lost <- t.frames_lost + 1;
+  Metrics.Counter.incr m_frames_lost;
+  Metrics.Counter.incr m_frames_dropped
+
+let drop_no_route t =
+  t.frames_no_route <- t.frames_no_route + 1;
+  Metrics.Counter.incr m_frames_no_route;
+  Metrics.Counter.incr m_frames_dropped
+
+(* Decode + deliver to the destination endpoint(s). A frame that does
+   not decode here was corrupted in flight (or addressed nowhere) —
+   the receiving NIC would never see a valid destination, so it is a
+   no-route drop. *)
+let route t bytes =
+  match Packet.frame_of_bytes bytes with
+  | None -> drop_no_route t
+  | Some f ->
+      if String.equal f.Packet.dst_mac broadcast_mac then
+        Hashtbl.iter
+          (fun mac ep ->
+            if not (String.equal mac f.Packet.src_mac) then ep.ep_deliver bytes)
+          t.endpoints
+      else (
+        match Hashtbl.find_opt t.endpoints f.Packet.dst_mac with
+        | Some ep -> ep.ep_deliver bytes
+        | None -> drop_no_route t)
+
+(* Age the reorder queue by one inject and release frames whose hold
+   expired. Collect first, then deliver: delivery can re-enter
+   [inject] (a stack acking straight from its rx path), which ages
+   the queue again — mutating while iterating would double-count. *)
+let release_due t =
+  let due, still =
+    List.partition_map
+      (fun (n, b) -> if n <= 1 then Left b else Right (n - 1, b))
+      t.holdq
+  in
+  t.holdq <- still;
+  List.iter (fun b -> route t b) due
+
 let inject t bytes =
   let nbytes = String.length bytes in
   (* Serialization (transmission) time is what occupies the wire and
@@ -76,29 +133,56 @@ let inject t bytes =
   t.bytes_sent <- t.bytes_sent + nbytes;
   Metrics.Counter.incr m_frames_sent;
   Metrics.Counter.add m_bytes_sent nbytes;
-  let drop () =
-    t.frames_dropped <- t.frames_dropped + 1;
-    Metrics.Counter.incr m_frames_dropped
-  in
   let lost =
     t.loss_rate > 0.0
     && Rng.int t.rng 1_000_000 < int_of_float (t.loss_rate *. 1e6)
   in
-  if lost then drop ()
-  else
-    match Packet.frame_of_bytes bytes with
-    | None -> drop ()
-    | Some f ->
-        if String.equal f.Packet.dst_mac broadcast_mac then
-          Hashtbl.iter
-            (fun mac ep ->
-              if not (String.equal mac f.Packet.src_mac) then ep.ep_deliver bytes)
-            t.endpoints
-        else (
-          match Hashtbl.find_opt t.endpoints f.Packet.dst_mac with
-          | Some ep -> ep.ep_deliver bytes
-          | None -> drop ())
+  (if lost then drop_lost t
+   else
+     match t.faults with
+     | None -> route t bytes
+     | Some nf -> (
+         let v = Net_faults.on_frame nf ~now_ns:(Sim_clock.now_ns t.clock) in
+         match v.Net_faults.drop with
+         | `Loss | `Flap -> drop_lost t
+         | `No ->
+             let bytes =
+               if v.Net_faults.corrupt then (
+                 let b = Bytes.of_string bytes in
+                 Net_faults.corrupt_bytes nf b;
+                 Bytes.unsafe_to_string b)
+               else bytes
+             in
+             if Int64.compare v.Net_faults.jitter_ns 0L > 0 then
+               Sim_clock.advance_ns t.clock v.Net_faults.jitter_ns;
+             if v.Net_faults.hold > 0 then (
+               Metrics.Counter.incr m_frames_reordered;
+               t.holdq <- t.holdq @ [ (v.Net_faults.hold, bytes) ])
+             else begin
+               route t bytes;
+               if v.Net_faults.duplicate then begin
+                 Metrics.Counter.incr m_frames_duplicated;
+                 route t bytes
+               end
+             end));
+  release_due t
 
 let frames_sent t = t.frames_sent
-let frames_dropped t = t.frames_dropped
+let frames_lost t = t.frames_lost
+let frames_no_route t = t.frames_no_route
+let frames_dropped t = t.frames_lost + t.frames_no_route
 let bytes_sent t = t.bytes_sent
+
+(* Deliver everything still held in the reorder queue (a drained wire
+   at the end of a run); used by tests to avoid conflating a held
+   frame with a lost one. *)
+let flush_held t =
+  let rec go () =
+    match t.holdq with
+    | [] -> ()
+    | (_, b) :: rest ->
+        t.holdq <- rest;
+        route t b;
+        go ()
+  in
+  go ()

@@ -17,10 +17,17 @@ val create :
   ?latency_us:float ->
   ?loss_rate:float ->
   ?rng:Histar_util.Rng.t ->
+  ?faults:Histar_faults.Faults.Net_faults.t ->
   clock:Histar_util.Sim_clock.t ->
   unit ->
   t
-(** Defaults: 100 Mbps, 100 µs latency, no loss. *)
+(** Defaults: 100 Mbps, 100 µs latency, no loss, no fault plan. *)
+
+val set_faults : t -> Histar_faults.Faults.Net_faults.t option -> unit
+(** Attach (or clear) a deterministic network-fault plan: per-frame
+    loss, single-byte corruption (caught by the frame FCS at the
+    receiver), duplication, bounded reordering, delay jitter, and
+    time-based link flaps. *)
 
 val attach : t -> endpoint -> unit
 val detach : t -> mac:string -> unit
@@ -38,5 +45,20 @@ val set_default_route : t -> mac:string -> unit
 (** Deliver frames for unknown IPs to this endpoint (a gateway). *)
 
 val frames_sent : t -> int
+
+val frames_lost : t -> int
+(** Frames dropped by random loss, an injected fault, or a link flap. *)
+
+val frames_no_route : t -> int
+(** Frames dropped because they decode to no attached destination
+    (includes frames whose FCS check failed after wire corruption). *)
+
 val frames_dropped : t -> int
+(** [frames_lost + frames_no_route] — kept for compatibility. *)
+
 val bytes_sent : t -> int
+
+val flush_held : t -> unit
+(** Deliver any frames still parked in the reordering queue. Tests
+    call this when draining the wire so a held frame is not
+    misread as a lost one. *)

@@ -185,7 +185,15 @@ let service_entry shared dev_label () =
               | Syn_sent | Syn_received -> false);
           match Stack.state conn with
           | Established -> Rp_sock sock
-          | _ -> Rp_err "connect failed"
+          | _ ->
+              (* the handshake gave up (retransmission exhaustion over
+                 a dead link) or was refused; reap the socket and say
+                 why so callers can retry at request level *)
+              Hashtbl.remove shared.socks sock;
+              Rp_err
+                (match Stack.error conn with
+                | Some reason -> "connect failed: " ^ reason
+                | None -> "connect failed")
         end
     | R_listen port ->
         Queue.push (W_listen port) shared.workq;
@@ -215,10 +223,17 @@ let service_entry shared dev_label () =
         else
           match Hashtbl.find_opt shared.socks sock with
           | None -> Rp_err "bad socket"
-          | Some _conn ->
-              Queue.push (W_send (sock, data)) shared.workq;
-              word_bump req_seg;
-              Rp_ok)
+          | Some conn ->
+              if Stack.state conn = Closed then
+                Rp_err
+                  (match Stack.error conn with
+                  | Some reason -> "send failed: " ^ reason
+                  | None -> "send failed: connection closed")
+              else begin
+                Queue.push (W_send (sock, data)) shared.workq;
+                word_bump req_seg;
+                Rp_ok
+              end)
     | R_recv sock -> (
         if not (taint_ok ~dir:`Recv self dev_label) then
           Rp_err "label: must carry the network taint to receive"
@@ -227,10 +242,21 @@ let service_entry shared dev_label () =
           | None -> Rp_err "bad socket"
           | Some conn ->
               let data = ref "" in
+              (* a connection that died (give-up or reset) is a
+                 terminal condition too — without it a flapping link
+                 would wedge this thread forever *)
               wait_on notify (fun () ->
                   data := Stack.recv conn;
-                  String.length !data > 0 || Stack.recv_eof conn);
-              if String.length !data > 0 then Rp_data !data else Rp_eof)
+                  String.length !data > 0
+                  || Stack.recv_eof conn
+                  || Stack.state conn = Closed);
+              if String.length !data > 0 then Rp_data !data
+              else if Stack.recv_eof conn then Rp_eof
+              else
+                Rp_err
+                  (match Stack.error conn with
+                  | Some reason -> "recv failed: " ^ reason
+                  | None -> "recv failed: connection closed"))
     | R_close sock -> (
         match Hashtbl.find_opt shared.socks sock with
         | None -> Rp_err "bad socket"
@@ -295,6 +321,38 @@ let rx_loop shared dev_ce notify () =
   in
   loop ()
 
+(* Retransmission pacemaker. The rx pump only ticks the stack when a
+   frame arrives, so a link that drops everything (a flap window)
+   would leave armed RTOs unserviced forever: the rx thread blocks in
+   net_recv and nothing retransmits. This thread parks on the
+   earliest RTO deadline; the scheduler's idle-clock advance fires it
+   even when no traffic flows. It gates on [Stack.needs_timer] — not
+   on open connections — so an established-but-idle socket does not
+   keep the kernel spinning: with no armed RTO it blocks on the
+   notify futex (bumped by the worker and rx pump whenever something
+   might have armed one) and the system can go quiescent. *)
+let timer_loop shared notify () =
+  let stack = Option.get !(shared.stack_cell) in
+  let rec loop () =
+    (if Stack.needs_timer stack then begin
+       let deadline =
+         match Stack.next_timer_deadline stack with
+         | Some d -> d
+         | None -> Int64.add (Sys.clock_ns ()) 50_000_000L
+       in
+       Sys.sleep_until_ns deadline;
+       Stack.tick stack;
+       word_bump notify
+     end
+     else begin
+       let gen = word_read notify in
+       if not (Stack.needs_timer stack) then
+         Sys.futex_wait notify ~off:0 ~expected:gen
+     end);
+    loop ()
+  in
+  loop ()
+
 let start k ~hub ~container ~ip ~mac ?taint () =
   let dev_label =
     match taint with
@@ -352,11 +410,17 @@ let start k ~hub ~container ~ip ~mac ?taint () =
         (service_entry shared dev_label)
     in
     shared.gate_cell := Some (centry container gate_oid);
-    (* spawn the rx pump, also at the device taint *)
+    (* spawn the rx pump and the retransmission pacemaker, also at
+       the device taint *)
     let _rx =
       Sys.thread_create ~container ~label:dev_label
         ~clearance:(Label.make Level.L2) ~quota:131_072L ~name:"netd-rx"
         (rx_loop shared dev_ce notify)
+    in
+    let _timer =
+      Sys.thread_create ~container ~label:dev_label
+        ~clearance:(Label.make Level.L2) ~quota:131_072L ~name:"netd-timer"
+        (timer_loop shared notify)
     in
     (* become the worker, tainted to the device level *)
     Sys.self_set_label dev_label;
@@ -392,6 +456,21 @@ module Client = struct
   let connect t ~return_container dst =
     match call t ~return_container (R_connect dst) with
     | Rp_sock s -> s
+    | Rp_err m -> raise (Netd_error m)
+    | _ -> raise (Netd_error "unexpected reply")
+
+  (* Request-level retry: only transport-level connect failures (the
+     handshake gave up over a lossy/flapping link) are retried. Label
+     denials are policy, not weather — they propagate immediately. *)
+  let is_transient m =
+    let p = "connect failed" in
+    String.length m >= String.length p && String.sub m 0 (String.length p) = p
+
+  let rec connect_retry ?(attempts = 3) t ~return_container dst =
+    match call t ~return_container (R_connect dst) with
+    | Rp_sock s -> s
+    | Rp_err m when attempts > 1 && is_transient m ->
+        connect_retry ~attempts:(attempts - 1) t ~return_container dst
     | Rp_err m -> raise (Netd_error m)
     | _ -> raise (Netd_error "unexpected reply")
 

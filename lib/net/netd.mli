@@ -15,7 +15,11 @@
       so e.g. VPN-tainted data cannot leave via the internet device.
 
     Blocking is implemented with a futex on a notify segment that the
-    receive-pump thread bumps on every frame. *)
+    receive-pump thread bumps on every frame. A third netd thread —
+    the retransmission pacemaker — parks on the stack's earliest RTO
+    deadline via [Sys.sleep_until_ns], so retransmission makes
+    progress even when the link drops every frame (the rx pump alone
+    only ticks the stack on arrival). *)
 
 type t
 
@@ -52,6 +56,17 @@ module Client : sig
   exception Netd_error of string
 
   val connect : t -> return_container:Histar_core.Types.oid -> Addr.t -> sock
+
+  val connect_retry :
+    ?attempts:int ->
+    t ->
+    return_container:Histar_core.Types.oid ->
+    Addr.t ->
+    sock
+  (** Like {!connect}, but retries transport-level handshake failures
+      (retransmission give-up over a lossy or flapping link) up to
+      [attempts] times (default 3). Label denials are not retried. *)
+
   val listen : t -> return_container:Histar_core.Types.oid -> Addr.port -> unit
 
   val accept : t -> return_container:Histar_core.Types.oid -> Addr.port -> sock

@@ -19,6 +19,11 @@ type frame = { src_mac : string; dst_mac : string; ip : ip_packet }
 
 let no_flags = { syn = false; ack = false; fin = false; rst = false }
 
+(* Every frame carries an FCS trailer (fnv64 over the body), checked
+   by [frame_of_bytes].  A frame whose bits flipped on the wire fails
+   the check and is dropped at the receiving NIC rather than handed
+   to the stack — the guarantee that makes injected frame corruption
+   indistinguishable from loss at the transport layer. *)
 let frame_to_bytes f =
   let e = Codec.Enc.create () in
   Codec.Enc.str e f.src_mac;
@@ -46,11 +51,22 @@ let frame_to_bytes f =
       Codec.Enc.u16 e u.usrc_port;
       Codec.Enc.u16 e u.udst_port;
       Codec.Enc.str e u.upayload);
-  Codec.Enc.to_string e
+  let body = Codec.Enc.to_string e in
+  let fcs = Codec.Enc.create () in
+  Codec.Enc.i64 fcs (Histar_util.Checksum.fnv64 body);
+  body ^ Codec.Enc.to_string fcs
 
 let frame_of_bytes s =
   match
-    let d = Codec.Dec.of_string s in
+    let n = String.length s in
+    if n < 8 then raise Codec.Truncated;
+    let body_len = n - 8 in
+    let fcs = Codec.Dec.i64 (Codec.Dec.of_string (String.sub s body_len 8)) in
+    if not
+         (Int64.equal fcs
+            (Histar_util.Checksum.fnv64_sub s ~pos:0 ~len:body_len))
+    then raise Codec.Truncated;
+    let d = Codec.Dec.of_string (String.sub s 0 body_len) in
     let src_mac = Codec.Dec.str d in
     let dst_mac = Codec.Dec.str d in
     let src_ip = Codec.Dec.u32 d in

@@ -23,9 +23,16 @@ type ip_packet = { src_ip : Addr.ip; dst_ip : Addr.ip; proto : proto }
 type frame = { src_mac : string; dst_mac : string; ip : ip_packet }
 
 val no_flags : tcp_flags
+
 val frame_to_bytes : frame -> string
+(** Serializes the frame and appends an 8-byte FCS trailer (fnv64
+    over the body), so single-bit wire corruption is detected at the
+    receiving NIC. *)
+
 val frame_of_bytes : string -> frame option
+(** [None] on truncation, a malformed body, or an FCS mismatch. *)
+
 val frame_len : frame -> int
-(** Encoded length, used for bandwidth accounting. *)
+(** Encoded length (including FCS), used for bandwidth accounting. *)
 
 val pp_frame : Format.formatter -> frame -> unit

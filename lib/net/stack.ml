@@ -1,9 +1,24 @@
 module Sim_clock = Histar_util.Sim_clock
+module Metrics = Histar_metrics.Metrics
 open Packet
+
+(* Transport counters, registry-visible next to the hub's wire
+   counters (the per-stack ints remain for per-instance stats). *)
+let m_segments_sent = Metrics.counter "net.segments_sent"
+let m_segments_retransmitted = Metrics.counter "net.segments_retransmitted"
+let m_rto_timeouts = Metrics.counter "net.rto_timeouts"
+let m_rto_giveups = Metrics.counter "net.rto_giveups"
+let m_fcs_drops = Metrics.counter "net.frames_fcs_dropped"
 
 let mss = 1460
 let window_bytes = 65_535
-let rto_ns = 200_000_000L (* 200 ms *)
+
+(* RFC 6298-style retransmission timing on the virtual clock. *)
+let rto_initial_ns = 200_000_000L (* before the first RTT sample *)
+let rto_min_ns = 50_000_000L
+let rto_max_ns = 10_000_000_000L
+let max_retries = 8 (* consecutive timeouts before giving up *)
+let max_syn_retries = 5
 
 type conn_state =
   | Syn_sent
@@ -27,6 +42,19 @@ type conn = {
   mutable fin_received : bool;
   mutable fin_sent : bool;
   mutable rto_deadline : int64;
+  (* adaptive RTO state (RFC 6298): smoothed RTT / variance in ns;
+     srtt = 0 means no sample yet *)
+  mutable srtt_ns : int64;
+  mutable rttvar_ns : int64;
+  mutable cur_rto_ns : int64;
+  mutable retries : int;  (** consecutive timeouts since last forward ack *)
+  (* Karn's algorithm: time one span at a time, and only if it was
+     never retransmitted. rtt_seq is the ack number that completes the
+     timed span; -1 = nothing being timed. *)
+  mutable rtt_seq : int;
+  mutable rtt_sent_at : int64;
+  mutable error : string option;
+      (** terminal failure (e.g. retransmission give-up) *)
 }
 
 and t = {
@@ -71,6 +99,7 @@ let emit_tcp t ~dst_ip ~tcp =
   | None -> () (* unreachable host: silently dropped, like a dead ARP *)
   | Some dst_mac ->
       t.segments_sent <- t.segments_sent + 1;
+      Metrics.Counter.incr m_segments_sent;
       t.send_frame
         (frame_to_bytes
            {
@@ -95,7 +124,36 @@ let send_seg c ?(payload = "") ?(flags = no_flags) ~seq () =
 let send_ack c = send_seg c ~flags:{ no_flags with ack = true } ~seq:c.snd_nxt ()
 
 let arm_rto c =
-  c.rto_deadline <- Int64.add (Sim_clock.now_ns c.stack.clock) rto_ns
+  c.rto_deadline <- Int64.add (Sim_clock.now_ns c.stack.clock) c.cur_rto_ns
+
+(* Fold an RTT sample into the estimator and recompute the RTO.
+   First sample: srtt = R, rttvar = R/2. After: rttvar = 3/4 rttvar +
+   1/4 |srtt - R|; srtt = 7/8 srtt + 1/8 R; rto = srtt + 4 rttvar,
+   clamped to [rto_min, rto_max]. *)
+let update_rtt c r =
+  if Int64.equal c.srtt_ns 0L then begin
+    c.srtt_ns <- r;
+    c.rttvar_ns <- Int64.div r 2L
+  end
+  else begin
+    let diff = Int64.abs (Int64.sub c.srtt_ns r) in
+    c.rttvar_ns <-
+      Int64.add
+        (Int64.div (Int64.mul 3L c.rttvar_ns) 4L)
+        (Int64.div diff 4L);
+    c.srtt_ns <-
+      Int64.add (Int64.div (Int64.mul 7L c.srtt_ns) 8L) (Int64.div r 8L)
+  end;
+  let rto = Int64.add c.srtt_ns (Int64.mul 4L c.rttvar_ns) in
+  c.cur_rto_ns <- Int64.max rto_min_ns (Int64.min rto_max_ns rto)
+
+(* Begin timing the span that the next cumulative ack >= [upto]
+   completes, unless a span is already being timed. *)
+let maybe_time_span c ~upto =
+  if c.rtt_seq < 0 then begin
+    c.rtt_seq <- upto;
+    c.rtt_sent_at <- Sim_clock.now_ns c.stack.clock
+  end
 
 let inflight_bytes c =
   List.fold_left (fun acc (_, p) -> acc + String.length p) 0 c.inflight
@@ -120,6 +178,7 @@ let pump c =
         let seq = c.snd_nxt in
         c.snd_nxt <- c.snd_nxt + take;
         c.inflight <- c.inflight @ [ (seq, payload) ];
+        maybe_time_span c ~upto:(seq + take);
         send_seg c ~payload ~flags:{ no_flags with ack = true } ~seq ();
         progress := true
       done;
@@ -155,6 +214,13 @@ let mk_conn stack ~local_port ~remote ~cstate ~isn ~rcv_nxt =
     fin_received = false;
     fin_sent = false;
     rto_deadline = Int64.max_int;
+    srtt_ns = 0L;
+    rttvar_ns = 0L;
+    cur_rto_ns = rto_initial_ns;
+    retries = 0;
+    rtt_seq = -1;
+    rtt_sent_at = 0L;
+    error = None;
   }
 
 (* ----- public TCP API ----- *)
@@ -187,6 +253,7 @@ let connect t ~dst =
 
 let state c = c.cstate
 let peer c = c.remote
+let error c = c.error
 
 let send c data =
   (match c.cstate with
@@ -219,6 +286,14 @@ let close c =
 
 let handle_ack c ack_no =
   if ack_no > c.snd_una then begin
+    (* forward progress: reset the consecutive-timeout budget, and
+       take an RTT sample if the timed span completed (Karn: the span
+       is abandoned on any timeout, so a sample here is clean) *)
+    c.retries <- 0;
+    if c.rtt_seq >= 0 && ack_no >= c.rtt_seq then begin
+      update_rtt c (Int64.sub (Sim_clock.now_ns c.stack.clock) c.rtt_sent_at);
+      c.rtt_seq <- -1
+    end;
     c.snd_una <- ack_no;
     c.inflight <-
       List.filter (fun (seq, p) -> seq + String.length p > ack_no) c.inflight;
@@ -312,7 +387,10 @@ let handle_tcp t ~src_ip (seg : tcp) =
 
 let input t bytes =
   match frame_of_bytes bytes with
-  | None -> ()
+  | None ->
+      (* truncated or failed the FCS: corrupted in flight, drop at the
+         NIC and let retransmission recover *)
+      Metrics.Counter.incr m_fcs_drops
   | Some f ->
       if f.ip.dst_ip = t.sip then (
         match f.ip.proto with
@@ -325,37 +403,99 @@ let input t bytes =
                   q
             | None -> ()))
 
+let count_retx c =
+  c.stack.segments_retransmitted <- c.stack.segments_retransmitted + 1;
+  Metrics.Counter.incr m_segments_retransmitted
+
+let give_up c reason =
+  c.error <- Some reason;
+  c.cstate <- Closed;
+  c.rto_deadline <- Int64.max_int;
+  Metrics.Counter.incr m_rto_giveups;
+  Hashtbl.remove c.stack.conns (conn_key c)
+
+let handle_timeout c =
+  Metrics.Counter.incr m_rto_timeouts;
+  c.retries <- c.retries + 1;
+  (* Karn: the timed span was (about to be) retransmitted — its
+     eventual ack must not feed the estimator. *)
+  c.rtt_seq <- -1;
+  let limit =
+    match c.cstate with
+    | Syn_sent | Syn_received -> max_syn_retries
+    | Established | Fin_wait | Close_wait | Closed -> max_retries
+  in
+  if c.retries > limit then
+    give_up c
+      (Printf.sprintf "retransmission timeout (%d consecutive losses)"
+         c.retries)
+  else begin
+    (* exponential backoff, then go-back-N on what is outstanding *)
+    c.cur_rto_ns <- Int64.min rto_max_ns (Int64.mul 2L c.cur_rto_ns);
+    (match c.cstate with
+    | Syn_sent ->
+        count_retx c;
+        send_seg c ~flags:{ no_flags with syn = true } ~seq:c.snd_una ()
+    | Syn_received ->
+        count_retx c;
+        send_seg c
+          ~flags:{ no_flags with syn = true; ack = true }
+          ~seq:c.snd_una ()
+    | Established | Fin_wait | Close_wait ->
+        List.iter
+          (fun (seq, payload) ->
+            count_retx c;
+            send_seg c ~payload ~flags:{ no_flags with ack = true } ~seq ())
+          c.inflight;
+        if c.fin_sent && c.inflight = [] then begin
+          count_retx c;
+          send_seg c
+            ~flags:{ no_flags with fin = true; ack = true }
+            ~seq:(c.snd_nxt - 1) ()
+        end
+    | Closed -> ());
+    arm_rto c
+  end
+
 let tick t =
   let now = Sim_clock.now_ns t.clock in
-  Hashtbl.iter
-    (fun _ c ->
-      if Int64.compare now c.rto_deadline >= 0 then begin
-        (* go-back-N: retransmit everything outstanding *)
-        (match c.cstate with
-        | Syn_sent ->
-            t.segments_retransmitted <- t.segments_retransmitted + 1;
-            send_seg c ~flags:{ no_flags with syn = true } ~seq:(c.snd_una) ()
-        | Syn_received ->
-            t.segments_retransmitted <- t.segments_retransmitted + 1;
-            send_seg c
-              ~flags:{ no_flags with syn = true; ack = true }
-              ~seq:c.snd_una ()
-        | Established | Fin_wait | Close_wait ->
-            List.iter
-              (fun (seq, payload) ->
-                t.segments_retransmitted <- t.segments_retransmitted + 1;
-                send_seg c ~payload ~flags:{ no_flags with ack = true } ~seq ())
-              c.inflight;
-            if c.fin_sent && c.inflight = [] then begin
-              t.segments_retransmitted <- t.segments_retransmitted + 1;
-              send_seg c
-                ~flags:{ no_flags with fin = true; ack = true }
-                ~seq:(c.snd_nxt - 1) ()
-            end
-        | Closed -> ());
-        arm_rto c
-      end)
-    t.conns
+  (* Collect first: handling a timeout can re-enter this stack (a
+     retransmitted frame can trigger a synchronous ack from the peer)
+     and close/remove connections, which must not race the
+     iteration. Sort for a deterministic processing order. *)
+  let expired =
+    Hashtbl.fold
+      (fun _ c acc ->
+        if Int64.compare now c.rto_deadline >= 0 then c :: acc else acc)
+      t.conns []
+    |> List.sort (fun a b -> compare (conn_key a) (conn_key b))
+  in
+  List.iter
+    (fun c ->
+      (* re-check: an earlier expiry's effects may have acked or
+         closed this connection already *)
+      if c.cstate <> Closed && Int64.compare now c.rto_deadline >= 0 then
+        handle_timeout c)
+    expired
+
+(* ----- timer introspection (for blocking drivers like netd) ----- *)
+
+let needs_timer t =
+  Hashtbl.fold
+    (fun _ c acc -> acc || c.rto_deadline <> Int64.max_int)
+    t.conns false
+
+let next_timer_deadline t =
+  Hashtbl.fold
+    (fun _ c acc ->
+      if Int64.equal c.rto_deadline Int64.max_int then acc
+      else
+        match acc with
+        | None -> Some c.rto_deadline
+        | Some d -> Some (Int64.min d c.rto_deadline))
+    t.conns None
+
+let active_conns t = Hashtbl.length t.conns
 
 (* ----- UDP ----- *)
 

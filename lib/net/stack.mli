@@ -7,10 +7,13 @@
 
     TCP here is a compact but real protocol: three-way handshake,
     cumulative acknowledgements, a fixed receive window with MSS-sized
-    segments, go-back-N retransmission on timeout, and FIN teardown.
-    Out-of-order segments are dropped (the hub delivers in order;
-    drops only occur under injected loss, which retransmission
-    recovers). *)
+    segments, go-back-N retransmission with an adaptive RTO
+    (RFC 6298-style SRTT/RTTVAR estimation on the virtual clock,
+    exponential backoff, Karn's algorithm), and FIN teardown. After
+    too many consecutive timeouts a connection gives up: it closes
+    with {!error} set rather than retransmitting forever.
+    Out-of-order segments are dropped and re-acked (the faulty hub
+    can reorder and duplicate; retransmission recovers). *)
 
 type t
 
@@ -54,6 +57,11 @@ val connect : t -> dst:Addr.t -> conn
 val state : conn -> conn_state
 val peer : conn -> Addr.t
 
+val error : conn -> string option
+(** Terminal failure reason, set when the connection gave up (e.g.
+    exhausted retransmissions over a dead link). A conn with an error
+    is [Closed]. *)
+
 val send : conn -> string -> unit
 (** Enqueue bytes on an established (or establishing) connection. *)
 
@@ -71,6 +79,19 @@ val bytes_in_flight : conn -> int
 val udp_bind : t -> port:Addr.port -> unit
 val udp_send : t -> dst:Addr.t -> string -> unit
 val udp_recv : t -> port:Addr.port -> (Addr.t * string) option
+
+(** {1 Timer introspection}
+
+    For blocking drivers (netd's timer thread) that must know whether
+    anything is waiting on a retransmission deadline. *)
+
+val needs_timer : t -> bool
+(** Some connection has an armed RTO. *)
+
+val next_timer_deadline : t -> int64 option
+(** Earliest armed RTO deadline (virtual ns), if any. *)
+
+val active_conns : t -> int
 
 (** {1 Stats} *)
 

@@ -16,6 +16,14 @@ let m_synced_oids = Metrics.counter "store.synced_oids"
 let m_cache_hits = Metrics.counter "store.cache_hits"
 let m_cache_misses = Metrics.counter "store.cache_misses"
 
+(* Scrub/repair activity under media faults: objects rewritten to
+   fresh homes, sectors permanently quarantined, objects whose payload
+   could not be recovered from any copy. *)
+let m_scrubs = Metrics.counter "store.scrubs"
+let m_repaired = Metrics.counter "store.repaired_objects"
+let m_quarantined = Metrics.counter "store.quarantined_sectors"
+let m_lost = Metrics.counter "store.lost_objects"
+
 let store_magic = 0x48695374L (* "HiSt" *)
 let object_magic = 0x4F424A31 (* "OBJ1" *)
 
@@ -42,6 +50,11 @@ type t = {
   stats : stats;
   mutable generation : int64;
   mutable checkpoint_extent : (int * int) option;  (** start, sectors *)
+  mutable quarantined : (int * int) list;
+      (** extents withdrawn from service after a latent media error
+          survived retry: never returned to the allocator, persisted in
+          the checkpoint metadata, and counted as their own category in
+          the {!fsck} tiling proof. Sorted by start. *)
   mutable wal_epoch : int64;
       (** WAL epoch whose records are valid to replay over the snapshot
           this superblock describes. A checkpoint's superblock names the
@@ -168,6 +181,7 @@ let format ~disk ?(wal_sectors = default_wal_sectors) ?(apply_threshold = 1000)
       stats = fresh_stats ();
       generation = 0L;
       checkpoint_extent = None;
+      quarantined = [];
       wal_epoch = Wal.epoch wal;
     }
   in
@@ -181,7 +195,7 @@ let read_from_home t oid =
   | None -> None
   | Some packed ->
       let start, sectors = unpack packed in
-      let image = Disk.read t.disk ~sector:start ~count:sectors in
+      let image = Disk.read_retrying t.disk ~sector:start ~count:sectors in
       Some (parse_object_image image)
 
 let get t ~oid =
@@ -218,10 +232,16 @@ let delete t ~oid =
 
 (* ---------- checkpoint ---------- *)
 
-let encode_metadata ~object_map ~alloc =
+let encode_metadata ~object_map ~alloc ~quarantined =
   let e = Codec.Enc.create () in
   Bptree.encode e object_map;
   Extent_alloc.encode e alloc;
+  Codec.Enc.u32 e (List.length quarantined);
+  List.iter
+    (fun (start, sectors) ->
+      Codec.Enc.u32 e start;
+      Codec.Enc.u32 e sectors)
+    quarantined;
   let body = Codec.Enc.to_string e in
   let e2 = Codec.Enc.create () in
   Codec.Enc.i64 e2 (Checksum.fnv64 body);
@@ -281,13 +301,18 @@ let checkpoint t =
     a
   in
   let estimate =
-    String.length (encode_metadata ~object_map:t.object_map ~alloc:(future_alloc ()))
+    String.length
+      (encode_metadata ~object_map:t.object_map ~alloc:(future_alloc ())
+         ~quarantined:t.quarantined)
   in
   let sectors = sectors_for t estimate + 1 in
   (match Extent_alloc.alloc t.alloc ~sectors with
   | None -> failwith "Store: disk full (checkpoint)"
   | Some start ->
-      let body = encode_metadata ~object_map:t.object_map ~alloc:(future_alloc ()) in
+      let body =
+        encode_metadata ~object_map:t.object_map ~alloc:(future_alloc ())
+          ~quarantined:t.quarantined
+      in
       assert (String.length body <= sectors * t.sector_bytes);
       let pad = (sectors * t.sector_bytes) - String.length body in
       Disk.write t.disk ~sector:start (body ^ String.make pad '\000');
@@ -384,7 +409,7 @@ let sync_range t ~oid ~off ~len =
 let recover ~disk =
   let geometry = Disk.geometry disk in
   let sector_bytes = geometry.Disk.sector_bytes in
-  let sb = Disk.read disk ~sector:0 ~count:1 in
+  let sb = Disk.read_retrying disk ~sector:0 ~count:1 in
   let d = Codec.Dec.of_string sb in
   let m = Codec.Dec.i64 d in
   if not (Int64.equal m store_magic) then
@@ -396,9 +421,9 @@ let recover ~disk =
   let has_ckpt = Codec.Dec.bool d in
   let ckpt_start = Codec.Dec.u32 d in
   let ckpt_sectors = Codec.Dec.u32 d in
-  let object_map, alloc, checkpoint_extent =
+  let object_map, alloc, checkpoint_extent, quarantined =
     if has_ckpt then begin
-      let image = Disk.read disk ~sector:ckpt_start ~count:ckpt_sectors in
+      let image = Disk.read_retrying disk ~sector:ckpt_start ~count:ckpt_sectors in
       let d = Codec.Dec.of_string image in
       let sum = Codec.Dec.i64 d in
       let body = Codec.Dec.str d in
@@ -407,14 +432,21 @@ let recover ~disk =
       let d = Codec.Dec.of_string body in
       let object_map = Bptree.decode d in
       let alloc = Extent_alloc.decode d in
-      (object_map, alloc, Some (ckpt_start, ckpt_sectors))
+      let nq = Codec.Dec.u32 d in
+      let quarantined =
+        List.init nq (fun _ ->
+            let start = Codec.Dec.u32 d in
+            let sectors = Codec.Dec.u32 d in
+            (start, sectors))
+      in
+      (object_map, alloc, Some (ckpt_start, ckpt_sectors), quarantined)
     end
     else begin
       let alloc = Extent_alloc.create () in
       let data_start = wal_start + wal_sectors in
       Extent_alloc.add_region alloc ~start:data_start
         ~sectors:(geometry.Disk.sectors - data_start);
-      (Bptree.create (), alloc, None)
+      (Bptree.create (), alloc, None, [])
     end
   in
   let wal, records = Wal.recover ~disk ~start:wal_start ~sectors:wal_sectors in
@@ -445,6 +477,7 @@ let recover ~disk =
       stats = fresh_stats ();
       generation;
       checkpoint_extent;
+      quarantined;
       wal_epoch;
     }
   in
@@ -456,6 +489,142 @@ let recover ~disk =
       | None -> delete t ~oid)
     records;
   t
+
+(* ---------- scrub (media-fault repair) ---------- *)
+
+type scrub_report = {
+  passes : int;
+  scanned : int;
+  repaired : int;
+  quarantined_sectors : int;
+  lost : int64 list;
+  clean : bool;
+}
+
+let quarantine t ~start ~sectors =
+  t.quarantined <-
+    List.sort
+      (fun (a, _) (b, _) -> Int.compare a b)
+      ((start, sectors) :: t.quarantined);
+  Metrics.Counter.add m_quarantined sectors
+
+let readable t ~sector ~count =
+  match Disk.read_retrying t.disk ~sector ~count with
+  | image -> Some image
+  | exception Disk.Read_error _ -> None
+
+(* Repair loop. Each verify pass walks every durable structure —
+   store and WAL superblocks, the checkpoint metadata extent, and the
+   home image of every clean mapped object — reading with retry and
+   verifying checksums. Superblocks heal by rewrite (which clears a
+   latent mark, like a drive remap). An object image that stays
+   unreadable or fails its checksum loses its extent to the quarantine
+   list; its payload is recovered from the clean cache when present
+   (every checkpoint leaves one there) and re-marked dirty, so the
+   forced checkpoint at the end of the pass re-homes it to fresh
+   sectors. Because those repair writes can themselves strike new
+   latent sectors, the loop re-verifies until a pass finds nothing
+   (bounded by [max_passes]); for a fixed fault seed the whole loop is
+   deterministic. *)
+let scrub ?(max_passes = 10) t =
+  Metrics.Counter.incr m_scrubs;
+  let scanned = ref 0
+  and repaired = ref 0
+  and quarantined_n = ref 0
+  and lost = ref [] in
+  let verify_and_repair () =
+    let faults = ref 0 in
+    (match readable t ~sector:0 ~count:1 with
+    | Some _ -> ()
+    | None ->
+        incr faults;
+        write_superblock t);
+    (match readable t ~sector:wal_start ~count:1 with
+    | Some _ -> ()
+    | None ->
+        incr faults;
+        Wal.rewrite_superblock t.wal);
+    (* The in-memory object map and allocator are authoritative; a bad
+       metadata extent is simply superseded by the forced checkpoint. *)
+    (match t.checkpoint_extent with
+    | None -> ()
+    | Some (start, sectors) ->
+        let ok =
+          match readable t ~sector:start ~count:sectors with
+          | None -> false
+          | Some image -> (
+              try
+                let d = Codec.Dec.of_string image in
+                let sum = Codec.Dec.i64 d in
+                let body = Codec.Dec.str d in
+                Int64.equal (Checksum.fnv64 body) sum
+              with _ -> false)
+        in
+        if not ok then incr faults);
+    let mapped = ref [] in
+    Bptree.iter (fun oid packed -> mapped := (oid, packed) :: !mapped) t.object_map;
+    List.iter
+      (fun (oid, packed) ->
+        if not (Hashtbl.mem t.dirty oid) then begin
+          incr scanned;
+          let start, sectors = unpack packed in
+          let payload =
+            match readable t ~sector:start ~count:sectors with
+            | None -> None
+            | Some image -> ( try Some (parse_object_image image) with _ -> None)
+          in
+          match payload with
+          | Some _ -> ()
+          | None -> (
+              incr faults;
+              ignore (Bptree.remove t.object_map oid);
+              quarantine t ~start ~sectors;
+              quarantined_n := !quarantined_n + sectors;
+              match Hashtbl.find_opt t.cache oid with
+              | Some data ->
+                  Hashtbl.replace t.dirty oid (Some data);
+                  Hashtbl.remove t.cache oid;
+                  incr repaired;
+                  Metrics.Counter.incr m_repaired
+              | None ->
+                  lost := oid :: !lost;
+                  Metrics.Counter.incr m_lost)
+        end)
+      (List.rev !mapped);
+    !faults
+  in
+  let rec loop n =
+    let faults = verify_and_repair () in
+    if faults = 0 then (n + 1, true)
+    else begin
+      (* Persist the repairs (and the quarantine list) even when this
+         was the last allowed pass. *)
+      checkpoint t;
+      if n + 1 >= max_passes then (n + 1, false) else loop (n + 1)
+    end
+  in
+  let passes, clean = loop 0 in
+  if Trace.enabled () then
+    Trace.emit
+      ~ts_ns:(Histar_util.Sim_clock.now_ns (Disk.clock t.disk))
+      "store.scrub"
+      [
+        ("passes", string_of_int passes);
+        ("repaired", string_of_int !repaired);
+        ("quarantined_sectors", string_of_int !quarantined_n);
+        ("lost", string_of_int (List.length !lost));
+        ("clean", string_of_bool clean);
+      ];
+  {
+    passes;
+    scanned = !scanned;
+    repaired = !repaired;
+    quarantined_sectors = !quarantined_n;
+    lost = List.rev !lost;
+    clean;
+  }
+
+let quarantined_extents t = t.quarantined
 
 (* ---------- inspection ---------- *)
 
@@ -489,7 +658,9 @@ let check_invariants t =
       let start, sectors = unpack packed in
       if sectors <= 0 then failwith "Store: empty object extent";
       if not (Hashtbl.mem t.dirty oid) then
-        ignore (parse_object_image (Disk.read t.disk ~sector:start ~count:sectors)))
+        ignore
+          (parse_object_image
+             (Disk.read_retrying t.disk ~sector:start ~count:sectors)))
     t.object_map
 
 (* Whole-disk accounting, for the crash-sweep harness. Beyond
@@ -515,7 +686,7 @@ let fsck t =
       add "checkpoint metadata" start sectors;
       (* Checkpoint checksum integrity: the snapshot we would recover
          from must still be readable. *)
-      let image = Disk.read t.disk ~sector:start ~count:sectors in
+      let image = Disk.read_retrying t.disk ~sector:start ~count:sectors in
       let d = Codec.Dec.of_string image in
       let sum = Codec.Dec.i64 d in
       let body = Codec.Dec.str d in
@@ -525,6 +696,9 @@ let fsck t =
   List.iter
     (fun (start, sectors) -> add "free extent" start sectors)
     (Extent_alloc.to_list t.alloc);
+  List.iter
+    (fun (start, sectors) -> add "quarantined extent" start sectors)
+    t.quarantined;
   let extents =
     List.sort (fun (_, a, _) (_, b, _) -> Int.compare a b) !extents
   in

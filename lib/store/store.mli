@@ -82,14 +82,48 @@ type stats = {
 val stats : t -> stats
 val free_sectors : t -> int
 
+(** {1 Media-fault repair}
+
+    All store reads retry transient disk errors with backoff
+    ({!Histar_disk.Disk.read_retrying}). Latent sector errors and
+    silent write corruption are detected by the per-object checksums
+    and repaired by {!scrub}. *)
+
+type scrub_report = {
+  passes : int;  (** verify passes run (1 when already clean) *)
+  scanned : int;  (** object-image verifications, summed over passes *)
+  repaired : int;  (** objects re-homed from an in-memory copy *)
+  quarantined_sectors : int;  (** sectors withdrawn from service *)
+  lost : int64 list;  (** oids unreadable with no surviving copy *)
+  clean : bool;  (** final pass found no faults *)
+}
+
+val scrub : ?max_passes:int -> t -> scrub_report
+(** Verify and repair every durable structure: the store and WAL
+    superblocks (healed by rewrite — rewriting clears a latent mark,
+    like a drive remap), the checkpoint metadata extent (superseded by
+    a forced checkpoint when bad), and each clean mapped object's home
+    image. An image that stays unreadable after retries, or fails its
+    checksum, loses its extent to the quarantine list — never returned
+    to the allocator, persisted in checkpoint metadata — and its
+    payload is re-homed from the clean cache when present. Repair
+    writes can themselves strike new latent sectors, so the loop
+    re-verifies until one pass is fault-free (bounded by [max_passes],
+    default 10; [clean = false] when the bound is hit). Deterministic
+    for a fixed fault seed. *)
+
+val quarantined_extents : t -> (int * int) list
+(** Quarantined [(start, sectors)] extents, in increasing start order. *)
+
 val check_invariants : t -> unit
 (** Structural checks: allocator and object-map B+-trees are valid and
     every mapped object image parses with a clean checksum. *)
 
 val fsck : t -> unit
 (** Everything in {!check_invariants}, plus whole-disk accounting: the
-    object map, checkpoint metadata extent and free extents must
-    exactly tile the data region (no leaked sectors, no double
-    allocation), the on-disk checkpoint image must checksum clean, and
-    the WAL must satisfy {!Histar_wal.Wal.check_invariants}. Intended
-    for the crash-sweep harness after {!recover}. *)
+    object map, checkpoint metadata extent, free extents and
+    quarantined extents must exactly tile the data region (no leaked
+    sectors, no double allocation), the on-disk checkpoint image must
+    checksum clean, and the WAL must satisfy
+    {!Histar_wal.Wal.check_invariants}. Intended for the crash-sweep
+    harness after {!recover}, and after {!scrub} under media faults. *)

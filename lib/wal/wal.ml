@@ -13,6 +13,11 @@ let m_commit_sectors = Metrics.counter "wal.commit_sectors"
 let m_truncates = Metrics.counter "wal.truncates"
 let m_replayed = Metrics.counter "wal.replayed_records"
 
+(* A latent media error inside the log body ends the scan early: the
+   records before the bad sector replay normally, the suffix is lost.
+   This counter makes that degradation visible. *)
+let m_media_stops = Metrics.counter "wal.media_read_stops"
+
 exception Log_full
 
 let magic = 0x57414C31L (* "WAL1" *)
@@ -42,6 +47,11 @@ let superblock_bytes t ~epoch =
 let write_superblock t =
   Disk.write t.disk ~sector:t.start (superblock_bytes t ~epoch:t.epoch);
   Disk.flush t.disk
+
+(* Rewriting heals a latent-bad superblock sector (drive remap): the
+   store's scrub path calls this when the log superblock stops reading
+   back. *)
+let rewrite_superblock t = write_superblock t
 
 (* A record image: header + payload, padded to whole sectors.
    Header: record_magic, epoch, seq, payload length, payload checksum. *)
@@ -78,10 +88,21 @@ let format ~disk ~start ~sectors =
   write_superblock t;
   t
 
+(* Log reads retry transient errors; a latent sector error is treated
+   as the end of the parsable log (graceful degradation, counted). *)
+let read_log t ~sector ~count =
+  match Disk.read_retrying t.disk ~sector ~count with
+  | image -> Some image
+  | exception Disk.Read_error _ ->
+      Metrics.Counter.incr m_media_stops;
+      None
+
 let parse_record t ~epoch ~expect_seq ~rel_sector =
   if rel_sector >= t.sectors then None
   else
-    let header = Disk.read t.disk ~sector:(t.start + rel_sector) ~count:1 in
+    match read_log t ~sector:(t.start + rel_sector) ~count:1 with
+    | None -> None
+    | Some header ->
     let d = Codec.Dec.of_string header in
     match
       let m = Codec.Dec.i64 d in
@@ -104,19 +125,19 @@ let parse_record t ~epoch ~expect_seq ~rel_sector =
           let nsectors = (total + t.sector_bytes - 1) / t.sector_bytes in
           if rel_sector + nsectors > t.sectors then None
           else
-            let image =
-              Disk.read t.disk ~sector:(t.start + rel_sector) ~count:nsectors
-            in
-            if header_len + len > String.length image then None
-            else
-              let payload = String.sub image header_len len in
-              if Int64.equal (Checksum.fnv64 payload) sum then
-                Some (payload, nsectors)
-              else None
+            match read_log t ~sector:(t.start + rel_sector) ~count:nsectors with
+            | None -> None
+            | Some image ->
+                if header_len + len > String.length image then None
+                else
+                  let payload = String.sub image header_len len in
+                  if Int64.equal (Checksum.fnv64 payload) sum then
+                    Some (payload, nsectors)
+                  else None
 
 let recover ~disk ~start ~sectors =
   let t = mk ~disk ~start ~sectors in
-  let sb = Disk.read disk ~sector:start ~count:1 in
+  let sb = Disk.read_retrying disk ~sector:start ~count:1 in
   let d = Codec.Dec.of_string sb in
   let ok_magic =
     match Codec.Dec.i64 d with
@@ -203,7 +224,7 @@ let check_invariants t =
   then failwith "Wal: seq does not count committed + pending records";
   (* The on-disk log must re-parse to exactly the committed records of
      the current epoch, ending at [head]. *)
-  let sb = Disk.read t.disk ~sector:t.start ~count:1 in
+  let sb = Disk.read_retrying t.disk ~sector:t.start ~count:1 in
   let d = Codec.Dec.of_string sb in
   (match Codec.Dec.i64 d with
   | m when Int64.equal m magic -> ()

@@ -11,7 +11,12 @@
     current epoch; records follow from sector 1, each with a header
     carrying magic, epoch, sequence number, payload length and an
     FNV-64 checksum. Recovery scans forward and stops at the first
-    record that fails validation, yielding the committed prefix. *)
+    record that fails validation, yielding the committed prefix.
+
+    Media faults: log reads retry transient errors with backoff; a
+    latent sector error inside the log body ends the scan at that point
+    (the committed prefix before it replays normally, the suffix is
+    lost — counted by the [wal.media_read_stops] metric). *)
 
 type t
 
@@ -35,6 +40,11 @@ val commit : t -> unit
 val truncate : t -> unit
 (** Logically empty the log (bumps the epoch; a single-sector write
     plus flush). Called after a checkpoint has applied the records. *)
+
+val rewrite_superblock : t -> unit
+(** Rewrite the superblock from in-memory state. Rewriting a sector
+    clears a latent media error (drive remap), so the store's scrub
+    path uses this to heal a log superblock that stops reading back. *)
 
 val committed_records : t -> int
 (** Records durable in the current epoch. *)
