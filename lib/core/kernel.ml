@@ -108,6 +108,16 @@ type trace_event = {
   ev_dir : [ `Observe | `Modify ];
 }
 
+(* Deliberate, test-only weakenings of single label checks. The
+   conformance fuzzer (lib/check/conformance.ml) must detect each one as
+   a divergence from the reference model within its bounded budget —
+   a mutation-killing self-test that the differential oracle actually
+   has teeth. Never set outside tests. *)
+type weaken =
+  | Weaken_segment_read_taint  (** skip the observe check on segment_read *)
+  | Weaken_gate_star_grant  (** skip the ⋆-floor check on gate invocation *)
+  | Weaken_unref_check  (** skip the modify check on unref *)
+
 type t = {
   clock : Sim_clock.t;
   store : Store.t option;
@@ -123,6 +133,7 @@ type t = {
   mutable trace : (trace_event -> unit) option;
   syscall_cost_ns : int;
   instrument : bool;
+  weaken : weaken option;
   key : int64;
 }
 
@@ -238,13 +249,23 @@ let quota_avail o =
   if Int64.equal o.quota infinite_quota then Int64.max_int
   else Int64.sub o.quota o.usage
 
-(* Charge [amount] to container [d]; fails if it would exceed d's quota. *)
+(* Saturating add: usage bookkeeping must never wrap, even in
+   infinite-quota containers fed near-max_int object quotas. *)
+let sat_add a b =
+  let s = Int64.add a b in
+  if Int64.compare b 0L > 0 && Int64.compare s a < 0 then Int64.max_int else s
+
+(* Charge [amount] to container [d]; fails if it would exceed d's quota.
+   The comparison is overflow-free: [usage + amount > quota] wraps for
+   near-max_int amounts (letting a finite container over-commit), so we
+   compare against the remaining headroom instead, relying on the
+   invariant 0 ≤ usage ≤ quota for finite-quota containers. *)
 let charge ~op d amount =
   if Int64.equal d.quota infinite_quota then begin
-    d.usage <- Int64.add d.usage amount;
+    d.usage <- sat_add d.usage amount;
     Ok ()
   end
-  else if Int64.compare (Int64.add d.usage amount) d.quota > 0 then
+  else if Int64.compare amount (Int64.sub d.quota d.usage) > 0 then
     quota_f "%s: container %s over quota" op d.descrip
   else begin
     d.usage <- Int64.add d.usage amount;
@@ -545,13 +566,17 @@ type action =
 let ok_resp r = Ok (A_resp r)
 
 let read_i64_at data off =
-  if off + 8 > Bytes.length data then None
+  if off < 0 || off + 8 > Bytes.length data then None
   else Some (Bytes.get_int64_le data off)
 
 let segment_read_impl k (ce : centry) off len =
   let* o, kind_ = resolve_segment k ~op:"segment_read" ce in
   let* () =
-    match kind_ with `Tls -> Ok () | `Plain -> check_observe k ~op:"segment_read" o
+    match kind_ with
+    | `Tls -> Ok ()
+    | `Plain ->
+        if k.weaken = Some Weaken_segment_read_taint then Ok ()
+        else check_observe k ~op:"segment_read" o
   in
   match o.body with
   | Seg s ->
@@ -698,7 +723,10 @@ let check_gate_invoke k gate_obj g ~requested_label ~requested_clearance
       label_errf "gate: L_T not ⊑ L_V=%s" (Label.to_string verify_label)
     else
       let floor = Label.lower_star (Label.lub (Label.raise_j lt) (Label.raise_j lg)) in
-      if not (Label.leq floor requested_label) then
+      if
+        (not (Label.leq floor requested_label))
+        && k.weaken <> Some Weaken_gate_star_grant
+      then
         label_errf "gate: floor %s not ⊑ L_R=%s" (Label.to_string floor)
           (Label.to_string requested_label)
       else if not (Label.leq requested_label requested_clearance) then
@@ -816,6 +844,15 @@ let quota_move_impl k ~container ~target ~nbytes =
     if o.fixed_quota then Error (Immutable "quota_move: fixed-quota object")
     else Ok ()
   in
+  (* Overflow guard: moving bytes out of an infinite-quota container
+     (where [charge] always succeeds) must not wrap the target's quota. *)
+  let* () =
+    if
+      Int64.compare nbytes 0L > 0
+      && Int64.compare nbytes (Int64.sub Int64.max_int o.quota) > 0
+    then quota_f "quota_move: target quota would overflow"
+    else Ok ()
+  in
   let* () = charge ~op:"quota_move" d_obj nbytes in
   o.quota <- Int64.add o.quota nbytes;
   ok_resp R_unit
@@ -827,7 +864,10 @@ let unref_impl k (ce : centry) =
     | None -> not_found_f "unref: no container %Ld" ce.container
   in
   let* c = as_container ~op:"unref" d_obj in
-  let* () = check_modify k ~op:"unref(container)" d_obj in
+  let* () =
+    if k.weaken = Some Weaken_unref_check then Ok ()
+    else check_modify k ~op:"unref(container)" d_obj
+  in
   if Int64.equal ce.object_id ce.container then
     invalid_f "unref: container cannot unlink itself"
   else if Hashtbl.mem c.children ce.object_id then begin
@@ -1473,10 +1513,38 @@ let thread_label k oid =
   | Some { body = Thr _; label; _ } -> Some label
   | Some _ | None -> None
 
+(* Read-only state-observation API for the conformance fuzzer: enough of
+   an object's externally-specified state (label, quota accounting, link
+   structure, flags) to compare a kernel run against the reference model
+   in lib/model. Host/test interface — not subject to label checks. *)
+
+let obj_refs k oid = Option.map (fun o -> o.refs) (find_obj k oid)
+
+let obj_flags k oid =
+  Option.map (fun o -> (o.fixed_quota, o.immut)) (find_obj k oid)
+
+let obj_metadata k oid = Option.map (fun o -> o.metadata) (find_obj k oid)
+let obj_descrip k oid = Option.map (fun o -> o.descrip) (find_obj k oid)
+
+let thread_clearance k oid =
+  match find_obj k oid with
+  | Some { body = Thr th; _ } -> Some th.tclear
+  | Some _ | None -> None
+
+let as_mappings k oid =
+  match find_obj k oid with
+  | Some { body = Asp a; _ } -> Some a.mappings
+  | Some _ | None -> None
+
+let container_parent_of k oid =
+  match find_obj k oid with
+  | Some { body = Con c; _ } -> Some c.parent
+  | Some _ | None -> None
+
 (* ---------- construction ---------- *)
 
 let create ?(seed = 0x4853_7461_7221L) ?clock ?store ?(syscall_cost_ns = 500)
-    ?(instrument = true) () =
+    ?(instrument = true) ?weaken () =
   let clock = match clock with Some c -> c | None -> Sim_clock.create () in
   let k =
     {
@@ -1494,6 +1562,7 @@ let create ?(seed = 0x4853_7461_7221L) ?clock ?store ?(syscall_cost_ns = 500)
       trace = None;
       syscall_cost_ns;
       instrument;
+      weaken;
       key = seed;
     }
   in
@@ -1664,6 +1733,7 @@ let recover ~store =
       trace = None;
       syscall_cost_ns = 500;
       instrument = true;
+      weaken = None;
       key;
     }
   in

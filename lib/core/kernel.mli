@@ -28,6 +28,16 @@ open Types
 
 type t
 
+type weaken =
+  | Weaken_segment_read_taint
+  | Weaken_gate_star_grant
+  | Weaken_unref_check
+      (** Test-only switches that each drop exactly one label comparison
+          (segment_read's observe check, the gate-invocation ⋆-floor
+          check, unref's container modify check). The conformance
+          fuzzer's mutation-killing self-test asserts it detects every
+          one as a model divergence within a bounded budget. *)
+
 (** {1 Construction and scheduling} *)
 
 val create :
@@ -36,13 +46,15 @@ val create :
   ?store:Histar_store.Store.t ->
   ?syscall_cost_ns:int ->
   ?instrument:bool ->
+  ?weaken:weaken ->
   unit ->
   t
 (** [instrument] (default [true]) controls whether the syscall dispatch
     loop reports into the global {!Histar_metrics.Metrics} registry at
     all. With it [true] but the registry disabled, each syscall costs
     one flag load and branch; [false] skips even that, giving the
-    overhead test a no-instrumentation baseline. *)
+    overhead test a no-instrumentation baseline. [weaken] (default
+    none) deliberately disables one label check — tests only. *)
 
 val clock : t -> Histar_util.Sim_clock.t
 val root : t -> oid
@@ -123,6 +135,22 @@ val container_children : t -> oid -> (oid * kind) list option
 val segment_data : t -> oid -> string option
 val thread_state : t -> oid -> [ `Ready | `Running | `Blocked | `Halted ] option
 val thread_label : t -> oid -> Label.t option
+
+(** {2 Conformance-observation API}
+
+    Read-only views of the externally-specified object state, for
+    comparing a kernel run against the {!Histar_model} reference
+    model. Host/test interface, not subject to label checks. *)
+
+val obj_refs : t -> oid -> int option
+val obj_flags : t -> oid -> (bool * bool) option
+(** (fixed_quota, immutable). *)
+
+val obj_metadata : t -> oid -> string option
+val obj_descrip : t -> oid -> string option
+val thread_clearance : t -> oid -> Label.t option
+val as_mappings : t -> oid -> Syscall.mapping list option
+val container_parent_of : t -> oid -> oid option
 
 type trace_event = {
   ev_thread : oid;

@@ -20,6 +20,13 @@ let of_list entries d =
 
 let entries t = Category.Map.bindings t.entries
 
+let ranked t =
+  ( Category.Map.fold
+      (fun c lv acc -> (Category.to_int64 c, Level.to_rank lv) :: acc)
+      t.entries []
+    |> List.sort compare,
+    Level.to_rank t.default )
+
 let categories t =
   Category.Map.fold (fun c _ acc -> Category.Set.add c acc) t.entries Category.Set.empty
 

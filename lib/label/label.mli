@@ -31,6 +31,12 @@ val set : t -> Category.t -> Level.t -> t
 val entries : t -> (Category.t * Level.t) list
 (** Non-default entries in increasing category order. *)
 
+val ranked : t -> (int64 * int) list * int
+(** Numeric view for the {!Histar_model} reference algebra: non-default
+    entries as [(category id, rank)] sorted by category id, plus the
+    default rank, where rank orders ⋆ < 0 < 1 < 2 < 3 < J as 0..5
+    (see {!Level.to_rank}). *)
+
 val categories : t -> Category.Set.t
 (** Categories with non-default entries. *)
 

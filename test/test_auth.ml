@@ -316,6 +316,52 @@ let test_log_is_append_only () =
       Alcotest.(check bool) "entry present" true
         (List.mem "entry one" (Logd.entries w.log)))
 
+(* §6.2 conformance, mirrored in the reference model's gate-login
+   scenarios (test_model.ml): the only ownership login may add beyond
+   the session categories the caller mints itself (pir, sw) is the
+   user's {ur, uw}, and only on success. In particular no category the
+   auth daemon owned before the call — ur, uw, or its per-session check
+   category — may ride back through the return gate on failure. *)
+let test_owned_set_exact_delta () =
+  with_world (fun w ->
+      let before = ref Category.Set.empty in
+      let after_bad = ref Category.Set.empty in
+      let after_ok = ref Category.Set.empty in
+      let h =
+        Process.spawn w.proc ~name:"sshd" (fun sshd ->
+            before := Label.owned (Sys.self_label ());
+            (match
+               Login.login ~proc:sshd ~dir:w.dir ~username:"bob"
+                 ~password:"wrong"
+             with
+            | Login.Bad_password -> ()
+            | _ -> Alcotest.fail "wrong password was not rejected");
+            after_bad := Label.owned (Sys.self_label ());
+            (match
+               Login.login ~proc:sshd ~dir:w.dir ~username:"bob"
+                 ~password:"hunter2"
+             with
+            | Login.Granted _ -> ()
+            | _ -> Alcotest.fail "correct password was rejected");
+            after_ok := Label.owned (Sys.self_label ()))
+      in
+      ignore (Process.wait w.proc h);
+      let ur = w.bob.Process.ur and uw = w.bob.Process.uw in
+      Alcotest.(check bool) "ur/uw not owned before" false
+        (Category.Set.mem ur !before || Category.Set.mem uw !before);
+      Alcotest.(check bool) "failed login grants neither ur nor uw" false
+        (Category.Set.mem ur !after_bad || Category.Set.mem uw !after_bad);
+      (* The failure delta is exactly the two session categories the
+         caller minted itself (pir, sw) — nothing of the daemon's. *)
+      Alcotest.(check int) "failure delta is the caller's own 2 cats" 2
+        (Category.Set.cardinal (Category.Set.diff !after_bad !before));
+      Alcotest.(check bool) "success grants ur and uw" true
+        (Category.Set.mem ur !after_ok && Category.Set.mem uw !after_ok);
+      (* Beyond a second (pir, sw) pair, success adds exactly {ur, uw}. *)
+      let granted = Category.Set.diff !after_ok !after_bad in
+      Alcotest.(check int) "success delta is {ur, uw} + 2 session cats" 4
+        (Category.Set.cardinal granted))
+
 (* fuzz: no password other than the exact one is ever granted *)
 let prop_no_false_grants =
   QCheck2.Test.make ~name:"login never grants on a wrong password" ~count:12
@@ -343,6 +389,8 @@ let () =
             test_trojaned_service_cannot_steal_password;
           Alcotest.test_case "no privilege leak" `Quick
             test_login_does_not_leak_privilege_to_services;
+          Alcotest.test_case "owned-set delta is exact" `Quick
+            test_owned_set_exact_delta;
           Alcotest.test_case "challenge-response mode" `Quick
             test_challenge_response_mode;
           Alcotest.test_case "trojan in CR mode" `Quick

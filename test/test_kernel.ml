@@ -1017,6 +1017,85 @@ let test_gate_denied_message_and_counters () =
         "kernel.syscall_label_errors incremented" true
         (Metrics.counter_value "kernel.syscall_label_errors" > !e0))
 
+(* ---------- arithmetic regressions from differential fuzzing ----------
+
+   Minimized by the model-conformance fuzzer (lib/check/conformance.ml);
+   each was an int64 overflow or missing bound in quota accounting or
+   segment addressing. The conformance copies live in test_model.ml;
+   these pin the concrete kernel behaviour directly. *)
+
+let near_max = Int64.sub Int64.max_int 100L
+
+let test_charge_overflow_rejected () =
+  (* Admission into a finite container must not wrap: quota - usage is
+     the real headroom, and a near-max request exceeds it. *)
+  in_kernel (fun root ->
+      let c =
+        Sys.container_create ~container:root ~label:l1 ~quota:near_max "c"
+      in
+      (match
+         Sys.segment_create ~container:c ~label:l1
+           ~quota:(Int64.sub Int64.max_int 1L) ~len:8 "huge"
+       with
+      | _ -> Alcotest.fail "over-committing segment was admitted"
+      | exception Kernel_error (Quota _) -> ());
+      (* The failed create must not have charged anything. *)
+      let _, usage = Sys.obj_quota (centry root c) in
+      Alcotest.(check int64) "usage untouched" 512L usage)
+
+let test_infinite_usage_saturates () =
+  (* The root container has infinite quota and skips admission, but its
+     usage accounting still has to saturate rather than wrap negative
+     when near-max bytes are moved out of it. *)
+  in_kernel (fun root ->
+      let sink =
+        Sys.container_create ~container:root ~label:l1 ~quota:1024L "sink"
+      in
+      Sys.quota_move ~container:root ~target:sink
+        ~nbytes:(Int64.sub Int64.max_int 2048L);
+      let _, usage = Sys.obj_quota (centry root root) in
+      Alcotest.(check int64) "root usage saturated at max" Int64.max_int usage;
+      (* A second move now exceeds the sink's remaining headroom. *)
+      match Sys.quota_move ~container:root ~target:sink ~nbytes:2048L with
+      | () -> Alcotest.fail "second move wrapped the sink quota"
+      | exception Kernel_error (Quota _) -> ())
+
+let test_quota_move_target_wrap_rejected () =
+  (* The target's quota field itself must not overflow when the source
+     is infinite and can always supply more. *)
+  in_kernel (fun root ->
+      let s =
+        Sys.segment_create ~container:root ~label:l1 ~quota:1024L ~len:8 "s"
+      in
+      Sys.quota_move ~container:root ~target:s
+        ~nbytes:(Int64.sub Int64.max_int 2048L);
+      (match Sys.quota_move ~container:root ~target:s ~nbytes:2048L with
+      | () -> Alcotest.fail "second move wrapped the target quota"
+      | exception Kernel_error (Quota _) -> ());
+      let quota, _ = Sys.obj_quota (centry root s) in
+      Alcotest.(check int64) "target quota at max - 1024"
+        (Int64.sub Int64.max_int 1024L)
+        quota)
+
+let test_negative_offset_is_error () =
+  (* A negative word offset in segment_cas used to raise
+     Invalid_argument from Bytes and kill the thread; it must surface
+     as an Invalid kernel error like any other bad address, and the
+     thread must stay runnable. *)
+  in_kernel (fun root ->
+      let s =
+        Sys.segment_create ~container:root ~label:l1 ~quota:1024L ~len:16 "s"
+      in
+      (match Sys.segment_cas (centry root s) ~off:(-8) ~expected:0L ~desired:7L with
+      | _ -> Alcotest.fail "negative CAS offset accepted"
+      | exception Kernel_error (Invalid _) -> ());
+      (* Wakes at any offset with no waiters are harmless no-ops on
+         both the kernel and the model. *)
+      Alcotest.(check int) "no waiters woken" 0
+        (Sys.futex_wake (centry root s) ~off:(-4) ~count:1);
+      Alcotest.(check bool) "thread still runs" true
+        (Sys.segment_cas (centry root s) ~off:8 ~expected:0L ~desired:7L))
+
 let () =
   Alcotest.run "histar_kernel"
     [
@@ -1122,4 +1201,15 @@ let () =
             test_gate_denied_message_and_counters;
         ] );
       ("flow oracle", [ QCheck_alcotest.to_alcotest prop_flow_oracle ]);
+      ( "fuzzer regressions",
+        [
+          Alcotest.test_case "finite-charge overflow rejected" `Quick
+            test_charge_overflow_rejected;
+          Alcotest.test_case "infinite usage saturates" `Quick
+            test_infinite_usage_saturates;
+          Alcotest.test_case "quota_move target wrap rejected" `Quick
+            test_quota_move_target_wrap_rejected;
+          Alcotest.test_case "negative segment offsets are errors" `Quick
+            test_negative_offset_is_error;
+        ] );
     ]
