@@ -1,0 +1,21 @@
+module Kernel = Histar_core.Kernel
+module Sys = Histar_core.Sys
+module Label = Histar_label.Label
+module Level = Histar_label.Level
+
+let () =
+  let k = Kernel.create () in
+  let root = Kernel.root k in
+  let seg = ref 0L in
+  let _t = Kernel.spawn k ~name:"d" (fun () ->
+    seg := Sys.segment_create ~container:root ~label:(Label.make Level.L1)
+             ~quota:1024L ~len:8 "s";
+    (try Sys.quota_move ~container:root ~target:!seg ~nbytes:Int64.min_int
+     with e -> Printf.printf "quota_move raised: %s\n" (Printexc.to_string e));
+    let q, u = Sys.obj_quota (Histar_core.Types.centry root !seg) in
+    Printf.printf "seg quota=%Ld usage=%Ld\n" q u)
+  in
+  Kernel.run k;
+  (match Kernel.obj_quota k root with
+   | Some (q, u) -> Printf.printf "root quota=%Ld usage=%Ld\n" q u
+   | None -> print_endline "root gone")
