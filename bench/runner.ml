@@ -343,6 +343,42 @@ let wget_faulty size =
   Store.fsck m.store;
   !elapsed
 
+(* Multi-node scale-out: the lib/apps web cluster driven end-to-end
+   over lib/dist, measured as the makespan of a fixed request batch.
+   One entry per node count gives the scale trajectory (requests/sec
+   vs nodes) as consecutive cells of the same committed run; the
+   dist-smoke CI job checks the 1→4 cells actually speed up. *)
+let dist_cluster ~nodes size =
+  let module Webcluster = Histar_apps.Webcluster in
+  let requests = pick size ~smoke:12 ~full:120 in
+  let wc =
+    Webcluster.build ~app_nodes:nodes ~user_count:2 ~work_us:5_000 ()
+  in
+  let users = Webcluster.users wc in
+  let batch =
+    Array.init requests (fun i ->
+        let u, p = users.(i mod Array.length users) in
+        (u, p, u))
+  in
+  let t0 = Webcluster.clock_snapshot wc in
+  let finished, outcomes = Webcluster.run_load wc ~concurrency:8 batch in
+  if not finished then
+    failwith (Printf.sprintf "dist-cluster-%d: load did not complete" nodes);
+  Array.iter
+    (fun o ->
+      let secret = Webcluster.secret_of wc o.Webcluster.o_user in
+      let contains hay needle =
+        let nh = String.length hay and nn = String.length needle in
+        let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+        nn = 0 || go 0
+      in
+      if not (contains o.Webcluster.o_reply secret) then
+        failwith
+          (Printf.sprintf "dist-cluster-%d: %s did not get their record"
+             nodes o.Webcluster.o_user))
+    outcomes;
+  Webcluster.elapsed_since wc t0
+
 let workloads =
   [
     ("ipc-pingpong", "pipe round trips through the gate IPC path", ipc_pingpong);
@@ -361,6 +397,14 @@ let workloads =
     ("wget-faulty",
      "HTTP transfer under 5% loss + 1% latent sector errors, with scrub",
      wget_faulty);
+    ("dist-cluster-1", "web cluster request batch over 1 app node",
+     dist_cluster ~nodes:1);
+    ("dist-cluster-2", "web cluster request batch over 2 app nodes",
+     dist_cluster ~nodes:2);
+    ("dist-cluster-4", "web cluster request batch over 4 app nodes",
+     dist_cluster ~nodes:4);
+    ("dist-cluster-8", "web cluster request batch over 8 app nodes",
+     dist_cluster ~nodes:8);
   ]
 
 let workload_names = List.map (fun (n, _, _) -> n) workloads

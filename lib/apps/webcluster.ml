@@ -1,0 +1,508 @@
+(* Scale-out web cluster over lib/dist: the §6 web server stretched
+   across nodes, with each user's category enforced end-to-end.
+
+   Topology (all virtual, all deterministic):
+
+     clients ── front hub ── balancer(node 0) ── backbone hub ──┬─ app 1
+                                                                ├─ ...
+                                                                ├─ app N
+                                                                └─ db
+
+   The balancer is dual-homed: a front netd on the client hub and a
+   backbone netd carrying distd traffic. App servers are stateless
+   page renderers; the db node owns every user's category and record.
+
+   Per-request label story: the db exports each user category with
+   trust = [balancer] only. A front request "user pass op" is
+   authenticated against the db's "auth" service, whose reply grants
+   the user's category — so the balancer worker *owns* the user's
+   taint for the rest of the request, exactly like the §6.2 login
+   sequence, but with the grant crossing the wire. The worker then
+   calls an app server's "page" service at its {c_u⋆} label; the app
+   honors the ⋆ (balancer is trusted) and its proxy fetches the
+   record from the db, where the app's asserted ⋆ is *clamped to 3*
+   (app servers are not trusted to speak for user categories): the
+   db-side proxy runs tainted {c_u 3} and can read exactly that
+   user's record and nothing else — a compromised app server can leak
+   only the requests it was already handling, never another user's
+   record (the paper's §6.1 argument, node-granular). The reply chain
+   carries the taint back; the balancer absorbs it with its ⋆ and
+   seals the page to the client under a password-derived session key,
+   standing in for SSL. No hub frame ever carries a record or
+   password in plaintext.
+
+   Failover: the balancer rotates over app nodes, skipping any marked
+   down. A transport-level failure (connect give-up over a flapped
+   link — lib/faults) marks the node down for a cooldown on the
+   balancer's clock and the request retries on the next node; after
+   the cooldown the node is probed again and re-enters rotation once
+   healed. Label refusals are never retried — they are answers. *)
+
+module Label = Histar_label.Label
+module Level = Histar_label.Level
+module Category = Histar_label.Category
+module Kernel = Histar_core.Kernel
+module Sys = Histar_core.Sys
+module Types = Histar_core.Types
+module Metrics = Histar_metrics.Metrics
+module Hub = Histar_net.Hub
+module Addr = Histar_net.Addr
+module Netd = Histar_net.Netd
+module Stack = Histar_net.Stack
+module Sim_host = Histar_net.Sim_host
+module Sim_clock = Histar_util.Sim_clock
+module Rng = Histar_util.Rng
+module Checksum = Histar_util.Checksum
+module Seal = Histar_crypto.Seal
+module Wire = Histar_dist.Wire
+module Names = Histar_dist.Names
+module Distd = Histar_dist.Distd
+module Cluster = Histar_dist.Cluster
+
+let l1 = Label.make Level.L1
+let l3 = Label.make Level.L3
+
+type node = {
+  n_id : int;
+  n_kernel : Kernel.t;
+  n_clock : Sim_clock.t;
+  n_netd : Netd.t;
+  n_dist : Distd.t;
+}
+
+type t = {
+  cluster : Cluster.t;
+  front : Hub.t;
+  back : Hub.t;
+  edge_clock : Sim_clock.t;  (* shared by kernel-less client hosts *)
+  balancer : node;
+  apps : node array;
+  db : node;
+  users : (string * string) array;  (* user, password *)
+  secrets : (string * string) list;  (* user, plaintext record *)
+  served : int array;  (* per app node, host-side observability *)
+  down_until : int64 array;  (* balancer-clock ns per app node *)
+  mutable rotation : int;
+  mutable failovers : int;
+  work_us : int;
+  cooldown_ns : int64;
+}
+
+let m_requests = Metrics.counter "webcluster.requests"
+let m_failovers = Metrics.counter "webcluster.failovers"
+
+(* --- addressing --- *)
+
+let back_ip i = Printf.sprintf "10.1.0.%d" (i + 1)
+let back_mac i = Printf.sprintf "bk%02d" i
+let dist_port = 7000
+let front_port = 80
+
+(* Session sealing key, computable by client and balancer alike from
+   the password — the stand-in for an SSL handshake. *)
+let session_key ~user ~password =
+  Checksum.fnv64 (Printf.sprintf "sess:%s:%s" user password)
+
+(* --- construction --- *)
+
+let mk_node ~cluster ~back ~key ~directory ~peers ~seed i =
+  let n_clock = Sim_clock.create () in
+  let n_kernel =
+    Kernel.create ~seed:(Int64.add seed (Int64.of_int (1000 * (i + 1))))
+      ~clock:n_clock ()
+  in
+  Cluster.add_kernel cluster n_kernel;
+  let root = Kernel.root n_kernel in
+  let n_netd =
+    Netd.start n_kernel ~hub:back ~container:root
+      ~ip:(Addr.ip_of_string (back_ip i))
+      ~mac:(back_mac i) ()
+  in
+  let names = Names.create ~node_id:i ~key ~directory in
+  let n_dist =
+    Distd.start n_kernel ~netd:n_netd ~names ~key ~container:root
+      ~port:dist_port ~peers ()
+  in
+  { n_id = i; n_kernel; n_clock; n_netd; n_dist }
+
+let rec build ?(app_nodes = 2) ?(user_count = 4) ?(seed = 7L) ?(work_us = 800)
+    ?(cooldown_ms = 400) () =
+  let cluster = Cluster.create () in
+  let edge_clock = Sim_clock.create () in
+  let front_clock = Sim_clock.create () in
+  let back_clock = Sim_clock.create () in
+  (* A fast, quiet backbone and edge: the interesting serial resource
+     in the scale benchmark must be app CPU, not wire time. *)
+  let front = Hub.create ~bandwidth_bps:1e9 ~latency_us:10.0 ~clock:front_clock () in
+  let back = Hub.create ~bandwidth_bps:1e9 ~latency_us:10.0 ~clock:back_clock () in
+  let key = Int64.logxor 0x6469737463616673L seed in
+  let directory = Names.Directory.create () in
+  let peers i = Addr.v (back_ip i) dist_port in
+  let node = mk_node ~cluster ~back ~key ~directory ~peers ~seed in
+  let balancer = node 0 in
+  let apps = Array.init app_nodes (fun i -> node (i + 1)) in
+  let db = node (app_nodes + 1) in
+  let rng = Rng.create (Int64.logxor seed 0x77656263L) in
+  let users =
+    Array.init user_count (fun i ->
+        ( Printf.sprintf "user%d" i,
+          Printf.sprintf "pw%d-%08Lx" i (Int64.logand (Rng.next64 rng) 0xffffffffL) ))
+  in
+  let secrets =
+    Array.to_list
+      (Array.map
+         (fun (u, _) ->
+           (u, Printf.sprintf "SECRET-%s-%08Lx" u
+                 (Int64.logand (Rng.next64 rng) 0xffffffffL)))
+         users)
+  in
+  let t =
+    {
+      cluster;
+      front;
+      back;
+      edge_clock;
+      balancer;
+      apps;
+      db;
+      users;
+      secrets;
+      served = Array.make app_nodes 0;
+      down_until = Array.make app_nodes 0L;
+      rotation = 0;
+      failovers = 0;
+      work_us;
+      cooldown_ns = Int64.mul (Int64.of_int cooldown_ms) 1_000_000L;
+    }
+  in
+  setup_db t;
+  Array.iteri (fun i _ -> setup_app t i) apps;
+  setup_balancer t;
+  t
+
+(* --- db node: record store, auth and get services --- *)
+
+and setup_db t =
+  let d = t.db in
+  let root = Kernel.root d.n_kernel in
+  (* Host-side record directory; the records themselves are labeled
+     kernel segments, which is what the label checks bite on. *)
+  let records : (string, Category.t * Types.centry) Hashtbl.t =
+    Hashtbl.create 8
+  in
+  ignore
+    (Kernel.spawn d.n_kernel ~label:l1 ~clearance:l3 ~container:root
+       ~name:"db-init"
+       (fun () ->
+         let cats =
+           Array.map
+             (fun (user, _) ->
+               let c = Sys.cat_create () in
+               (* Only the balancer may speak for user categories. *)
+               ignore (Distd.export_owned d.n_dist ~trust:[ 0 ] c : int64);
+               let secret = List.assoc user t.secrets in
+               let seg =
+                 Sys.segment_create ~container:root
+                   ~label:(Label.of_list [ (c, Level.L3) ] Level.L1)
+                   ~quota:4096L ~len:(String.length secret)
+                   (Printf.sprintf "rec-%s" user)
+               in
+               Sys.segment_write (Types.centry root seg) secret;
+               Hashtbl.replace records user (c, Types.centry root seg);
+               c)
+             t.users
+         in
+         let auth_label =
+           Array.fold_left
+             (fun acc c -> Label.set acc c Level.Star)
+             l1 cats
+         in
+         Distd.register d.n_dist ~service:"auth" ~label:auth_label
+           ~clearance:l3 (fun args ->
+             match String.split_on_char ' ' args with
+             | [ user; pass ] -> (
+                 match Array.find_opt (fun (u, _) -> u = user) t.users with
+                 | Some (_, pw) when pw = pass ->
+                     let c, _ = Hashtbl.find records user in
+                     ("ok", [ c ])
+                 | Some _ | None -> ("denied", []))
+             | _ -> ("denied", []));
+         Distd.register d.n_dist ~service:"get" ~label:l1 ~clearance:l3
+           (fun user ->
+             match Hashtbl.find_opt records user with
+             | None -> ("no such user", [])
+             | Some (_, seg) -> (Sys.segment_read seg (), []))))
+
+(* --- app nodes: stateless page rendering --- *)
+
+and setup_app t i =
+  let a = t.apps.(i) in
+  (* One rendering CPU per node: concurrent proxies' virtual sleeps
+     would overlap (sleeping threads don't contend), so without this
+     token an 8-node cluster would be no faster than one node. The
+     check/set pair is atomic under cooperative scheduling — nothing
+     yields between them. *)
+  let busy = ref false in
+  let rec render () =
+    if !busy then begin
+      Sys.usleep ((t.work_us / 4) + 50);
+      render ()
+    end
+    else begin
+      busy := true;
+      Sys.usleep t.work_us;
+      busy := false
+    end
+  in
+  Distd.register a.n_dist ~service:"page" ~label:l1 ~clearance:l3
+    (fun args ->
+      (* args = "user target": render [target]'s page for [user]. The
+         proxy runs at the balancer's translated label {c_user ⋆} —
+         the app node honors the ⋆ because the balancer is trusted —
+         and the db clamps it back to taint, so the fetch below can
+         only read [target = user]. *)
+      t.served.(i) <- t.served.(i) + 1;
+      render ();  (* modeled rendering cost, serial per node *)
+      match String.split_on_char ' ' args with
+      | [ user; target ] -> (
+          match Distd.call a.n_dist ~node:t.db.n_id ~service:"get" target with
+          | Ok (secret, _) ->
+              (Printf.sprintf "<page user=%s>%s</page>" user secret, [])
+          | Error (Distd.Refused m) -> ("REFUSED " ^ m, [])
+          | Error (Distd.Remote m) -> ("DENIED " ^ m, [])
+          | Error (Distd.Transport m) -> ("ERR db transport: " ^ m, []))
+      | _ -> ("ERR bad page args", []))
+
+(* --- balancer: front demux, login, rotation, failover --- *)
+
+and pick_app t now =
+  let n = Array.length t.apps in
+  let rec scan tried =
+    if tried >= n then None
+    else
+      let i = (t.rotation + tried) mod n in
+      if Int64.compare t.down_until.(i) now <= 0 then begin
+        t.rotation <- (i + 1) mod n;
+        Some i
+      end
+      else scan (tried + 1)
+  in
+  scan 0
+
+and call_page t ~user ~op =
+  let args = user ^ " " ^ op in
+  let attempts = (2 * Array.length t.apps) + 4 in
+  let rec go n =
+    if n <= 0 then "ERR no backend"
+    else
+      match pick_app t (Sys.clock_ns ()) with
+      | None ->
+          (* every node in cooldown: wait a slice of the cooldown and
+             rescan — a probe will re-admit a healed node *)
+          Sys.usleep 50_000;
+          go (n - 1)
+      | Some i -> (
+          match
+            Distd.call t.balancer.n_dist ~node:t.apps.(i).n_id ~service:"page"
+              args
+          with
+          | Ok (page, _) -> page
+          | Error (Distd.Transport _) ->
+              t.down_until.(i) <-
+                Int64.add (Sys.clock_ns ()) t.cooldown_ns;
+              t.failovers <- t.failovers + 1;
+              Metrics.Counter.incr m_failovers;
+              go (n - 1)
+          | Error (Distd.Refused m) -> "REFUSED " ^ m
+          | Error (Distd.Remote m) -> "DENIED " ^ m)
+  in
+  go attempts
+
+and handle_front t front_netd sock () =
+  let root = Kernel.root t.balancer.n_kernel in
+  let rec read_line buf =
+    match String.index_opt buf '\n' with
+    | Some i -> Some (String.sub buf 0 i)
+    | None -> (
+        match Netd.Client.recv front_netd ~return_container:root sock with
+        | Some d -> read_line (buf ^ d)
+        | None -> None)
+  in
+  (match read_line "" with
+  | None -> ()
+  | Some line ->
+      Metrics.Counter.incr m_requests;
+      let reply_sealed ~user ~password plain =
+        let seal = Seal.create ~key:(session_key ~user ~password) in
+        let nonce = Int64.of_int (Hashtbl.hash (user, plain)) in
+        Netd.Client.send front_netd ~return_container:root sock
+          (Wire.frame_raw ~nonce (Seal.seal_tagged seal ~nonce plain))
+      in
+      (match String.split_on_char ' ' line with
+      | [ user; pass; op ] -> (
+          match
+            Distd.call t.balancer.n_dist ~node:t.db.n_id ~service:"auth"
+              (user ^ " " ^ pass)
+          with
+          | Ok ("ok", grants) ->
+              (* own the user's category for the rest of the request *)
+              ignore
+                (Distd.claim_grants t.balancer.n_dist grants
+                  : Category.t list);
+              let page = call_page t ~user ~op in
+              reply_sealed ~user ~password:pass page
+          | Ok (_, _) -> reply_sealed ~user ~password:pass "ERR auth"
+          | Error e ->
+              let m =
+                match e with
+                | Distd.Refused m -> "refused: " ^ m
+                | Distd.Remote m -> "remote: " ^ m
+                | Distd.Transport m -> "transport: " ^ m
+              in
+              reply_sealed ~user ~password:pass ("ERR auth: " ^ m))
+      | _ -> ()));
+  Netd.Client.close front_netd ~return_container:root sock
+
+and setup_balancer t =
+  let b = t.balancer in
+  let root = Kernel.root b.n_kernel in
+  let front_netd =
+    Netd.start b.n_kernel ~hub:t.front ~container:root
+      ~ip:(Addr.ip_of_string "10.0.0.1") ~mac:"fe00" ()
+  in
+  ignore
+    (Kernel.spawn b.n_kernel ~label:l1 ~clearance:l3 ~container:root
+       ~name:"front-demux"
+       (fun () ->
+         Netd.Client.listen front_netd ~return_container:root front_port;
+         let n = ref 0 in
+         while true do
+           let sock =
+             Netd.Client.accept front_netd ~return_container:root front_port
+           in
+           incr n;
+           ignore
+             (Sys.thread_create ~container:root ~label:l1 ~clearance:l3
+                ~quota:262144L
+                ~name:(Printf.sprintf "front-worker-%d" !n)
+                (handle_front t front_netd sock)
+              : Types.oid)
+         done))
+
+(* --- accessors --- *)
+
+let cluster t = t.cluster
+let front_hub t = t.front
+let back_hub t = t.back
+let balancer t = t.balancer.n_kernel
+let db_kernel t = t.db.n_kernel
+let app_kernel t i = t.apps.(i).n_kernel
+let app_mac t i = back_mac t.apps.(i).n_id
+let app_clock t i = t.apps.(i).n_clock
+let balancer_clock t = t.balancer.n_clock
+let users t = t.users
+let secret_of t user = List.assoc user t.secrets
+let served t = Array.copy t.served
+let failovers t = t.failovers
+
+let node_clocks t =
+  (t.balancer.n_clock :: t.db.n_clock
+  :: Array.to_list (Array.map (fun a -> a.n_clock) t.apps))
+  @ [ t.edge_clock ]
+
+(* --- client-side load driver --- *)
+
+type outcome = { o_user : string; o_request : string; o_reply : string }
+
+type slot = {
+  s_host : Sim_host.t;
+  mutable s_cur : (Stack.conn * int * string) option;
+      (* conn, request index, reassembly buffer *)
+}
+
+let run_load t ?(concurrency = 4) requests =
+  Cluster.settle t.cluster;
+  let total = Array.length requests in
+  let results = Array.make total None in
+  let next = ref 0 in
+  let completed = ref 0 in
+  let slots =
+    Array.init (min concurrency (max total 1)) (fun i ->
+        let h =
+          Sim_host.create ~hub:t.front ~clock:t.edge_clock
+            ~ip:(Printf.sprintf "10.0.0.%d" (10 + i))
+            ~mac:(Printf.sprintf "cl%02d" i)
+            ()
+        in
+        Cluster.add_host t.cluster ~stack:(Sim_host.stack h)
+          ~clock:t.edge_clock;
+        { s_host = h; s_cur = None })
+  in
+  let finish idx reply =
+    results.(idx) <- Some reply;
+    incr completed
+  in
+  let pump_slot s =
+    match s.s_cur with
+    | None ->
+        if !next < total then begin
+          let idx = !next in
+          incr next;
+          let user, pass, op = requests.(idx) in
+          let conn =
+            Stack.connect (Sim_host.stack s.s_host)
+              ~dst:(Addr.v "10.0.0.1" front_port)
+          in
+          Stack.send conn (Printf.sprintf "%s %s %s\n" user pass op);
+          s.s_cur <- Some (conn, idx, "")
+        end
+    | Some (conn, idx, buf) -> (
+        let buf = buf ^ Stack.recv conn in
+        match Wire.deframe buf with
+        | Some (nonce, body, _rest) ->
+            let user, pass, _ = requests.(idx) in
+            let seal = Seal.create ~key:(session_key ~user ~password:pass) in
+            let reply =
+              match Seal.unseal_tagged seal ~nonce body with
+              | Some plain -> plain
+              | None -> "ERR bad seal"
+            in
+            Stack.close conn;
+            s.s_cur <- None;
+            finish idx reply
+        | None ->
+            if Stack.state conn = Stack.Closed then begin
+              s.s_cur <- None;
+              finish idx
+                (match Stack.error conn with
+                | Some e -> "ERR transport: " ^ e
+                | None -> "ERR connection closed")
+            end
+            else s.s_cur <- Some (conn, idx, buf))
+  in
+  let pump () =
+    Array.iter pump_slot slots;
+    !completed >= total
+  in
+  let finished = Cluster.drive t.cluster ~until:pump () in
+  let outcomes =
+    Array.mapi
+      (fun i r ->
+        let user, _, op = requests.(i) in
+        {
+          o_user = user;
+          o_request = op;
+          o_reply = (match r with Some s -> s | None -> "ERR incomplete");
+        })
+      results
+  in
+  (finished, outcomes)
+
+(* Makespan across every clock in the system, relative to a baseline
+   snapshot taken with [clock_snapshot]. *)
+let clock_snapshot t = List.map Sim_clock.now_ns (node_clocks t)
+
+let elapsed_since t snap =
+  List.fold_left2
+    (fun acc c t0 -> Int64.max acc (Int64.sub (Sim_clock.now_ns c) t0))
+    0L (node_clocks t) snap

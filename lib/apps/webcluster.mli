@@ -1,0 +1,86 @@
+(** Scale-out web cluster over lib/dist (§6 stretched across nodes):
+    a front-end balancer node spraying requests over N stateless app
+    server nodes that share a user database node, with each user's
+    private record tainted by its own category end-to-end.
+
+    The db exports user categories trusting only the balancer; app
+    servers asserting a user's ⋆ get clamped to taint at the db, so a
+    compromised app server can read exactly the records of requests
+    it is currently serving — the paper's §6.1 isolation argument at
+    node granularity. Client responses are sealed under a
+    password-derived session key (the stand-in for SSL), so no hub
+    frame ever carries a record or password in plaintext.
+
+    Everything is seeded and driven by {!Histar_dist.Cluster}, so a
+    run — including failover under lib/faults link flaps — is
+    bit-reproducible. *)
+
+module Category = Histar_label.Category
+
+type t
+
+val build :
+  ?app_nodes:int ->
+  ?user_count:int ->
+  ?seed:int64 ->
+  ?work_us:int ->
+  ?cooldown_ms:int ->
+  unit ->
+  t
+(** Assemble the cluster: node 0 = balancer (dual-homed on the front
+    and backbone hubs), nodes 1..N = app servers, node N+1 = db.
+    [work_us] is the modeled per-request rendering cost on an app
+    node (the serial resource the scale benchmark measures);
+    [cooldown_ms] is how long (on the balancer's clock) a backend
+    stays out of rotation after a transport failure before it is
+    probed again. *)
+
+(** {1 Topology access (tests, benchmarks)} *)
+
+val cluster : t -> Histar_dist.Cluster.t
+val front_hub : t -> Histar_net.Hub.t
+val back_hub : t -> Histar_net.Hub.t
+val balancer : t -> Histar_core.Kernel.t
+val db_kernel : t -> Histar_core.Kernel.t
+val app_kernel : t -> int -> Histar_core.Kernel.t
+
+val app_mac : t -> int -> string
+(** Backbone MAC of app node [i] — the handle for
+    [Hub.set_link_faults] when killing a node mid-run. *)
+
+val app_clock : t -> int -> Histar_util.Sim_clock.t
+val balancer_clock : t -> Histar_util.Sim_clock.t
+
+val users : t -> (string * string) array
+(** (user, password) pairs provisioned in the db. *)
+
+val secret_of : t -> string -> string
+(** The plaintext record provisioned for a user (for asserting what
+    must and must not appear in captures and replies). *)
+
+val served : t -> int array
+(** Per-app-node request counts (host-side observability). *)
+
+val failovers : t -> int
+(** Requests re-sprayed after a transport-level backend failure. *)
+
+(** {1 Load driving} *)
+
+type outcome = {
+  o_user : string;
+  o_request : string;
+  o_reply : string;  (** unsealed reply as the client read it *)
+}
+
+val run_load :
+  t -> ?concurrency:int -> (string * string * string) array -> bool * outcome array
+(** Drive an array of (user, password, op) requests from kernel-less
+    client hosts on the front hub; op ["user"] renders that user's
+    page. Returns whether every request completed, plus per-request
+    outcomes in order. *)
+
+val clock_snapshot : t -> int64 list
+
+val elapsed_since : t -> int64 list -> int64
+(** Makespan: the largest advance of any clock in the system since
+    the snapshot. *)

@@ -1450,6 +1450,20 @@ let fire_next_timer k =
       wake k tid R_unit;
       true
 
+(* Earliest parked timer deadline, for multi-kernel drivers that must
+   decide which host's idle clock to advance next (lib/dist's cluster
+   driver). [None] when no thread is parked on a timer. *)
+let next_timer_ns k =
+  Hashtbl.fold
+    (fun _ o acc ->
+      match o.body with
+      | Thr { tstate = `Blocked (W_timer d); _ } -> (
+          match acc with
+          | Some d' when Int64.compare d' d <= 0 -> acc
+          | Some _ | None -> Some d)
+      | _ -> acc)
+    k.objects None
+
 let step k =
   match Queue.take_opt k.runq with
   | None -> fire_next_timer k

@@ -89,6 +89,12 @@ val runnable_count : t -> int
 val blocked_count : t -> int
 val live_thread_count : t -> int
 
+val next_timer_ns : t -> int64 option
+(** Earliest deadline (virtual ns) any thread is parked on, if any.
+    Lets a multi-kernel driver (lib/dist) pick which host's idle
+    clock to advance next instead of letting each [step] fire its own
+    timers prematurely. *)
+
 (** {1 Devices} *)
 
 val attach_netdev :

@@ -198,6 +198,18 @@ let gate_call ~gate ~label ~clearance ?(verify = default_verify)
          return_clearance;
        })
 
+(* RPC-style gate-call marshalling (§3.5): the request travels to the
+   service through the thread-local segment and the reply comes back
+   the same way. The TLS is exempt from label checks (it models
+   per-thread memory), so a caller that gets tainted inside the
+   service can still read its reply. *)
+let rpc_call ~gate ~return_container req =
+  tls_write req;
+  gate_call ~gate ~label:(self_label ()) ~clearance:(self_clearance ())
+    ~return_container ~return_label:(self_label ())
+    ~return_clearance:(self_clearance ()) ();
+  tls_read ()
+
 (* Conventional RPC return. Ownership survives gate transitions via the
    floor rule, so by default the entry drops every category it owns
    that the return gate does not restore — the caller comes back with

@@ -150,6 +150,13 @@ val gate_return : ?keep:Category.t list -> unit -> 'a
     through the return (how §6.2's check gate hands login ownership of
     x). Halts if there is no return gate. Never returns. *)
 
+val rpc_call : gate:centry -> return_container:oid -> string -> string
+(** RPC-style gate-call marshalling: write the request to the
+    thread-local segment, {!gate_call} the service at the caller's
+    current label and clearance, and read the reply back from the TLS
+    once the service returns. This is the transport beneath netd's
+    socket API and lib/dist's remote-gate client. *)
+
 val gate_floor : centry -> Label.t
 (** The least label a thread can request when invoking the gate:
     [(L_T^J ⊔ L_G^J)^⋆]. Reading the gate's label requires read

@@ -1,0 +1,23 @@
+(** Symmetric stream sealing: the {!Block_cipher} Feistel network in
+    counter mode, XORed over the payload. Simulation-grade stand-in
+    for transport encryption (the paper's webserver would use SSL,
+    §6.3); it keeps labeled payloads out of packet captures on the
+    shared wire. Nonces must not repeat under one key. *)
+
+type t
+
+val create : key:int64 -> t
+
+val seal : t -> nonce:int64 -> string -> string
+(** XOR with the keystream for [nonce]; involutive, so [seal] of a
+    sealed string with the same key and nonce recovers it. *)
+
+val unseal : t -> nonce:int64 -> string -> string
+(** Alias of {!seal}. *)
+
+val seal_tagged : t -> nonce:int64 -> string -> string
+(** [seal] plus a prepended 8-byte encrypted FNV-1a tag of the
+    plaintext, so tampering or a key/nonce mismatch is detected. *)
+
+val unseal_tagged : t -> nonce:int64 -> string -> string option
+(** [None] when the tag does not verify. *)

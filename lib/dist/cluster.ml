@@ -1,0 +1,146 @@
+(* Deterministic multi-kernel driver.
+
+   Each node is an independent Kernel.t with its own virtual clock;
+   client machines outside any kernel are bare {!Stack}s with a
+   shared edge clock. The driver round-robins runnable kernels in
+   registration order with a bounded slice each, and only when *every*
+   kernel is idle fires exactly one timer: the one with the smallest
+   *relative* wait (deadline minus its own host's now). Comparing
+   relative waits is what keeps independently-drifting clocks fair —
+   an absolute-deadline comparison would starve whichever node's
+   clock happens to run ahead. Ties break by registration order, so a
+   run is a pure function of the seeds.
+
+   [Kernel.step] on an idle kernel fires that kernel's own earliest
+   deadline; host stacks get their clock advanced to the deadline and
+   a [Stack.tick]. The [until] predicate is evaluated every round and
+   doubles as the caller's pump (client state machines poll inside
+   it), mirroring how bench/runner drives wget against a kernel. *)
+
+module Kernel = Histar_core.Kernel
+module Sim_clock = Histar_util.Sim_clock
+module Stack = Histar_net.Stack
+
+type host = { h_stack : Stack.t; h_clock : Sim_clock.t }
+
+type t = {
+  mutable kernels : Kernel.t list;  (* reversed registration order *)
+  mutable hosts : host list;
+}
+
+let create () = { kernels = []; hosts = [] }
+let add_kernel t k = t.kernels <- t.kernels @ [ k ]
+
+let add_host t ~stack ~clock =
+  t.hosts <- t.hosts @ [ { h_stack = stack; h_clock = clock } ]
+
+let kernels t = t.kernels
+
+(* All distinct clocks in the cluster, deduplicated physically:
+   kernel-less client hosts typically share one edge clock. *)
+let clocks t =
+  let cs =
+    List.map (fun k -> Kernel.clock k) t.kernels
+    @ List.map (fun h -> h.h_clock) t.hosts
+  in
+  List.fold_left (fun acc c -> if List.memq c acc then acc else c :: acc) [] cs
+
+(* One scheduling decision when everyone is idle: the pending timer
+   with the least relative wait fires, and — crucially — *every*
+   clock in the cluster is synchronized to the global maximum plus
+   that wait. Virtual time is global: without the joint advance, a
+   node with a periodic housekeeping timer (netd re-arms every 50ms)
+   would keep presenting a smaller relative wait than a peer's
+   pending 200ms RTO forever, and the RTO would never fire — a
+   cross-node timeout livelock. Synchronizing to the maximum (rather
+   than adding an equal delta everywhere) also absorbs the drift that
+   per-syscall costs introduce: a busy node's clock runs ahead of an
+   idle one's between timer rounds, and an idle node that keeps
+   timing out against its own lagging clock would otherwise see
+   cross-node deadlines recede indefinitely. Timers left overdue by
+   the jump fire on later rounds with wait 0. *)
+let fire_next_timer t =
+  let best = ref None in
+  let consider wait target =
+    match !best with
+    | Some (w, _) when Int64.compare w wait <= 0 -> ()
+    | Some _ | None -> best := Some (wait, target)
+  in
+  List.iter
+    (fun k ->
+      match Kernel.next_timer_ns k with
+      | Some d ->
+          let w = Int64.sub d (Sim_clock.now_ns (Kernel.clock k)) in
+          consider (if Int64.compare w 0L < 0 then 0L else w) (`Kernel k)
+      | None -> ())
+    t.kernels;
+  List.iter
+    (fun h ->
+      match Stack.next_timer_deadline h.h_stack with
+      | Some d ->
+          let w = Int64.sub d (Sim_clock.now_ns h.h_clock) in
+          consider (if Int64.compare w 0L < 0 then 0L else w) (`Host h)
+      | None -> ())
+    t.hosts;
+  match !best with
+  | None -> false
+  | Some (w, target) ->
+      let cs = clocks t in
+      let global_now =
+        List.fold_left
+          (fun m c ->
+            let n = Sim_clock.now_ns c in
+            if Int64.compare n m > 0 then n else m)
+          0L cs
+      in
+      let tgt = Int64.add global_now w in
+      List.iter
+        (fun c ->
+          let d = Int64.sub tgt (Sim_clock.now_ns c) in
+          if Int64.compare d 0L > 0 then Sim_clock.advance_ns c d)
+        cs;
+      (match target with
+      | `Kernel k -> ignore (Kernel.step k : bool)
+      | `Host h -> Stack.tick h.h_stack);
+      true
+
+(* Run every kernel to quiescence without firing any timer: boot
+   threads (netd init, service registration, listeners parking in
+   accept) complete before any cross-node traffic is attempted, so
+   no SYN can race a listener that has not yet registered its port. *)
+let settle ?(max_rounds = 64) t =
+  let rec go n =
+    if n > 0 && List.exists (fun k -> Kernel.runnable_count k > 0) t.kernels
+    then begin
+      List.iter
+        (fun k ->
+          while Kernel.runnable_count k > 0 do
+            ignore (Kernel.step k : bool)
+          done)
+        t.kernels;
+      go (n - 1)
+    end
+  in
+  go max_rounds
+
+let drive ?(slice = 20_000) ?(max_rounds = 200_000) t ~until () =
+  let rec round n =
+    if until () then true
+    else if n <= 0 then false
+    else begin
+      List.iter
+        (fun k ->
+          let budget = ref slice in
+          while Kernel.runnable_count k > 0 && !budget > 0 do
+            ignore (Kernel.step k : bool);
+            decr budget
+          done)
+        t.kernels;
+      if List.exists (fun k -> Kernel.runnable_count k > 0) t.kernels then
+        round (n - 1)
+      else if until () then true
+      else if fire_next_timer t then round (n - 1)
+      else until ()
+    end
+  in
+  round max_rounds

@@ -1,0 +1,33 @@
+(** Deterministic driver for several independent kernels (cluster
+    nodes) plus kernel-less client stacks, each with its own virtual
+    clock. Rounds are reproducible functions of the seeds: runnable
+    kernels are sliced in registration order, and when all are idle
+    exactly one timer fires — the one with the smallest wait
+    *relative to its own host's clock* (ties by registration
+    order). *)
+
+type t
+
+val create : unit -> t
+val add_kernel : t -> Histar_core.Kernel.t -> unit
+
+val add_host :
+  t -> stack:Histar_net.Stack.t -> clock:Histar_util.Sim_clock.t -> unit
+(** Register an external (kernel-less) endpoint whose retransmission
+    timers the driver must honor: advancing [clock] to the stack's
+    earliest RTO deadline and ticking it counts as firing a timer. *)
+
+val kernels : t -> Histar_core.Kernel.t list
+
+val settle : ?max_rounds:int -> t -> unit
+(** Run every kernel to quiescence without firing timers: boot work
+    (netd init, service registration, listeners parking in accept)
+    completes before any cross-node traffic starts, so a connection
+    attempt cannot race a listener that has not yet registered. *)
+
+val drive :
+  ?slice:int -> ?max_rounds:int -> t -> until:(unit -> bool) -> unit -> bool
+(** Run until [until ()] (checked every round — it doubles as the
+    caller's poll/pump hook) or deadlock/exhaustion; [true] iff
+    [until] held. [slice] bounds consecutive steps per kernel per
+    round so no node starves another. *)

@@ -1,0 +1,463 @@
+(* distd: the per-node remote-gate daemon.
+
+   Architecture (netd-style, §5.7 generalized across kernels): each
+   node runs a listener thread that accepts backbone TCP connections
+   through its local netd and spawns one conn thread per peer
+   connection. A conn thread deframes and unseals Call messages,
+   translates the caller's label and capacity into local categories
+   ({!Proto.of_wire}, importing unknown wire names on first sight),
+   runs the admission check ({!Proto.admit} — the model's gate rule
+   over translated labels), and only then spawns a *proxy thread* at
+   the translated label/clearance to run the service handler. The
+   proxy stands in for the remote caller exactly the way a gate-enter
+   thread stands in for a local one: same floor, same clearance cap.
+
+   Ownership plumbing: a conn thread that imports a wire name creates
+   the local twin with [cat_create] (gaining its ⋆) and immediately
+   publishes a persistent *grant gate* whose entry does [gate_return
+   ~keep:[c]] — the §6.2 check-gate idiom — so any later thread on
+   the node can re-acquire ⋆c by gate-calling it. Conn threads use
+   those gates to collect the ⋆s a proxy label needs, spawn the proxy
+   (thread_create requires the spawner to own every ⋆ it passes
+   down), then drop back to their clean label. The proxy's result
+   comes back through a host-side cell the conn thread poll-parks on
+   ([sleep_until_ns] in 50µs steps): a futex would need the untainted
+   conn thread to observe tainted proxy state, which is exactly what
+   the label algebra forbids — polling virtual time leaks nothing.
+
+   Refusals: information flow is enforced at four points, all counted
+   in [net.dist_refused] (and per-node [net.dist_refused.n<id>]):
+   - egress: a caller whose label carries unexported categories
+     cannot express itself on the wire (translate failure);
+   - admission: {!Proto.admit} refuses the call like a local gate;
+   - reply capacity: the server drops a reply whose label (sans ⋆)
+     would not be ⊑ the caller's advertised capacity — the answer is
+     never serialized, so refused data never crosses the wire;
+   - acceptance: the caller re-checks the translated reply label
+     against its own clearance before raising its label to read.
+
+   Callers must be clean or own their taint: the calling thread talks
+   TCP through netd itself, so its label must flow to the netd device
+   label. That is this module's documented egress policy — a tainted
+   caller that owns its taint (⋆) passes; anonymous taint must stay
+   on-node (it could not come back past acceptance anyway). *)
+
+module Label = Histar_label.Label
+module Level = Histar_label.Level
+module Category = Histar_label.Category
+module Metrics = Histar_metrics.Metrics
+module Kernel = Histar_core.Kernel
+module Sys = Histar_core.Sys
+module Types = Histar_core.Types
+module Netd = Histar_net.Netd
+module Addr = Histar_net.Addr
+module Seal = Histar_crypto.Seal
+
+let m_calls = Metrics.counter "net.dist_calls"
+let m_refused = Metrics.counter "net.dist_refused"
+let m_served = Metrics.counter "net.dist_served"
+
+type service = {
+  sv_label : Label.t;
+  sv_clear : Label.t;
+  sv_handler : string -> string * Category.t list;
+}
+
+type t = {
+  node_id : int;
+  k : Kernel.t;
+  netd : Netd.t;
+  names : Names.t;
+  seal : Seal.t;
+  container : Types.oid;
+  port : Addr.port;
+  peers : int -> Addr.t;
+  services : (string, service) Hashtbl.t;
+  mutable nonce_seq : int;
+  m_node_refused : Metrics.Counter.t;
+}
+
+type call_error =
+  | Refused of string  (** information-flow refusal, either side *)
+  | Remote of string  (** remote execution error *)
+  | Transport of string  (** connect/stream failure (node down, lossy link) *)
+
+let l1 = Label.make Level.L1
+let l2 = Label.make Level.L2
+let l3 = Label.make Level.L3
+
+let node_id t = t.node_id
+let names t = t.names
+
+let refuse t reason =
+  Metrics.Counter.incr m_refused;
+  Metrics.Counter.incr t.m_node_refused;
+  Error (Refused reason)
+
+let mint_nonce t =
+  let seq = t.nonce_seq in
+  t.nonce_seq <- seq + 1;
+  Int64.logor (Int64.shift_left (Int64.of_int t.node_id) 40) (Int64.of_int seq)
+
+(* --- grant gates --- *)
+
+(* Publish a persistent gate granting ⋆[cat]; the calling thread must
+   own [cat]. Entry label {cat⋆, 1}: invoking it taints nobody, and
+   the ⋆ in the gate label puts cat⋆ inside the entry floor so the
+   entry thread owns it and may [keep] it through the return. *)
+let make_grant_gate t cat =
+  let gid =
+    Sys.gate_create ~container:t.container
+      ~label:(Label.of_list [ (cat, Level.Star) ] Level.L1)
+      ~clearance:l2 ~quota:4096L
+      ~name:(Fmt.str "dist-grant-%s" (Category.to_string cat))
+      (fun () -> Sys.gate_return ~keep:[ cat ] ())
+  in
+  Types.centry t.container gid
+
+(* Import a wire name: return the local twin, creating it (and its
+   grant gate) on first sight. Runs on conn threads and on callers
+   translating replies; [cat_create] leaves the creating thread
+   owning the twin, which is what lets it publish the grant gate. *)
+let import t w =
+  match Names.find_wire t.names w with
+  | Some e -> e
+  | None ->
+      let cat = Sys.cat_create () in
+      let e = Names.record t.names ~wire:w ~cat () in
+      Names.set_grant e (make_grant_gate t cat);
+      (* The importer mints the twin but must not keep the ⋆
+         cat_create gave it: the wire name belongs to a remote owner,
+         and keeping it would silently absorb incoming taint.
+         Ownership on this node is only ever obtained by claiming
+         through the grant gate. *)
+      Sys.self_set_label (Label.set (Sys.self_label ()) cat Level.L1);
+      e
+
+(* Acquire ⋆ of every category [l] owns that the calling thread does
+   not, via the grant gates. Growth only: the thread keeps its other
+   privileges (gate_call requests our current label plus the ⋆). *)
+let acquire_stars t l =
+  Category.Set.iter
+    (fun c ->
+      if not (Label.owns (Sys.self_label ()) c) then
+        match Names.find_local t.names c with
+        | Some { Names.e_grant = Some gate; _ } ->
+            Sys.gate_call ~gate
+              ~label:(Label.set (Sys.self_label ()) c Level.Star)
+              ~clearance:(Sys.self_clearance ())
+              ~return_container:t.container
+              ~return_label:(Sys.self_label ())
+              ~return_clearance:(Sys.self_clearance ())
+              ()
+        | Some { Names.e_grant = None; _ } | None ->
+            failwith
+              (Fmt.str "dist: no grant route for category %s"
+                 (Category.to_string c)))
+    (Label.owned l)
+
+(* Export a locally-owned category (grant gate + wire name + trust
+   list). Must run on a thread that owns [cat]. *)
+let export_owned t ?(trust = []) cat =
+  let e = Names.export t.names ~trust cat in
+  (match e.Names.e_grant with
+  | Some _ -> ()
+  | None -> Names.set_grant e (make_grant_gate t cat));
+  e.Names.e_wire
+
+(* Claim grants carried by a reply: import each wire name and acquire
+   its ⋆ (first importer owns the twin outright). *)
+let claim_grants t wires =
+  List.map
+    (fun w ->
+      let e = import t w in
+      let c = e.Names.e_cat in
+      if not (Label.owns (Sys.self_label ()) c) then
+        acquire_stars t (Label.of_list [ (c, Level.Star) ] Level.L1);
+      c)
+    wires
+
+(* --- server side --- *)
+
+let register t ~service ~label ~clearance handler =
+  Hashtbl.replace t.services service
+    { sv_label = label; sv_clear = clearance; sv_handler = handler }
+
+(* Poll-park until the proxy posts its result. A futex would require
+   the clean conn thread to observe tainted proxy writes; virtual
+   time is label-free. *)
+let rec await_cell cell =
+  match !cell with
+  | Some r -> r
+  | None ->
+      Sys.sleep_until_ns (Int64.add (Sys.clock_ns ()) 50_000L);
+      await_cell cell
+
+let run_service t call (sv : service) =
+  let from = call.Wire.c_from in
+  let resolve w = (import t w).Names.e_cat in
+  let lt =
+    Proto.of_wire ~resolve
+      ~trusted:(fun w -> Names.trusted_for t.names ~wire:w ~node:from)
+      call.Wire.c_label
+  in
+  (* Capacity entries assert no privilege; clamp any ⋆/J outright. *)
+  let ct = Proto.of_wire ~resolve ~trusted:(fun _ -> false) call.Wire.c_clear in
+  (* The proxy runs at the caller's translated label raised by the
+     service's ⋆s — the gate floor — with the caller's capacity. *)
+  let rl =
+    Category.Set.fold
+      (fun c acc -> Label.set acc c Level.Star)
+      (Label.owned sv.sv_label) lt
+  in
+  let rc = ct in
+  match
+    Proto.admit ~lt ~ct ~lg:sv.sv_label ~gclear:sv.sv_clear ~rl ~rc ~lv:l3
+  with
+  | Error reason ->
+      ignore (refuse t reason : (_, call_error) result);
+      { Wire.r_status = S_refused; r_label = { wl_entries = []; wl_default = 1 };
+        r_grants = []; r_payload = reason }
+  | Ok () -> (
+      let clean = Sys.self_label () in
+      acquire_stars t rl;
+      let cell = ref None in
+      let _proxy =
+        Sys.thread_create ~container:t.container ~label:rl ~clearance:rc
+          ~quota:262144L
+          ~name:(Fmt.str "dist-proxy-%s" call.Wire.c_service)
+          (fun () ->
+            let res =
+              match sv.sv_handler call.Wire.c_args with
+              | payload, grants ->
+                  let self = Sys.self_label () in
+                  if List.for_all (Label.owns self) grants then
+                    `Done (self, payload, grants)
+                  else `Err "dist: service granted an unowned category"
+              | exception Types.Kernel_error e -> `Err (Types.error_to_string e)
+              | exception Failure m -> `Err m
+            in
+            cell := Some res)
+      in
+      Sys.self_set_label clean;
+      match await_cell cell with
+      | `Err m ->
+          { Wire.r_status = S_error; r_label = { wl_entries = []; wl_default = 1 };
+            r_grants = []; r_payload = m }
+      | `Done (rlabel, payload, grants) -> (
+          (* Server-side refusal: the reply label, stripped of the
+             proxy's privileges, must fit the caller's capacity —
+             otherwise the answer is dropped before serialization.
+             Plain taint is already capped by rc (kernel clearance
+             rule), so what this actually guards is ⋆-derived
+             exposure: a service owning categories the caller could
+             never read (pessimistically, nobody may honor our ⋆ on
+             the far side). *)
+          if not (Label.leq (Proto.star_to_l3 rlabel) ct) then (
+            ignore (refuse t "dist: reply label exceeds caller capacity"
+                    : (_, call_error) result);
+            { Wire.r_status = S_refused;
+              r_label = { wl_entries = []; wl_default = 1 };
+              r_grants = []; r_payload = "reply label exceeds caller capacity" })
+          else
+            match Proto.to_wire t.names rlabel with
+            | Error m ->
+                ignore (refuse t ("dist: reply carries unexported taint: " ^ m)
+                        : (_, call_error) result);
+                { Wire.r_status = S_refused;
+                  r_label = { wl_entries = []; wl_default = 1 };
+                  r_grants = []; r_payload = "reply carries unexported taint" }
+            | Ok wl ->
+                let r_grants =
+                  List.map
+                    (fun c ->
+                      match Names.find_local t.names c with
+                      | Some e -> e.Names.e_wire
+                      | None ->
+                          (* Handler-owned but never exported: mint now
+                             so the grant is claimable cluster-wide.
+                             The conn thread does not own c, but the
+                             wire name itself is public metadata. *)
+                          (Names.export t.names c).Names.e_wire)
+                    grants
+                in
+                Metrics.Counter.incr m_served;
+                { Wire.r_status = S_ok; r_label = wl; r_grants;
+                  r_payload = payload }))
+
+let handle_call t call =
+  match Hashtbl.find_opt t.services call.Wire.c_service with
+  | None ->
+      { Wire.r_status = S_error; r_label = { wl_entries = []; wl_default = 1 };
+        r_grants = []; r_payload = "no such service: " ^ call.Wire.c_service }
+  | Some sv -> run_service t call sv
+
+let conn_loop t sock () =
+  let rc = t.container in
+  let buf = ref "" in
+  let closed = ref false in
+  try
+    while not !closed do
+      (match Wire.deframe !buf with
+      | Some (nonce, body, rest) ->
+          buf := rest;
+          let reply =
+            match Wire.unseal_msg t.seal ~nonce body with
+            | Some (Wire.Call call) -> (
+                try handle_call t call
+                with e ->
+                  { Wire.r_status = S_error;
+                    r_label = { wl_entries = []; wl_default = 1 };
+                    r_grants = []; r_payload = Printexc.to_string e })
+            | Some (Wire.Reply _) ->
+                { Wire.r_status = S_error;
+                  r_label = { wl_entries = []; wl_default = 1 };
+                  r_grants = []; r_payload = "unexpected reply" }
+            | None ->
+                ignore (refuse t "dist: unsealable frame"
+                        : (_, call_error) result);
+                { Wire.r_status = S_error;
+                  r_label = { wl_entries = []; wl_default = 1 };
+                  r_grants = []; r_payload = "unsealable frame" }
+          in
+          (* Reply under the complemented nonce: request and reply
+             must not share a keystream. *)
+          Netd.Client.send t.netd ~return_container:rc sock
+            (Wire.seal_msg t.seal ~nonce:(Int64.lognot nonce)
+               (Wire.Reply reply))
+      | None -> (
+          match Netd.Client.recv t.netd ~return_container:rc sock with
+          | Some data -> buf := !buf ^ data
+          | None -> closed := true))
+    done;
+    Netd.Client.close t.netd ~return_container:rc sock
+  with Netd.Client.Netd_error _ -> ()
+
+let listener t () =
+  let rc = t.container in
+  Netd.Client.listen t.netd ~return_container:rc t.port;
+  let n = ref 0 in
+  while true do
+    let sock = Netd.Client.accept t.netd ~return_container:rc t.port in
+    incr n;
+    ignore
+      (Sys.thread_create ~container:t.container ~label:l1 ~clearance:l3
+         ~quota:262144L
+         ~name:(Fmt.str "dist-conn-%d" !n)
+         (conn_loop t sock))
+  done
+
+let start k ~netd ~names ~key ~container ~port ~peers () =
+  let node = Names.node_id names in
+  let t =
+    {
+      node_id = node;
+      k;
+      netd;
+      names;
+      seal = Seal.create ~key;
+      container;
+      port;
+      peers;
+      services = Hashtbl.create 8;
+      nonce_seq = 0;
+      m_node_refused = Metrics.counter (Fmt.str "net.dist_refused.n%d" node);
+    }
+  in
+  ignore
+    (Kernel.spawn k ~label:l1 ~clearance:l3 ~container
+       ~name:(Fmt.str "distd%d" node)
+       (listener t));
+  t
+
+(* --- client side --- *)
+
+let recv_frame t rc sock buf =
+  let rec go () =
+    match Wire.deframe !buf with
+    | Some (nonce, body, rest) ->
+        buf := rest;
+        Some (nonce, body)
+    | None -> (
+        match Netd.Client.recv t.netd ~return_container:rc sock with
+        | Some data ->
+            buf := !buf ^ data;
+            go ()
+        | None -> None)
+  in
+  go ()
+
+let call t ~node ~service args =
+  Metrics.Counter.incr m_calls;
+  let rc = t.container in
+  let lt = Sys.self_label () in
+  let capacity = Proto.cap ~label:lt ~clearance:(Sys.self_clearance ()) in
+  match Proto.to_wire t.names lt with
+  | Error m -> refuse t ("dist: egress: " ^ m)
+  | Ok wl -> (
+      match Proto.to_wire t.names capacity with
+      | Error m -> refuse t ("dist: egress capacity: " ^ m)
+      | Ok wc -> (
+          match
+            Netd.Client.connect_retry ~attempts:1 t.netd ~return_container:rc
+              (t.peers node)
+          with
+          | exception Netd.Client.Netd_error m -> Error (Transport m)
+          | sock -> (
+              let finish r =
+                (try Netd.Client.close t.netd ~return_container:rc sock
+                 with Netd.Client.Netd_error _ -> ());
+                r
+              in
+              try
+                let nonce = mint_nonce t in
+                Netd.Client.send t.netd ~return_container:rc sock
+                  (Wire.seal_msg t.seal ~nonce
+                     (Wire.Call
+                        {
+                          c_service = service;
+                          c_from = t.node_id;
+                          c_label = wl;
+                          c_clear = wc;
+                          c_args = args;
+                        }));
+                let buf = ref "" in
+                match recv_frame t rc sock buf with
+                | None -> finish (Error (Transport "connection closed"))
+                | Some (rnonce, body) -> (
+                    match Wire.unseal_msg t.seal ~nonce:rnonce body with
+                    | None | Some (Wire.Call _) ->
+                        finish (refuse t "dist: unsealable reply")
+                    | Some (Wire.Reply r) -> (
+                        match r.Wire.r_status with
+                        | Wire.S_refused -> finish (refuse t r.Wire.r_payload)
+                        | Wire.S_error -> finish (Error (Remote r.Wire.r_payload))
+                        | Wire.S_ok ->
+                            let resolve w = (import t w).Names.e_cat in
+                            let rlabel =
+                              Proto.of_wire ~resolve
+                                ~trusted:(fun w ->
+                                  Names.trusted_for t.names ~wire:w ~node)
+                                r.Wire.r_label
+                            in
+                            (* Acceptance: raising our label to read the
+                               reply must stay within our clearance. *)
+                            let needed =
+                              Label.taint_to_read ~thread:(Sys.self_label ())
+                                ~obj:rlabel
+                            in
+                            if not (Label.leq needed (Sys.self_clearance ()))
+                            then
+                              finish
+                                (refuse t "dist: reply exceeds caller clearance")
+                            else (
+                              (* Close while still clean: once tainted,
+                                 this thread may no longer speak to
+                                 netd (egress policy), so the label
+                                 raise must be the last thing done. *)
+                              let r =
+                                finish (Ok (r.Wire.r_payload, r.Wire.r_grants))
+                              in
+                              Sys.self_set_label needed;
+                              r)))
+              with Netd.Client.Netd_error m -> finish (Error (Transport m)))))

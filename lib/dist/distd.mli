@@ -1,0 +1,84 @@
+(** distd: per-node remote-gate daemon — netd-style service gates
+    stretched across kernels, with labels carried on the wire.
+
+    Each node runs a listener on its backbone netd; per-connection
+    conn threads translate incoming labels ({!Proto.of_wire}), run
+    the model's gate-invocation rule over them ({!Proto.admit}), and
+    spawn a proxy thread at the translated label/clearance to run the
+    registered service handler — the remote analogue of a gate-enter
+    thread. Category ownership moves between threads of one node via
+    persistent grant gates (the §6.2 check-gate idiom) and between
+    nodes via reply grants claimed with {!claim_grants}.
+
+    Refusal points, all counted in [net.dist_calls] /
+    [net.dist_refused] (and per-node [net.dist_refused.n<id>]):
+    caller egress (unexported taint cannot be expressed on the wire),
+    admission ({!Proto.admit}), server reply-capacity (an answer the
+    caller's advertised capacity cannot cover is dropped *before*
+    serialization), and caller acceptance (reading the reply must not
+    exceed the caller's clearance).
+
+    Egress policy: the calling thread speaks TCP through netd itself,
+    so its label must flow to the netd device — callers are clean or
+    own their taint; anonymous taint stays on-node. *)
+
+module Label = Histar_label.Label
+module Category = Histar_label.Category
+
+type t
+
+type call_error =
+  | Refused of string  (** information-flow refusal, either side *)
+  | Remote of string  (** remote execution error *)
+  | Transport of string  (** connect/stream failure (node down, lossy link) *)
+
+val start :
+  Histar_core.Kernel.t ->
+  netd:Histar_net.Netd.t ->
+  names:Names.t ->
+  key:int64 ->
+  container:Histar_core.Types.oid ->
+  port:Histar_net.Addr.port ->
+  peers:(int -> Histar_net.Addr.t) ->
+  unit ->
+  t
+(** Spawn the node's listener. [key] is the shared cluster sealing
+    key; [peers] maps node ids to backbone addresses. Must be called
+    before the kernel runs. *)
+
+val node_id : t -> int
+val names : t -> Names.t
+
+val register :
+  t ->
+  service:string ->
+  label:Label.t ->
+  clearance:Label.t ->
+  (string -> string * Category.t list) ->
+  unit
+(** Register a service: the remote analogue of creating a service
+    gate with label [label] (its ⋆s are granted to the proxy) and
+    clearance [clearance] (callers above it are refused). The handler
+    runs on the proxy thread and returns the reply payload plus
+    categories to grant through the return (it must own them). *)
+
+val export_owned : t -> ?trust:int list -> Category.t -> int64
+(** Publish a locally-owned category cluster-wide: mint its wire
+    name, register [trust]ed speaker nodes, and install the local
+    grant gate. Must run on a thread owning the category. *)
+
+val claim_grants : t -> int64 list -> Category.t list
+(** Claim grants carried by a reply: import each wire name and
+    acquire ⋆ of its local twin (via grant gates). *)
+
+val call :
+  t ->
+  node:int ->
+  service:string ->
+  string ->
+  (string * int64 list, call_error) result
+(** Invoke [service] on [node] at the calling thread's label and
+    clearance. On [Ok], the caller's label has been raised as needed
+    to read the reply (within its clearance) and the payload plus any
+    granted wire names are returned. Runs on the calling thread (it
+    performs the netd socket calls itself). *)

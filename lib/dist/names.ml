@@ -1,0 +1,120 @@
+(* Per-node category exporter/importer.
+
+   Local category names are per-kernel allocator state (61-bit values
+   from Category_gen): two kernels will mint colliding values, and raw
+   names would also leak allocation order across the wire. Each node
+   therefore maps local categories to cluster-scoped *wire names*:
+   encrypt64 over the shared cluster key of [(origin node id << 44) |
+   per-node export counter]. Wire names are globally unique (the
+   cipher is a permutation and plaintexts are disjoint per node),
+   unforgeable-looking on the wire, and any key-holder can recover the
+   origin node by decrypting — which is what trust decisions key off.
+
+   Trust: ownership (⋆) asserted for a wire name in an incoming label
+   is honored only when the sender is the category's origin node or a
+   node the origin listed in the cluster {!Directory} (a stand-in for
+   out-of-band key distribution between mutually trusting kernels,
+   §8). Anyone else's ⋆ is clamped to level 3 by {!Proto.of_wire}:
+   an untrusted node can taint data it relays but can never launder
+   another node's category.
+
+   The table also records, per imported category, the *grant gate* a
+   {!Distd} conn thread creates when it first materializes the local
+   twin: a persistent gate whose entry does [gate_return ~keep:[c]],
+   so later threads on the node can re-acquire ⋆c (the §6.2 check-gate
+   idiom). The gate is how ownership outlives the short-lived conn
+   threads that import categories. *)
+
+module Category = Histar_label.Category
+module Block_cipher = Histar_crypto.Block_cipher
+
+module Directory = struct
+  (* Cluster-wide trust assertions: origin says [node] may speak for
+     [wire]. Shared host-side state modeling out-of-band PKI. *)
+  type t = (int64, int list ref) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+
+  let add_trust t ~wire ~node =
+    match Hashtbl.find_opt t wire with
+    | Some l -> if not (List.mem node !l) then l := node :: !l
+    | None -> Hashtbl.replace t wire (ref [ node ])
+
+  let trusted t ~wire ~node =
+    match Hashtbl.find_opt t wire with
+    | Some l -> List.mem node !l
+    | None -> false
+end
+
+type entry = {
+  e_wire : int64;
+  e_cat : Category.t;
+  e_origin : int;
+  mutable e_grant : Histar_core.Types.centry option;
+}
+
+type t = {
+  node_id : int;
+  cipher : Block_cipher.t;
+  directory : Directory.t;
+  mutable next_export : int;
+  by_wire : (int64, entry) Hashtbl.t;
+  by_cat : (Category.t, entry) Hashtbl.t;
+}
+
+let node_bits = 44
+
+let create ~node_id ~key ~directory =
+  if node_id < 0 || node_id lsr 16 <> 0 then
+    Fmt.invalid_arg "Names.create: node id %d out of range" node_id;
+  {
+    node_id;
+    cipher = Block_cipher.create ~key;
+    directory;
+    next_export = 0;
+    by_wire = Hashtbl.create 32;
+    by_cat = Hashtbl.create 32;
+  }
+
+let node_id t = t.node_id
+let directory t = t.directory
+
+let mint t =
+  let seq = t.next_export in
+  t.next_export <- seq + 1;
+  Block_cipher.encrypt64 t.cipher
+    (Int64.logor
+       (Int64.shift_left (Int64.of_int t.node_id) node_bits)
+       (Int64.of_int seq))
+
+let origin t wire =
+  Int64.to_int
+    (Int64.shift_right_logical (Block_cipher.decrypt64 t.cipher wire) node_bits)
+
+let find_wire t wire = Hashtbl.find_opt t.by_wire wire
+let find_local t cat = Hashtbl.find_opt t.by_cat cat
+
+let record t ~wire ~cat ?grant () =
+  let e = { e_wire = wire; e_cat = cat; e_origin = origin t wire; e_grant = grant } in
+  Hashtbl.replace t.by_wire wire e;
+  Hashtbl.replace t.by_cat cat e;
+  e
+
+let set_grant e ce = e.e_grant <- Some ce
+
+let export t ?(trust = []) cat =
+  match find_local t cat with
+  | Some e ->
+      List.iter (fun n -> Directory.add_trust t.directory ~wire:e.e_wire ~node:n) trust;
+      e
+  | None ->
+      let wire = mint t in
+      List.iter (fun n -> Directory.add_trust t.directory ~wire ~node:n) trust;
+      record t ~wire ~cat ()
+
+let trusted_for t ~wire ~node =
+  node = origin t wire || Directory.trusted t.directory ~wire ~node
+
+let exported t =
+  Hashtbl.fold (fun w e acc -> (w, e.e_cat) :: acc) t.by_wire []
+  |> List.sort (fun (a, _) (b, _) -> Int64.compare a b)

@@ -1,0 +1,69 @@
+(** Per-node category exporter/importer: maps local 61-bit category
+    names to cluster-scoped wire names and back, and records which
+    nodes may speak for (assert ⋆ of) each category.
+
+    A wire name is [encrypt64 ((origin node id << 44) | export seq)]
+    under the shared cluster key: globally unique across nodes, opaque
+    on the wire, and origin-recoverable by any key-holder. Trust to
+    assert ownership follows the origin node plus any nodes the origin
+    registered in the cluster {!Directory} (a stand-in for out-of-band
+    key exchange between mutually trusting kernels, §8 of the
+    paper). *)
+
+module Category = Histar_label.Category
+
+(** Cluster-wide trust assertions, shared by all nodes (models
+    out-of-band PKI, not wire traffic). *)
+module Directory : sig
+  type t
+
+  val create : unit -> t
+
+  val add_trust : t -> wire:int64 -> node:int -> unit
+  (** The origin asserts that [node] may speak for [wire]. *)
+
+  val trusted : t -> wire:int64 -> node:int -> bool
+end
+
+type entry = {
+  e_wire : int64;
+  e_cat : Category.t;  (** the local twin on this node *)
+  e_origin : int;  (** node that minted the wire name *)
+  mutable e_grant : Histar_core.Types.centry option;
+      (** persistent grant gate re-granting ⋆[e_cat] on this node *)
+}
+
+type t
+
+val create : node_id:int -> key:int64 -> directory:Directory.t -> t
+(** [node_id] must fit in 16 bits; [key] is the shared cluster key. *)
+
+val node_id : t -> int
+val directory : t -> Directory.t
+
+val mint : t -> int64
+(** Fresh wire name scoped to this node (advances the export seq). *)
+
+val origin : t -> int64 -> int
+(** Decrypt a wire name's origin node id. *)
+
+val find_wire : t -> int64 -> entry option
+val find_local : t -> Category.t -> entry option
+
+val record : t -> wire:int64 -> cat:Category.t -> ?grant:Histar_core.Types.centry -> unit -> entry
+(** Bind [wire] to local twin [cat] (used when importing a foreign
+    name: the local [cat] is freshly created by the importer). *)
+
+val set_grant : entry -> Histar_core.Types.centry -> unit
+
+val export : t -> ?trust:int list -> Category.t -> entry
+(** Mint (or look up) the wire name for a locally-owned category and
+    register [trust]ed speakers with the directory. Idempotent; repeat
+    calls may extend the trust list. *)
+
+val trusted_for : t -> wire:int64 -> node:int -> bool
+(** May [node] assert ⋆ for [wire]? True for the origin node and for
+    directory-listed speakers. *)
+
+val exported : t -> (int64 * Category.t) list
+(** All wire bindings known to this node, sorted by wire name. *)

@@ -1,0 +1,45 @@
+(** Label translation between local categories and wire names, plus
+    the remote-gate admission check (the remote twin of the kernel's
+    §3.5 gate-invocation rule). *)
+
+module Label = Histar_label.Label
+
+val star_to_l3 : Label.t -> Label.t
+(** Replace every ⋆ entry with level 3: what a label means to someone
+    who holds none of its privileges. *)
+
+val cap : label:Label.t -> clearance:Label.t -> Label.t
+(** A caller's observation capacity: clearance ⊔ star_to_l3(label) —
+    the most tainted reply label the caller could accept by raising
+    its own label. Sent on the wire as [c_clear]. *)
+
+val to_wire : Names.t -> Label.t -> (Wire.wlabel, string) result
+(** Rewrite a local label into wire names. [Error] when any
+    non-default entry's category has no wire binding on this node:
+    such a label cannot be expressed cluster-wide and the message
+    must not leave the node (dropping the entry would declassify). *)
+
+val of_wire :
+  resolve:(int64 -> Histar_label.Category.t) ->
+  trusted:(int64 -> bool) ->
+  Wire.wlabel ->
+  Label.t
+(** Rewrite an incoming wire label into local categories. [resolve]
+    maps (creating on first sight) wire names to local twins;
+    [trusted] says whether the sending node may assert ⋆ for a wire
+    name — untrusted ⋆, and any wire J, clamp to level 3, so an
+    untrusted relay can raise but never lower secrecy. *)
+
+val admit :
+  lt:Label.t ->
+  ct:Label.t ->
+  lg:Label.t ->
+  gclear:Label.t ->
+  rl:Label.t ->
+  rc:Label.t ->
+  lv:Label.t ->
+  (unit, string) result
+(** The §3.5 gate-invocation check over translated labels, mirroring
+    [Model.check_gate_invoke] clause for clause (same order, same
+    refusal strings), so conformance tests can equate remote refusals
+    with the model's local refusals. *)

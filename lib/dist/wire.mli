@@ -1,0 +1,54 @@
+(** Wire format for label-preserving remote gate calls.
+
+    Every message carries labels explicitly: a {!wlabel} is the
+    [Label.ranked] numeric view with cluster-scoped wire names (minted
+    by {!Names}) in place of local category values. Transport frames
+    are [u32 length | i64 nonce | sealed body] — the nonce keys the
+    {!Histar_crypto.Seal} keystream and rides in the clear; everything
+    label- or payload-bearing is sealed and tagged, so a wire
+    eavesdropper on the shared hub learns only message sizes and a
+    tamperer is detected at unseal. *)
+
+type wlabel = { wl_entries : (int64 * int) list; wl_default : int }
+(** A label in transit: (wire name, {!Histar_label.Level.to_rank})
+    pairs plus the default rank. *)
+
+type call = {
+  c_service : string;
+  c_from : int;  (** sender node id, authenticated by the shared key *)
+  c_label : wlabel;  (** caller's thread label, wire names *)
+  c_clear : wlabel;  (** caller's observation capacity, wire names *)
+  c_args : string;
+}
+
+type status =
+  | S_ok
+  | S_refused  (** information-flow refusal; payload is the reason *)
+  | S_error  (** remote execution error; payload is the message *)
+
+type reply = {
+  r_status : status;
+  r_label : wlabel;  (** label of the replying thread, wire names *)
+  r_grants : int64 list;  (** wire names granted through the return *)
+  r_payload : string;
+}
+
+type msg = Call of call | Reply of reply
+
+val encode_msg : msg -> string
+val decode_msg : string -> msg
+
+val frame_raw : nonce:int64 -> string -> string
+(** [u32 length | i64 nonce | body]; [body] is already sealed. *)
+
+val deframe : string -> (int64 * string * string) option
+(** Peel one complete frame off a reassembly buffer: [Some (nonce,
+    body, rest)], or [None] if the buffer does not yet hold a whole
+    frame. Raises [Invalid_argument] on a runt length field. *)
+
+val seal_msg : Histar_crypto.Seal.t -> nonce:int64 -> msg -> string
+(** Encode, seal-and-tag, and frame one message. *)
+
+val unseal_msg : Histar_crypto.Seal.t -> nonce:int64 -> string -> msg option
+(** Unseal and decode a frame body; [None] on tag or codec failure
+    (tampered, truncated, or wrong-key traffic). *)

@@ -174,3 +174,18 @@ val thread_label_of : state -> oid -> Mlabel.t option
 val thread_clearance_of : state -> oid -> Mlabel.t option
 val err_to_string : err -> string
 val kind_to_string : kind -> string
+
+val check_gate_invoke :
+  lt:Mlabel.t ->
+  ct:Mlabel.t ->
+  lg:Mlabel.t ->
+  gclear:Mlabel.t ->
+  rl:Mlabel.t ->
+  rc:Mlabel.t ->
+  lv:Mlabel.t ->
+  (unit, err * string) result
+(** The §3.5 gate-invocation rule in isolation: thread (label [lt],
+    clearance [ct]) invoking a gate (label [lg], clearance [gclear])
+    requesting [rl]/[rc] against verify label [lv]. Exposed so
+    lib/dist's remote admission check ({!Histar_dist.Proto.admit})
+    can be conformance-tested clause for clause against the model. *)

@@ -14,11 +14,44 @@ let m_frames_duplicated = Metrics.counter "net.frames_duplicated"
 let m_frames_reordered = Metrics.counter "net.frames_reordered"
 let m_bytes_sent = Metrics.counter "net.bytes_sent"
 
+(* Byte accounting with a conservation identity: every transmission
+   attempt (original inject, each duplicate delivery, each extra
+   broadcast recipient) counts toward [net.bytes_tx], and is then
+   accounted exactly once as received ([net.bytes_rx]), lost
+   ([net.bytes_lost]) or unroutable ([net.bytes_no_route]), so
+
+     bytes_tx = bytes_rx + bytes_lost + bytes_no_route
+
+   holds whenever the reorder queue is drained ([flush_held]).
+   [net.bytes_tx.<mac>] / [net.bytes_rx.<mac>] attribute the same
+   streams to the sending and receiving hosts. *)
+let m_bytes_tx = Metrics.counter "net.bytes_tx"
+let m_bytes_rx = Metrics.counter "net.bytes_rx"
+let m_bytes_lost = Metrics.counter "net.bytes_lost"
+let m_bytes_no_route = Metrics.counter "net.bytes_no_route"
+
+let per_host : (string, Metrics.Counter.t) Hashtbl.t = Hashtbl.create 16
+
+let host_counter ~dir mac =
+  let name = Printf.sprintf "net.bytes_%s.%s" dir mac in
+  match Hashtbl.find_opt per_host name with
+  | Some c -> c
+  | None ->
+      let c = Metrics.counter name in
+      Hashtbl.replace per_host name c;
+      c
+
 type endpoint = {
   ep_mac : string;
   ep_ip : Addr.ip;
   ep_deliver : string -> unit;
 }
+
+(* A per-endpoint link-fault plan: consulted (as a flap window) for
+   every frame to or from the endpoint. The clock is caller-supplied
+   so a link can flap on a node's virtual time rather than the hub's
+   wire time. *)
+type link = { lk_faults : Net_faults.t; lk_clock : unit -> int64 }
 
 type t = {
   clock : Sim_clock.t;
@@ -28,12 +61,15 @@ type t = {
   rng : Rng.t;
   endpoints : (string, endpoint) Hashtbl.t;
   by_ip : (Addr.ip, string) Hashtbl.t;
+  links : (string, link) Hashtbl.t;
   mutable frames_sent : int;
   mutable frames_lost : int;
   mutable frames_no_route : int;
   mutable bytes_sent : int;
   mutable default_route : string option;  (** MAC for unknown IPs *)
   mutable faults : Net_faults.t option;
+  mutable tap : (string -> unit) option;
+      (** packet-capture hook: sees every injected frame *)
   mutable holdq : (int * string) list;
       (** reordering: frames held back, released after N later injects *)
 }
@@ -50,16 +86,30 @@ let create ?(bandwidth_bps = 100e6) ?(latency_us = 100.0) ?(loss_rate = 0.0)
     rng = (match rng with Some r -> r | None -> Rng.create 0x6e657477L);
     endpoints = Hashtbl.create 8;
     by_ip = Hashtbl.create 8;
+    links = Hashtbl.create 8;
     frames_sent = 0;
     frames_lost = 0;
     frames_no_route = 0;
     bytes_sent = 0;
     default_route = None;
     faults;
+    tap = None;
     holdq = [];
   }
 
 let set_faults t f = t.faults <- f
+let set_tap t f = t.tap <- f
+
+let set_link_faults t ~mac plan =
+  match plan with
+  | Some (faults, clock) ->
+      Hashtbl.replace t.links mac { lk_faults = faults; lk_clock = clock }
+  | None -> Hashtbl.remove t.links mac
+
+let link_up t mac =
+  match Hashtbl.find_opt t.links mac with
+  | None -> true
+  | Some l -> Net_faults.link_up l.lk_faults ~now_ns:(l.lk_clock ())
 
 let attach t ep =
   Hashtbl.replace t.endpoints ep.ep_mac ep;
@@ -72,6 +122,8 @@ let detach t ~mac =
       Hashtbl.remove t.by_ip ep.ep_ip
   | None -> ()
 
+let lookup t ip = Hashtbl.find_opt t.by_ip ip
+
 let resolve t ip =
   match Hashtbl.find_opt t.by_ip ip with
   | Some mac -> Some mac
@@ -79,33 +131,69 @@ let resolve t ip =
 
 let set_default_route t ~mac = t.default_route <- Some mac
 
-let drop_lost t =
+let drop_lost t ~nbytes =
   t.frames_lost <- t.frames_lost + 1;
   Metrics.Counter.incr m_frames_lost;
-  Metrics.Counter.incr m_frames_dropped
+  Metrics.Counter.incr m_frames_dropped;
+  Metrics.Counter.add m_bytes_lost nbytes
 
-let drop_no_route t =
+let drop_no_route t ~nbytes =
   t.frames_no_route <- t.frames_no_route + 1;
   Metrics.Counter.incr m_frames_no_route;
-  Metrics.Counter.incr m_frames_dropped
+  Metrics.Counter.incr m_frames_dropped;
+  Metrics.Counter.add m_bytes_no_route nbytes
+
+(* One transmission attempt entering the routing fabric. Called once
+   per inject, and again for each duplicate delivery and each extra
+   broadcast recipient, so the byte-conservation identity holds. *)
+let account_tx ~src nbytes =
+  Metrics.Counter.add m_bytes_tx nbytes;
+  match src with
+  | Some mac -> Metrics.Counter.add (host_counter ~dir:"tx" mac) nbytes
+  | None -> ()
+
+let account_rx ~mac nbytes =
+  Metrics.Counter.add m_bytes_rx nbytes;
+  Metrics.Counter.add (host_counter ~dir:"rx" mac) nbytes
+
+let deliver ep bytes =
+  account_rx ~mac:ep.ep_mac (String.length bytes);
+  ep.ep_deliver bytes
 
 (* Decode + deliver to the destination endpoint(s). A frame that does
    not decode here was corrupted in flight (or addressed nowhere) —
    the receiving NIC would never see a valid destination, so it is a
-   no-route drop. *)
+   no-route drop. A frame to or from a flapped-down link is lost. *)
 let route t bytes =
+  let nbytes = String.length bytes in
   match Packet.frame_of_bytes bytes with
-  | None -> drop_no_route t
+  | None -> drop_no_route t ~nbytes
   | Some f ->
-      if String.equal f.Packet.dst_mac broadcast_mac then
-        Hashtbl.iter
-          (fun mac ep ->
-            if not (String.equal mac f.Packet.src_mac) then ep.ep_deliver bytes)
-          t.endpoints
+      if not (link_up t f.Packet.src_mac && link_up t f.Packet.dst_mac) then
+        drop_lost t ~nbytes
+      else if String.equal f.Packet.dst_mac broadcast_mac then begin
+        let recipients =
+          Hashtbl.fold
+            (fun mac ep acc ->
+              if String.equal mac f.Packet.src_mac then acc else ep :: acc)
+            t.endpoints []
+          |> List.sort (fun a b -> String.compare a.ep_mac b.ep_mac)
+        in
+        match recipients with
+        | [] -> drop_no_route t ~nbytes
+        | first :: rest ->
+            deliver first bytes;
+            List.iter
+              (fun ep ->
+                (* the hub repeats the frame out of each extra port *)
+                account_tx ~src:(Some f.Packet.src_mac) nbytes;
+                deliver ep bytes)
+              rest
+      end
       else (
         match Hashtbl.find_opt t.endpoints f.Packet.dst_mac with
-        | Some ep -> ep.ep_deliver bytes
-        | None -> drop_no_route t)
+        | Some ep -> deliver ep bytes
+        | None -> drop_no_route t ~nbytes)
 
 (* Age the reorder queue by one inject and release frames whose hold
    expired. Collect first, then deliver: delivery can re-enter
@@ -133,18 +221,27 @@ let inject t bytes =
   t.bytes_sent <- t.bytes_sent + nbytes;
   Metrics.Counter.incr m_frames_sent;
   Metrics.Counter.add m_bytes_sent nbytes;
+  (* The tap is an eavesdropper on the shared wire: it sees every
+     frame as injected, before any loss or corruption decision. *)
+  (match t.tap with Some f -> f bytes | None -> ());
+  let src_mac =
+    match Packet.frame_of_bytes bytes with
+    | Some f -> Some f.Packet.src_mac
+    | None -> None
+  in
+  account_tx ~src:src_mac nbytes;
   let lost =
     t.loss_rate > 0.0
     && Rng.int t.rng 1_000_000 < int_of_float (t.loss_rate *. 1e6)
   in
-  (if lost then drop_lost t
+  (if lost then drop_lost t ~nbytes
    else
      match t.faults with
      | None -> route t bytes
      | Some nf -> (
          let v = Net_faults.on_frame nf ~now_ns:(Sim_clock.now_ns t.clock) in
          match v.Net_faults.drop with
-         | `Loss | `Flap -> drop_lost t
+         | `Loss | `Flap -> drop_lost t ~nbytes
          | `No ->
              let bytes =
                if v.Net_faults.corrupt then (
@@ -162,6 +259,7 @@ let inject t bytes =
                route t bytes;
                if v.Net_faults.duplicate then begin
                  Metrics.Counter.incr m_frames_duplicated;
+                 account_tx ~src:src_mac nbytes;
                  route t bytes
                end
              end));

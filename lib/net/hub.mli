@@ -29,6 +29,30 @@ val set_faults : t -> Histar_faults.Faults.Net_faults.t option -> unit
     receiver), duplication, bounded reordering, delay jitter, and
     time-based link flaps. *)
 
+val set_link_faults :
+  t ->
+  mac:string ->
+  (Histar_faults.Faults.Net_faults.t * (unit -> int64)) option ->
+  unit
+(** Attach (or clear) a per-endpoint link-fault plan: only its flap
+    windows are consulted, and every frame to or from the endpoint is
+    lost while the link is down. The clock function supplies the
+    virtual time the flap schedule is evaluated against (typically the
+    observing node's kernel clock), so a "killed" node's down window is
+    deterministic in that node's timeline. *)
+
+val link_up : t -> string -> bool
+(** Whether the endpoint's link is currently up ([true] when it has no
+    link-fault plan). *)
+
+val set_tap : t -> (string -> unit) option -> unit
+(** Packet-capture hook: called with every injected frame exactly as
+    it appears on the wire (before any loss/corruption decision) —
+    what a passive eavesdropper on the shared segment would record. *)
+
+val broadcast_mac : string
+(** ["ff:ff:ff:ff:ff:ff"]. *)
+
 val attach : t -> endpoint -> unit
 val detach : t -> mac:string -> unit
 
@@ -40,6 +64,11 @@ val inject : t -> string -> unit
 val resolve : t -> Addr.ip -> string option
 (** MAC for an attached IP (the stand-in for ARP); falls back to the
     default route when set. *)
+
+val lookup : t -> Addr.ip -> string option
+(** Like {!resolve} but with no default-route fallback: [Some mac]
+    only when the IP is attached to this hub. Used by {!Bridge} to
+    decide which side of a two-hub topology owns an address. *)
 
 val set_default_route : t -> mac:string -> unit
 (** Deliver frames for unknown IPs to this endpoint (a gateway). *)

@@ -446,12 +446,7 @@ module Client = struct
 
   let call t ~return_container req =
     let gate = await_gate t in
-    Sys.tls_write (encode_request req);
-    Sys.gate_call ~gate ~label:(Sys.self_label ())
-      ~clearance:(Sys.self_clearance ()) ~return_container
-      ~return_label:(Sys.self_label ())
-      ~return_clearance:(Sys.self_clearance ()) ();
-    decode_reply (Sys.tls_read ())
+    decode_reply (Sys.rpc_call ~gate ~return_container (encode_request req))
 
   let connect t ~return_container dst =
     match call t ~return_container (R_connect dst) with

@@ -320,6 +320,90 @@ let regress_negative_cas_offset =
       Conf.O_futex_wake ((0, 2), -4, 1);
     ]
 
+(* ---------- live remote-gate conformance (lib/dist hook) ----------
+
+   The grid in test_dist checks [Proto.admit] against
+   [Model.check_gate_invoke] clause for clause on synthetic labels.
+   This case closes the loop on a *live* system: a real remote gate
+   call across two kernels is refused exactly when the model's
+   gate-invocation rule refuses the same translated inputs, with the
+   identical error string (same class, E_label). *)
+
+let test_remote_call_matches_model () =
+  let module Addr = Histar_net.Addr in
+  let module Hub = Histar_net.Hub in
+  let module Netd = Histar_net.Netd in
+  let module Sim_clock = Histar_util.Sim_clock in
+  let module Sys = Histar_core.Sys in
+  let module Names = Histar_dist.Names in
+  let module Distd = Histar_dist.Distd in
+  let module Cluster = Histar_dist.Cluster in
+  let l1 = Label.make Level.L1 and l3 = Label.make Level.L3 in
+  (* two-node fixture, as in test_dist *)
+  let cluster = Cluster.create () in
+  let directory = Names.Directory.create () in
+  let key = 0xd157L in
+  let back = Hub.create ~clock:(Sim_clock.create ()) () in
+  let ip i = Printf.sprintf "10.2.0.%d" (i + 1) in
+  let peers i = Addr.v (ip i) 7000 in
+  let mk i =
+    let clock = Sim_clock.create () in
+    let k = Kernel.create ~seed:(Int64.of_int (23 * (i + 1))) ~clock () in
+    Cluster.add_kernel cluster k;
+    let root = Kernel.root k in
+    let netd =
+      Netd.start k ~hub:back ~container:root ~ip:(Addr.ip_of_string (ip i))
+        ~mac:(Printf.sprintf "m%d" i) ()
+    in
+    let names = Names.create ~node_id:i ~key ~directory in
+    (k, Distd.start k ~netd ~names ~key ~container:root ~port:7000 ~peers ())
+  in
+  let k0, d0 = mk 0 in
+  let k1, d1 = mk 1 in
+  ignore (k1 : Kernel.t);
+  ignore
+    (Kernel.spawn k1 ~label:l1 ~clearance:l3 ~name:"svc-init" (fun () ->
+         Distd.register d1 ~service:"clean" ~label:l1 ~clearance:l3 (fun _ ->
+             ("ok", []));
+         let d = Sys.cat_create () in
+         ignore (Distd.export_owned d1 d : int64);
+         Distd.register d1 ~service:"tainted-gate"
+           ~label:(Label.of_list [ (d, Level.L2) ] Level.L1)
+           ~clearance:l3
+           (fun _ -> ("unreachable", []))));
+  Cluster.settle cluster;
+  let r_clean = ref None and r_tainted = ref None in
+  ignore
+    (Kernel.spawn k0 ~label:l1 ~clearance:l3 ~name:"caller" (fun () ->
+         r_clean := Some (Distd.call d0 ~node:1 ~service:"clean" "");
+         r_tainted := Some (Distd.call d0 ~node:1 ~service:"tainted-gate" "")));
+  Alcotest.(check bool) "cluster made progress" true
+    (Cluster.drive cluster ~until:(fun () -> !r_tainted <> None) ());
+  (* mirror of the admission inputs Distd computed for this caller: a
+     clean l1/l3 thread translates to itself, the proxy's requested
+     label is the caller's (no service ⋆s), lv is permissive *)
+  let ml ents d = Mlabel.of_entries ents d in
+  let model_verdict ~lg =
+    Model.check_gate_invoke ~lt:(ml [] 1) ~ct:(ml [] 3) ~lg
+      ~gclear:(ml [] 3) ~rl:(ml [] 1) ~rc:(ml [] 3) ~lv:(ml [] 3)
+  in
+  (match (model_verdict ~lg:(ml [] 1), !r_clean) with
+  | Ok (), Some (Ok ("ok", [])) -> ()
+  | Ok (), Some (Error _) ->
+      Alcotest.fail "live call refused where the model admits"
+  | Error _, _ -> Alcotest.fail "model refuses the clean case"
+  | _, _ -> Alcotest.fail "clean call did not complete");
+  match (model_verdict ~lg:(ml [ (9L, 2) ] 1), !r_tainted) with
+  | Error (Model.E_label, want), Some (Error (Histar_dist.Distd.Refused got))
+    ->
+      Alcotest.(check string) "same refusal string" want got
+  | Error (_, _), Some (Ok _) ->
+      Alcotest.fail "live call admitted where the model refuses"
+  | Error (e, m), _ ->
+      Alcotest.failf "unexpected live outcome for model refusal %s: %s"
+        (Model.err_to_string e) m
+  | Ok (), _ -> Alcotest.fail "model admits the tainted-gate case"
+
 let () =
   Alcotest.run "histar_model"
     [
@@ -346,6 +430,8 @@ let () =
         [
           Alcotest.test_case "bounded fuzz finds no divergence" `Quick
             test_fuzz_clean_kernel;
+          Alcotest.test_case "live remote gate call matches model" `Quick
+            test_remote_call_matches_model;
           Check.test_case ~count:150
             ~print:Conf.pp_trace
             "container quotas conform on adversarial traces"
