@@ -42,23 +42,36 @@ let test_cipher =
 let test_btree_insert =
   Test.make ~name:"btree insert x1000"
     (Staged.stage (fun () ->
-         let t = Histar_btree.Bptree.create () in
+         let t = ref (Histar_btree.Bptree.create ()) in
          for i = 0 to 999 do
-           Histar_btree.Bptree.insert t (Int64.of_int (i * 17 mod 1000)) 0L
+           t :=
+             Histar_btree.Bptree.insert !t (Int64.of_int (i * 17 mod 1000)) 0L
          done))
 
+let big_btree n =
+  let t = ref (Histar_btree.Bptree.create ()) in
+  for i = 0 to n - 1 do
+    t := Histar_btree.Bptree.insert !t (Int64.of_int i) (Int64.of_int i)
+  done;
+  !t
+
 let test_btree_find =
-  let t = Histar_btree.Bptree.create () in
-  let () =
-    for i = 0 to 9_999 do
-      Histar_btree.Bptree.insert t (Int64.of_int i) (Int64.of_int i)
-    done
-  in
+  let t = big_btree 10_000 in
   let k = ref 0 in
   Test.make ~name:"btree find (10k entries)"
     (Staged.stage (fun () ->
          k := (!k + 7919) mod 10_000;
          Histar_btree.Bptree.find t (Int64.of_int !k)))
+
+(* One branch off a 10k-entry tree: the path-copying cost a kernel
+   fork pays per changed object. *)
+let test_btree_branch =
+  let t = big_btree 10_000 in
+  let k = ref 0 in
+  Test.make ~name:"btree branch insert (10k entries)"
+    (Staged.stage (fun () ->
+         k := (!k + 7919) mod 10_000;
+         Histar_btree.Bptree.insert t (Int64.of_int (10_000 + !k)) 0L))
 
 let test_syscall_roundtrip =
   Test.make ~name:"syscall round trip (yield x100)"
@@ -88,6 +101,7 @@ let benchmark () =
       test_cipher;
       test_btree_insert;
       test_btree_find;
+      test_btree_branch;
       test_syscall_roundtrip;
     ]
   in

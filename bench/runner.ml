@@ -379,6 +379,48 @@ let dist_cluster ~nodes size =
     outcomes;
   Webcluster.elapsed_since wc t0
 
+(* The versioned-state API itself: off a populated, checkpointed
+   trunk, fork a chain of copy-on-write store branches at each depth,
+   mutating every link, then checkpoint + fsck the leaf and drop the
+   chain. Each depth is bracketed by a named kernel handle so the
+   branch registry is exercised too. Deep chains stay cheap because a
+   fork copies only the B+-tree path to each mutated object. *)
+let snapshot_fork size =
+  let objects = pick size ~smoke:192 ~full:2048 in
+  let rounds = pick size ~smoke:1 ~full:4 in
+  let m = mk_machine () in
+  boot m (fun _fs _proc ->
+      let payload = String.make 128 's' in
+      for i = 0 to objects - 1 do
+        Store.put m.store ~oid:(Int64.of_int (0x5000 + i)) payload
+      done;
+      Store.checkpoint m.store);
+  (* Kernel is quiescent now; branch off the trunk. *)
+  let (), ns =
+    timed m.clock (fun () ->
+        for round = 1 to rounds do
+          List.iter
+            (fun depth ->
+              let h =
+                Kernel.fork ~name:(Printf.sprintf "bench-depth-%d" depth)
+                  m.kernel
+              in
+              let leaf = ref m.store in
+              for d = 0 to depth - 1 do
+                let b = Store.fork !leaf in
+                Store.put b
+                  ~oid:(Int64.of_int (0x5000 + (d mod objects)))
+                  (Printf.sprintf "branch %d/%d/%d" round depth d);
+                leaf := b
+              done;
+              Store.checkpoint !leaf;
+              Store.fsck !leaf;
+              Kernel.drop h)
+            [ 1; 8; 64 ]
+        done)
+  in
+  ns
+
 let workloads =
   [
     ("ipc-pingpong", "pipe round trips through the gate IPC path", ipc_pingpong);
@@ -405,6 +447,9 @@ let workloads =
      dist_cluster ~nodes:4);
     ("dist-cluster-8", "web cluster request batch over 8 app nodes",
      dist_cluster ~nodes:8);
+    ("snapshot-fork",
+     "copy-on-write store branches: fork/mutate/fsck/drop at depth 1/8/64",
+     snapshot_fork);
   ]
 
 let workload_names = List.map (fun (n, _, _) -> n) workloads
@@ -508,6 +553,24 @@ let validate json =
     | Some (Json.List (_ :: _ as ws)) -> Ok ws
     | Some (Json.List []) -> err "workloads is empty"
     | _ -> err "missing workloads array"
+  in
+  (* The trajectory must cover every workload the current runner
+     knows, so a stale baseline fails CI when a workload is added. *)
+  let present =
+    List.filter_map
+      (fun w ->
+        match Json.member "name" w with
+        | Some (Json.Str n) -> Some n
+        | _ -> None)
+      ws
+  in
+  let* () =
+    List.fold_left
+      (fun acc n ->
+        let* () = acc in
+        if List.mem n present then Ok ()
+        else err "trajectory is missing workload %s" n)
+      (Ok ()) workload_names
   in
   List.fold_left
     (fun acc w ->

@@ -1,50 +1,64 @@
-(** B+-tree with fixed-size keys and values (both [int64]).
+(** Persistent B+-tree with fixed-size [int64] keys.
 
     The single-level store uses three of these, exactly as in §4 of the
     paper: object ID → disk location, free extents indexed by size, and
-    free extents indexed by location. Fixed-size keys and values
-    "significantly simplify the implementation" — composite keys (for
-    the by-size index) are packed into the int64.
+    free extents indexed by location. Fixed-size keys "significantly
+    simplify the implementation" — composite keys (for the by-size
+    index) are packed into the int64.
 
-    The tree is mutable. Keys are unique; inserting an existing key
-    replaces its value. *)
+    The tree is immutable: {!insert} and {!remove} return a new tree
+    that shares all untouched nodes with the old one (path copying).
+    A version of the whole map is therefore an O(1) value copy, which
+    is what lets kernel states fork in O(1) and lets the crash sweep
+    and conformance fuzzer branch from any point instead of replaying.
+    Node constructions are counted in the [btree.node_allocs] metrics
+    counter, so structural-sharing claims are assertable: forking N
+    branches must allocate O(N·height of the touched paths), never
+    O(N·entries).
 
-type t
+    Keys are unique; inserting an existing key replaces its value. *)
 
-val create : ?order:int -> unit -> t
-(** [order] is the maximum number of children of an internal node
-    (default 16; must be at least 4). *)
+type 'a t
 
-val insert : t -> int64 -> int64 -> unit
-val find : t -> int64 -> int64 option
-val mem : t -> int64 -> bool
+val create : ?order:int -> unit -> 'a t
+(** The empty tree. [order] is the maximum number of children of an
+    internal node (default 16; must be at least 4). *)
 
-val remove : t -> int64 -> bool
-(** [true] if the key was present. *)
+val insert : 'a t -> int64 -> 'a -> 'a t
+(** Path-copying insert/replace; the argument tree is unchanged. *)
 
-val cardinal : t -> int
-val is_empty : t -> bool
-val min_binding : t -> (int64 * int64) option
-val max_binding : t -> (int64 * int64) option
+val remove : 'a t -> int64 -> 'a t option
+(** [Some t'] with the key removed, [None] if the key was absent. The
+    argument tree is unchanged. *)
 
-val find_geq : t -> int64 -> (int64 * int64) option
+val find : 'a t -> int64 -> 'a option
+val mem : 'a t -> int64 -> bool
+val cardinal : 'a t -> int
+val is_empty : 'a t -> bool
+val min_binding : 'a t -> (int64 * 'a) option
+val max_binding : 'a t -> (int64 * 'a) option
+
+val find_geq : 'a t -> int64 -> (int64 * 'a) option
 (** Smallest binding with key [>=] the argument. *)
 
-val find_gt : t -> int64 -> (int64 * int64) option
-val find_leq : t -> int64 -> (int64 * int64) option
+val find_gt : 'a t -> int64 -> (int64 * 'a) option
+val find_leq : 'a t -> int64 -> (int64 * 'a) option
 (** Largest binding with key [<=] the argument. *)
 
-val find_lt : t -> int64 -> (int64 * int64) option
-val iter : (int64 -> int64 -> unit) -> t -> unit
-val fold : ('a -> int64 -> int64 -> 'a) -> 'a -> t -> 'a
-val to_list : t -> (int64 * int64) list
+val find_lt : 'a t -> int64 -> (int64 * 'a) option
+val iter : (int64 -> 'a -> unit) -> 'a t -> unit
+val fold : ('acc -> int64 -> 'a -> 'acc) -> 'acc -> 'a t -> 'acc
+val to_list : 'a t -> (int64 * 'a) list
 
-val height : t -> int
+val height : 'a t -> int
 (** Tree height (1 for a single leaf); useful for balance assertions. *)
 
-val check_invariants : t -> unit
+val check_invariants : 'a t -> unit
 (** Raises [Failure] if a structural invariant is violated: key
-    ordering, node fill factors, uniform leaf depth, leaf chaining. *)
+    ordering, node fill factors, uniform leaf depth, cardinality. *)
 
-val encode : Histar_util.Codec.Enc.t -> t -> unit
-val decode : Histar_util.Codec.Dec.t -> t
+val encode : Histar_util.Codec.Enc.t -> int64 t -> unit
+(** On-disk format is unchanged from the historical mutable tree:
+    order, size, then the bindings in key order. *)
+
+val decode : Histar_util.Codec.Dec.t -> int64 t

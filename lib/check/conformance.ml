@@ -214,12 +214,12 @@ type model_run = {
   mr_slots : Model.oid list;
 }
 
-let run_model ops =
-  let st = ref (Model.init ()) in
+(* Model-side executor over caller-owned refs, so execution can start
+   from any captured prefix state (the fork-based corpus path) as well
+   as from scratch. The returned function raises [Stop_model] on a
+   terminal step. *)
+let mk_model_harness ~st ~slots ~ncats ~outs =
   let tid = Model.boot_thread !st in
-  let slots = ref [ Model.root !st; tid ] in
-  let ncats = ref 0 in
-  let outs = ref [] in
   let record o = outs := o :: !outs in
   let nslots () = List.length !slots in
   let oid_of s = List.nth !slots (pos_mod s (nslots ())) in
@@ -402,6 +402,14 @@ let run_model ops =
     | O_sync_object (c, o) ->
         record (out_of (mstep (Model.Sync_object (ce (c, o)))))
   in
+  do_op
+
+let run_model ops =
+  let st = ref (Model.init ()) in
+  let slots = ref [ Model.root !st; Model.boot_thread !st ] in
+  let ncats = ref 0 in
+  let outs = ref [] in
+  let do_op = mk_model_harness ~st ~slots ~ncats ~outs in
   let term =
     try
       List.iter do_op ops;
@@ -450,15 +458,27 @@ let out_tag = function
   | Ok_maps _ -> "m"
   | Err c -> "E" ^ c
 
-let run_real ?weaken ops =
-  let k = Kernel.create ?weaken () in
-  let outs = ref [] in
+(* The service body every trace gate runs: immediately gate-return,
+   optionally granting every owned category (the §6.2 pattern). Kept
+   standalone so a resumed branch can re-arm a deserialized gate with
+   an entry identical to the one serialization dropped. *)
+let gate_entry ~stuck keep () =
+  try
+    if keep then
+      Sys.gate_return
+        ~keep:(Category.Set.elements (Label.owned (Sys.self_label ())))
+        ()
+    else Sys.gate_return ()
+  with T.Kernel_error e ->
+    stuck := Some (eclass e);
+    Sys.self_halt ()
+
+(* Kernel-side executor over caller-owned refs (slot/category tables,
+   recorded outcomes, created-gate registry for branch re-arming). The
+   returned function performs syscalls, so it must run inside a kernel
+   thread. *)
+let mk_real_harness ~outs ~slots ~cats ~stuck ~gates =
   let record o = outs := o :: !outs in
-  let slots = ref [ Kernel.root k ] in
-  let cats : Category.t list ref = ref [] in
-  let stuck = ref None in
-  let crash = ref None in
-  let completed = ref false in
   let nslots () = List.length !slots in
   let oid_of s = List.nth !slots (pos_mod s (nslots ())) in
   let slot_of oid =
@@ -616,20 +636,13 @@ let run_real ?weaken ops =
                  ~clearance:(lab csp) ~quota:q ~name:"thr" (fun () -> ())))
     | O_gate_create (c, sp, csp, q, keep) ->
         atomic (fun () ->
-            let entry () =
-              try
-                if keep then
-                  Sys.gate_return
-                    ~keep:(Category.Set.elements (Label.owned (Sys.self_label ())))
-                    ()
-                else Sys.gate_return ()
-              with T.Kernel_error e ->
-                stuck := Some (eclass e);
-                Sys.self_halt ()
+            let g =
+              Sys.gate_create ~container:(oid_of c) ~label:(lab sp)
+                ~clearance:(lab csp) ~quota:q ~name:"gate"
+                (gate_entry ~stuck keep)
             in
-            created
-              (Sys.gate_create ~container:(oid_of c) ~label:(lab sp)
-                 ~clearance:(lab csp) ~quota:q ~name:"gate" entry))
+            gates := !gates @ [ (g, keep) ];
+            created g)
     | O_gate_call (g, lsp, csp, vsp, r) ->
         atomic (fun () ->
             let gate = ce g in
@@ -662,21 +675,65 @@ let run_real ?weaken ops =
             Sys.sync_object (ce (c, o));
             Ok_unit)
   in
+  do_op
+
+(* Metrics window around one scheduler run; the delta is what the
+   coverage signature buckets. *)
+let metered f =
+  let was = Metrics.enabled () in
+  Metrics.set_enabled true;
+  let before = Metrics.snapshot () in
+  f ();
+  let after = Metrics.snapshot () in
+  Metrics.set_enabled was;
+  Metrics.diff ~before ~after
+
+(* Sum metric deltas: every snapshot scalar (counters, histogram
+   _count/_sum flattenings) is additive, so per-op windows sum to the
+   single-window delta of an uninterrupted run. *)
+let add_mdiff a b =
+  let tbl = Hashtbl.create 16 in
+  List.iter (fun (n, v) -> Hashtbl.replace tbl n v) a;
+  List.iter
+    (fun (n, v) ->
+      Hashtbl.replace tbl n
+        (v + Option.value (Hashtbl.find_opt tbl n) ~default:0))
+    b;
+  Hashtbl.fold (fun n v acc -> if v = 0 then acc else (n, v) :: acc) tbl []
+  |> List.sort (fun (x, _) (y, _) -> String.compare x y)
+
+let bucketed l = List.map (fun (s, n) -> (s, bucket n)) l
+
+let cov_of ~k ~mdiff ~outs ~term =
+  Hashtbl.hash
+    ( bucketed (Profile.to_list (Kernel.profile k)),
+      bucketed mdiff,
+      List.map out_tag outs,
+      pp_term term )
+
+let run_real ?weaken ops =
+  let k = Kernel.create ?weaken () in
+  let outs = ref [] in
+  let slots = ref [ Kernel.root k ] in
+  let cats : Category.t list ref = ref [] in
+  let stuck = ref None in
+  let gates = ref [] in
+  let crash = ref None in
+  let completed = ref false in
+  let do_op = mk_real_harness ~outs ~slots ~cats ~stuck ~gates in
   let driver () =
     (try List.iter do_op ops with
-    | T.Kernel_error e -> record (Err (eclass e))
+    | T.Kernel_error e -> outs := Err (eclass e) :: !outs
     | e -> crash := Some (Printexc.to_string e));
     completed := true
   in
   let tid = Kernel.spawn k ~name:"driver" driver in
   slots := !slots @ [ tid ];
-  let was = Metrics.enabled () in
-  Metrics.set_enabled true;
-  let before = Metrics.snapshot () in
-  (try Kernel.run k with e -> crash := Some ("kernel: " ^ Printexc.to_string e));
-  let after = Metrics.snapshot () in
-  Metrics.set_enabled was;
-  let mdiff = Metrics.diff ~before ~after in
+  let mdiff =
+    metered (fun () ->
+        try Kernel.run k
+        with e -> crash := Some ("kernel: " ^ Printexc.to_string e))
+  in
   let term =
     match !crash with
     | Some m -> T_crash m
@@ -691,20 +748,13 @@ let run_real ?weaken ops =
               | Some _ -> T_crash "driver wedged"))
   in
   let outs = List.rev !outs in
-  let cov =
-    Hashtbl.hash
-      ( List.map (fun (s, n) -> (s, bucket n)) (Profile.to_list (Kernel.profile k)),
-        List.map (fun (s, n) -> (s, bucket n)) mdiff,
-        List.map out_tag outs,
-        pp_term term )
-  in
   {
     rr_outs = outs;
     rr_term = term;
     rr_k = k;
     rr_slots = !slots;
     rr_cats = !cats;
-    rr_cov = cov;
+    rr_cov = cov_of ~k ~mdiff ~outs ~term;
   }
 
 let exec_model ops =
@@ -857,12 +907,195 @@ let compare_runs (m : model_run) (r : real_run) =
         slots 0 m.mr_slots r.rr_slots
       end
 
-let run_pair ?weaken trace =
-  let m = run_model trace in
-  let r = run_real ?weaken trace in
-  (compare_runs m r, r.rr_cov)
+(* ---------- branchable execution (fork-based corpus path) ---------- *)
 
-let compare_traces ?weaken trace = fst (run_pair ?weaken trace)
+type exec_mode = [ `Fork | `Replay ]
+
+(* The paired kernel+model state after a trace prefix: the kernel as an
+   immutable [Kernel.handle], the model as a pure value, plus the
+   harness bookkeeping both executors need to pick up mid-trace. A
+   branch is a value — resuming one never disturbs siblings — so a
+   corpus entry can seed any number of mutants from its prefix
+   states. *)
+type branch = {
+  br_handle : Kernel.handle;
+  br_tid : T.oid;  (* driver thread, slot 1 *)
+  br_outs : outcome list;  (* reversed *)
+  br_slots : T.oid list;
+  br_cats : Category.t list;
+  br_stuck : string option;
+  br_gates : (T.oid * bool) list;  (* created gates: (oid, keep) *)
+  br_mdiff : Metrics.snapshot;  (* summed per-op metric windows *)
+  br_term : term option;  (* kernel side went terminal at/before here *)
+  br_mst : Model.state;
+  br_mslots : Model.oid list;
+  br_mncats : int;
+  br_mouts : outcome list;  (* reversed *)
+  br_mterm : term option;
+}
+
+let initial_branch ?weaken () =
+  let mst = Model.init () in
+  let k = Kernel.create ?weaken () in
+  let tid = Kernel.spawn k ~name:"driver" (fun () -> ()) in
+  {
+    br_handle = Kernel.fork k;
+    br_tid = tid;
+    br_outs = [];
+    br_slots = [ Kernel.root k; tid ];
+    br_cats = [];
+    br_stuck = None;
+    br_gates = [];
+    br_mdiff = [];
+    br_term = None;
+    br_mst = mst;
+    br_mslots = [ Model.root mst; Model.boot_thread mst ];
+    br_mncats = 0;
+    br_mouts = [];
+    br_mterm = None;
+  }
+
+(* Run [ops] from [base]. Model side: plain value-threaded steps.
+   Kernel side: [Kernel.resume], re-arm the surviving gates, then one
+   [Kernel.run] per op — the driver thread is restarted with each op's
+   body and a fresh metric window wraps each run. Summed windows equal
+   the single window of an uninterrupted replay (all snapshot scalars
+   are additive) and the generators/clock/profile travel inside the
+   handle, so outcomes, termination and the coverage signature are
+   bit-identical to replaying [prefix @ ops] from scratch — the
+   equivalence the double-run tests pin down.
+
+   With [capture], a branch is recorded after every op; capture stops
+   at a kernel-side crash (that op is cheap to re-execute from the
+   previous branch) and the op loop short-circuits once both sides are
+   terminal. *)
+let exec_from ?(capture = false) base ops =
+  let mst = ref base.br_mst in
+  let mslots = ref base.br_mslots in
+  let mncats = ref base.br_mncats in
+  let mouts = ref base.br_mouts in
+  let mterm = ref base.br_mterm in
+  let mdo = mk_model_harness ~st:mst ~slots:mslots ~ncats:mncats ~outs:mouts in
+  let k = Kernel.resume base.br_handle in
+  let tid = base.br_tid in
+  let outs = ref base.br_outs in
+  let slots = ref base.br_slots in
+  let cats = ref base.br_cats in
+  let stuck = ref base.br_stuck in
+  let gates = ref base.br_gates in
+  let crash = ref None in
+  let rterm = ref base.br_term in
+  let mdiff = ref base.br_mdiff in
+  let rdo = mk_real_harness ~outs ~slots ~cats ~stuck ~gates in
+  (* Serialization dropped every gate entry; give each surviving gate
+     back the body it was created with. *)
+  List.iter
+    (fun (g, keep) ->
+      match Kernel.obj_kind k g with
+      | Some T.Gate -> Kernel.set_gate_entry k g (gate_entry ~stuck keep)
+      | Some _ | None -> ())
+    !gates;
+  let captured = ref [] in
+  let capturing = ref capture in
+  let snap () =
+    {
+      br_handle = Kernel.fork k;
+      br_tid = tid;
+      br_outs = !outs;
+      br_slots = !slots;
+      br_cats = !cats;
+      br_stuck = !stuck;
+      br_gates = !gates;
+      br_mdiff = !mdiff;
+      br_term = !rterm;
+      br_mst = !mst;
+      br_mslots = !mslots;
+      br_mncats = !mncats;
+      br_mouts = !mouts;
+      br_mterm = !mterm;
+    }
+  in
+  let exec_real_one op =
+    let finished = ref false in
+    Kernel.restart_thread k tid (fun () ->
+        (match rdo op with
+        | () -> ()
+        | exception T.Kernel_error e ->
+            (* mirrors the replay driver's outer handler: record the
+               class, skip the rest of the trace, count as done *)
+            outs := Err (eclass e) :: !outs;
+            rterm := Some T_done
+        | exception e -> crash := Some (Printexc.to_string e));
+        finished := true);
+    let d =
+      metered (fun () ->
+          try Kernel.run k
+          with e -> crash := Some ("kernel: " ^ Printexc.to_string e))
+    in
+    mdiff := add_mdiff !mdiff d;
+    match !crash with
+    | Some m -> rterm := Some (T_crash m)
+    | None ->
+        if not !finished then
+          rterm :=
+            Some
+              (match !stuck with
+              | Some c -> T_stuck c
+              | None -> (
+                  match Kernel.thread_state k tid with
+                  | None -> T_gone
+                  | Some _ -> T_crash "driver wedged"))
+  in
+  let rec go = function
+    | [] -> ()
+    | _ :: _ when !rterm <> None && !mterm <> None -> ()
+    | op :: rest ->
+        (if !mterm = None then
+           match mdo op with
+           | () -> ()
+           | exception Stop_model t -> mterm := Some t);
+        if !rterm = None then exec_real_one op;
+        (match !rterm with
+        | Some (T_crash _) -> capturing := false
+        | Some _ | None -> ());
+        if !capturing then captured := snap () :: !captured;
+        go rest
+  in
+  go ops;
+  let term = Option.value !rterm ~default:T_done in
+  let routs = List.rev !outs in
+  let m =
+    {
+      mr_outs = List.rev !mouts;
+      mr_term = Option.value !mterm ~default:T_done;
+      mr_st = !mst;
+      mr_slots = !mslots;
+    }
+  in
+  let r =
+    {
+      rr_outs = routs;
+      rr_term = term;
+      rr_k = k;
+      rr_slots = !slots;
+      rr_cats = !cats;
+      rr_cov = cov_of ~k ~mdiff:!mdiff ~outs:routs ~term;
+    }
+  in
+  (m, r, Array.of_list (List.rev !captured))
+
+let run_pair ?weaken ?(mode = `Replay) trace =
+  match mode with
+  | `Replay ->
+      let m = run_model trace in
+      let r = run_real ?weaken trace in
+      (compare_runs m r, r.rr_cov)
+  | `Fork ->
+      let m, r, _ = exec_from (initial_branch ?weaken ()) trace in
+      (compare_runs m r, r.rr_cov)
+
+let compare_traces ?weaken ?mode trace = fst (run_pair ?weaken ?mode trace)
+let trace_cov ?weaken ?mode trace = snd (run_pair ?weaken ?mode trace)
 
 (* ---------- generators ---------- *)
 
@@ -1171,7 +1404,22 @@ let mutate rng t =
         let a = Rng.int rng (n + 1) in
         take a t @ fresh @ drop a t
 
-let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) () =
+(* A corpus entry in fork mode remembers a branch per op boundary, so
+   a mutant resumes from its longest common prefix with its parent
+   (the mutation point) instead of replaying it. Replay-mode entries
+   carry no branches. *)
+type centry = { ce_trace : op list; ce_branches : branch array }
+
+let common_prefix a b =
+  let rec go n a b =
+    match (a, b) with
+    | x :: a', y :: b' when x = y -> go (n + 1) a' b'
+    | _ -> n
+  in
+  go 0 a b
+
+let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) ?(mode = `Fork) ()
+    =
   let runs =
     match runs with
     | Some r -> r
@@ -1179,19 +1427,56 @@ let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) () =
   in
   let max_size = Option.value max_size ~default:30 in
   let rng = Rng.create (Int64.logxor seed 0x5EED_F00DL) in
+  let base =
+    match mode with `Fork -> Some (initial_branch ?weaken ()) | `Replay -> None
+  in
   let corpus = ref [] in
   let seen = Hashtbl.create 64 in
   let result = ref None in
   let i = ref 0 in
   while !result = None && !i < runs do
-    let trace =
+    let parent, trace =
       if !corpus <> [] && Rng.bool rng then
-        mutate rng (List.nth !corpus (Rng.int rng (List.length !corpus)))
+        let e = List.nth !corpus (Rng.int rng (List.length !corpus)) in
+        (Some e, mutate rng e.ce_trace)
       else
-        Gen.generate gen_trace ~seed:(Rng.next64 rng)
-          ~size:(4 + Rng.int rng max_size)
+        ( None,
+          Gen.generate gen_trace ~seed:(Rng.next64 rng)
+            ~size:(4 + Rng.int rng max_size) )
     in
-    let detail, cov = run_pair ?weaken trace in
+    let detail, cov, remember =
+      match base with
+      | None ->
+          let detail, cov = run_pair ?weaken trace in
+          (detail, cov, fun () -> { ce_trace = trace; ce_branches = [||] })
+      | Some base ->
+          (* Resume from the deepest parent branch that is still a
+             prefix of the mutant; fresh traces start from the shared
+             initial branch. *)
+          let anchor, i0 =
+            match parent with
+            | Some p when Array.length p.ce_branches > 0 ->
+                let pl = common_prefix p.ce_trace trace in
+                let i0 = min pl (Array.length p.ce_branches - 1) in
+                (p.ce_branches.(i0), i0)
+            | Some _ | None -> (base, 0)
+          in
+          let suffix = List.filteri (fun j _ -> j >= i0) trace in
+          let m, r, _ = exec_from anchor suffix in
+          let remember () =
+            (* Deterministic re-execution with per-op capture, so only
+               corpus admissions pay the fork-per-op cost. *)
+            let _, _, captured = exec_from ~capture:true anchor suffix in
+            let prefix =
+              match parent with
+              | Some p when Array.length p.ce_branches > 0 ->
+                  Array.sub p.ce_branches 0 (i0 + 1)
+              | Some _ | None -> [| anchor |]
+            in
+            { ce_trace = trace; ce_branches = Array.append prefix captured }
+          in
+          (compare_runs m r, r.rr_cov, remember)
+    in
     (match detail with
     | Some d ->
         let t' = shrink ?weaken trace in
@@ -1200,7 +1485,7 @@ let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) () =
     | None ->
         if not (Hashtbl.mem seen cov) then begin
           Hashtbl.add seen cov ();
-          corpus := trace :: !corpus
+          corpus := remember () :: !corpus
         end);
     incr i
   done;

@@ -107,10 +107,26 @@ val pp_outcome : outcome -> string
 val exec_model : op list -> outcome list * term
 val exec_real : ?weaken:Kernel.weaken -> op list -> outcome list * term
 
-val compare_traces : ?weaken:Kernel.weaken -> op list -> string option
+type exec_mode = [ `Fork | `Replay ]
+(** How a trace pair is executed. [`Replay] (the historical path)
+    builds a fresh kernel and runs the whole trace in one scheduler
+    run. [`Fork] goes through the branchable-kernel machinery: the
+    trace starts from (or, in the fuzz loop, resumes mid-trace at) an
+    immutable {!Histar_core.Kernel.fork} snapshot and runs one op per
+    scheduler run, with per-op metric windows summed. Both modes
+    produce bit-identical outcomes, termination, and coverage
+    signatures — the double-run discipline the equivalence tests in
+    [test_model.ml] pin down. *)
+
+val compare_traces :
+  ?weaken:Kernel.weaken -> ?mode:exec_mode -> op list -> string option
 (** Run both sides; [Some detail] describes the first divergence
     (per-op outcome, termination, or final-state), [None] if the
-    kernel conforms on this trace. *)
+    kernel conforms on this trace. [mode] defaults to [`Replay]. *)
+
+val trace_cov : ?weaken:Kernel.weaken -> ?mode:exec_mode -> op list -> int
+(** The trace's coverage signature (what guides the fuzz corpus), for
+    asserting fork/replay bit-identity. *)
 
 val gen_trace : op list Gen.t
 (** The full generator, biased towards label-boundary cases: owned
@@ -134,10 +150,17 @@ val run_fuzz :
   ?runs:int ->
   ?max_size:int ->
   ?seed:int64 ->
+  ?mode:exec_mode ->
   unit ->
   fuzz_stats
 (** The coverage-guided loop. Defaults: [runs] 400 (×8 when
-    [HISTAR_CHECK_LONG=1]), [max_size] 30, [seed] {!Check.seed}[()].
+    [HISTAR_CHECK_LONG=1]), [max_size] 30, [seed] {!Check.seed}[()],
+    [mode] [`Fork]. In fork mode each corpus entry keeps a branch
+    (kernel fork + model value) per op boundary and mutants resume
+    from their longest common prefix with the parent instead of
+    replaying it; verdicts, corpus evolution and reports are
+    bit-identical to [`Replay] at the same seed. Shrinking is always
+    replay-based (the reported repro line needs no branch state).
     Stops at the first divergence (after shrinking it). *)
 
 val report : fuzz_stats -> string

@@ -78,7 +78,20 @@ let wal ?(commits = 14) () =
                  (List.length recovered)
                  (if !in_truncate then " (truncate in flight)" else ""))
     in
-    { Crash_sweep.disk; run; check }
+    (* Model capture for fork-based sweeping: plain value reads, so the
+       returned thunk rewinds the model to this instant. *)
+    let snapshot () =
+      let f = !formatted
+      and c = !committed
+      and i = !inflight
+      and t = !in_truncate in
+      fun () ->
+        formatted := f;
+        committed := c;
+        inflight := i;
+        in_truncate := t
+    in
+    { Crash_sweep.disk; run; check; snapshot = Some snapshot }
   in
   { Crash_sweep.name = "wal"; mk }
 
@@ -167,7 +180,16 @@ let store ?(nops = 45) () =
           validate_versions ~what:"oid" ~history ~floor ~get:(fun i ->
               Store.get s ~oid:(oid_of i))
     in
-    { Crash_sweep.disk; run; check }
+    let snapshot () =
+      let f = !formatted
+      and h = Array.copy history
+      and fl = Array.copy floor in
+      fun () ->
+        formatted := f;
+        Array.blit h 0 history 0 (Array.length h);
+        Array.blit fl 0 floor 0 (Array.length fl)
+    in
+    { Crash_sweep.disk; run; check; snapshot = Some snapshot }
   in
   { Crash_sweep.name = "store"; mk }
 
@@ -291,7 +313,18 @@ let fs ?(nops = 24) () =
       validate_versions ~what:"path" ~history ~floor ~get:(fun i ->
           recovered.(i))
     in
-    { Crash_sweep.disk; run; check }
+    let snapshot () =
+      let f = !formatted
+      and b = !base_synced
+      and h = Array.copy history
+      and fl = Array.copy floor in
+      fun () ->
+        formatted := f;
+        base_synced := b;
+        Array.blit h 0 history 0 (Array.length h);
+        Array.blit fl 0 floor 0 (Array.length fl)
+    in
+    { Crash_sweep.disk; run; check; snapshot = Some snapshot }
   in
   { Crash_sweep.name = "fs"; mk }
 

@@ -3,6 +3,7 @@ module Level = Histar_label.Level
 module Category = Histar_label.Category
 module Category_gen = Histar_crypto.Category_gen
 module Store = Histar_store.Store
+module Bptree = Histar_btree.Bptree
 module Sim_clock = Histar_util.Sim_clock
 module Codec = Histar_util.Codec
 open Types
@@ -68,7 +69,10 @@ type gate_entry =
           clobber the outer one) *)
   | Entry_dead  (** recovered from disk: code is gone *)
 
-type gate = { gclear : Label.t; gentry : gate_entry }
+type gate = { gclear : Label.t; mutable gentry : gate_entry }
+(* [gentry] is mutable only so harnesses can re-arm an [Entry_dead]
+   gate after resuming a forked/recovered state (see [set_gate_entry]);
+   the kernel itself never reassigns it. *)
 type address_space = { mutable mappings : mapping list }
 
 type device = {
@@ -135,6 +139,12 @@ type t = {
   instrument : bool;
   weaken : weaken option;
   key : int64;
+  (* Fork support: [snap] is the persistent oid → encoded-object map as
+     of the last fork (or resume), and [snap_enc] caches each object's
+     last encoding so an unchanged object costs one string comparison
+     and zero tree writes at the next fork. *)
+  mutable snap : string Bptree.t;
+  snap_enc : (oid, string) Hashtbl.t;
 }
 
 let clock t = t.clock
@@ -1578,6 +1588,8 @@ let create ?(seed = 0x4853_7461_7221L) ?clock ?store ?(syscall_cost_ns = 500)
       instrument;
       weaken;
       key = seed;
+      snap = Bptree.create ();
+      snap_enc = Hashtbl.create 256;
     }
   in
   let root_id = next_oid k in
@@ -1749,6 +1761,8 @@ let recover ~store =
       instrument = true;
       weaken = None;
       key;
+      snap = Bptree.create ();
+      snap_enc = Hashtbl.create 256;
     }
   in
   Store.iter_oids store (fun oid ->
@@ -1757,3 +1771,152 @@ let recover ~store =
         | Some payload -> Hashtbl.replace k.objects oid (decode_obj payload)
         | None -> ());
   k
+
+(* ---------- branchable kernel states ---------- *)
+
+(* A handle is a whole-kernel version: every object in its serialized
+   form inside a persistent map, plus the scalar machine state. Taking
+   one re-encodes live objects but only *writes* tree paths for objects
+   whose encoding changed since the previous fork, so N sibling forks
+   of a quiescent kernel cost O(N) tree nodes, not O(N · objects) —
+   the structural-sharing property the btree.node_allocs counter
+   asserts. Continuations are not serializable (the same departure from
+   the paper as [recover]), so a resumed branch comes back with all
+   threads halted and code-carrying gates dead; harnesses re-arm them
+   with [restart_thread] and [set_gate_entry]. *)
+type handle = {
+  h_objects : string Bptree.t;
+  h_root : oid;
+  h_oid_counter : int64;
+  h_cat_counter : int64;
+  h_key : int64;
+  h_now_ns : int64;
+  h_syscall_cost_ns : int;
+  h_instrument : bool;
+  h_weaken : weaken option;
+  h_label_cache : Label_cache.t;
+  h_profile : Profile.t;
+  h_name : string option;
+}
+
+(* HERMIT-style named branch points: fork ~name publishes the handle in
+   a registry so later phases can resume or discard it by name. *)
+let handle_registry : (string, handle) Hashtbl.t = Hashtbl.create 16
+
+let fork ?name k =
+  (* Drop tree entries for objects destroyed since the last fork. *)
+  let stale =
+    Hashtbl.fold
+      (fun oid _ acc -> if Hashtbl.mem k.objects oid then acc else oid :: acc)
+      k.snap_enc []
+  in
+  List.iter
+    (fun oid ->
+      Hashtbl.remove k.snap_enc oid;
+      match Bptree.remove k.snap oid with
+      | Some m -> k.snap <- m
+      | None -> ())
+    stale;
+  (* Re-encode live objects; only changed encodings touch the tree. *)
+  Hashtbl.iter
+    (fun oid o ->
+      let enc = encode_obj o in
+      match Hashtbl.find_opt k.snap_enc oid with
+      | Some prev when String.equal prev enc -> ()
+      | _ ->
+          Hashtbl.replace k.snap_enc oid enc;
+          k.snap <- Bptree.insert k.snap oid enc)
+    k.objects;
+  let h =
+    {
+      h_objects = k.snap;
+      h_root = k.root;
+      h_oid_counter = Category_gen.counter k.oidgen;
+      h_cat_counter = Category_gen.counter k.catgen;
+      h_key = k.key;
+      h_now_ns = Sim_clock.now_ns k.clock;
+      h_syscall_cost_ns = k.syscall_cost_ns;
+      h_instrument = k.instrument;
+      h_weaken = k.weaken;
+      h_label_cache = Label_cache.copy k.label_cache;
+      h_profile = Profile.copy k.profile;
+      h_name = name;
+    }
+  in
+  (match name with Some n -> Hashtbl.replace handle_registry n h | None -> ());
+  h
+
+let resume h =
+  let clock = Sim_clock.create () in
+  Sim_clock.advance_ns clock h.h_now_ns;
+  let k =
+    {
+      clock;
+      store = None;
+      objects = Hashtbl.create 256;
+      oidgen = Category_gen.restore ~key:h.h_key ~counter:h.h_oid_counter;
+      catgen =
+        Category_gen.restore ~key:(Int64.lognot h.h_key)
+          ~counter:h.h_cat_counter;
+      runq = Queue.create ();
+      futexq = Hashtbl.create 64;
+      label_cache = Label_cache.copy h.h_label_cache;
+      profile = Profile.copy h.h_profile;
+      current = 0L;
+      root = h.h_root;
+      trace = None;
+      syscall_cost_ns = h.h_syscall_cost_ns;
+      instrument = h.h_instrument;
+      weaken = h.h_weaken;
+      key = h.h_key;
+      snap = h.h_objects;
+      snap_enc = Hashtbl.create 256;
+    }
+  in
+  Bptree.iter
+    (fun oid enc ->
+      Hashtbl.replace k.snap_enc oid enc;
+      Hashtbl.replace k.objects oid (decode_obj enc))
+    h.h_objects;
+  k
+
+let drop h =
+  match h.h_name with
+  | Some n -> (
+      match Hashtbl.find_opt handle_registry n with
+      | Some h' when h' == h -> Hashtbl.remove handle_registry n
+      | Some _ | None -> ())
+  | None -> ()
+
+let handle_name h = h.h_name
+let find_handle name = Hashtbl.find_opt handle_registry name
+
+let handle_names () =
+  List.sort String.compare
+    (Hashtbl.fold (fun n _ acc -> n :: acc) handle_registry [])
+
+let handle_object_count h = Bptree.cardinal h.h_objects
+
+(* Restart a thread that decoded as halted: same oid, same TLS, fresh
+   entry body. Consumes no generator state, so a restarted branch stays
+   oid-for-oid aligned with one that never stopped. *)
+let restart_thread k tid entry =
+  match find_obj k tid with
+  | Some { body = Thr th; _ } ->
+      th.tstate <- `Ready;
+      th.next_run <- Some (Start entry);
+      th.parked <- None;
+      enqueue k tid
+  | Some _ | None -> invalid_arg "Kernel.restart_thread: no such thread"
+
+(* Re-arm a gate whose entry decoded as [Entry_dead]. Refuses to
+   clobber a live entry: branch resumption only replaces what
+   serialization lost. *)
+let set_gate_entry k gate_oid entry =
+  match find_obj k gate_oid with
+  | Some { body = Gat g; _ } -> (
+      match g.gentry with
+      | Entry_dead -> g.gentry <- Entry_fn entry
+      | Entry_fn _ | Entry_resume _ ->
+          invalid_arg "Kernel.set_gate_entry: gate entry still live")
+  | Some _ | None -> invalid_arg "Kernel.set_gate_entry: no such gate"

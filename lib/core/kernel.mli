@@ -125,6 +125,55 @@ val recover : store:Histar_store.Store.t -> t
 (** Rebuild kernel state from a store. Threads recover halted; gates
     recover with dead entries (see module comment). *)
 
+(** {1 Branchable kernel states}
+
+    A {!handle} is an immutable version of the whole kernel: every
+    object in serialized form inside a persistent map, plus the scalar
+    machine state (generators, virtual time, label-cache and profile
+    copies). {!fork} is O(changed objects) in tree writes — N sibling
+    forks of a quiescent kernel allocate O(N) B+-tree nodes, never
+    O(N·objects) — and the handle itself is a pure value: {!resume} any
+    number of independent kernels from it, in any order. Like
+    {!recover}, a resumed branch has all threads halted and
+    code-carrying gates dead (continuations are not serializable);
+    harnesses re-arm them with {!restart_thread} and
+    {!set_gate_entry}. *)
+
+type handle
+(** An immutable, branchable whole-kernel version. *)
+
+val fork : ?name:string -> t -> handle
+(** Capture the current state. With [~name] the handle is also
+    published in a process-wide registry ({!find_handle}) until
+    {!drop}ped — named branch points for multi-phase harnesses. *)
+
+val resume : handle -> t
+(** An independent kernel at the captured state: fresh clock advanced
+    to the captured virtual time, generators restored, no backing
+    store. Mutations never reach the handle or any sibling branch. *)
+
+val drop : handle -> unit
+(** Unpublish a named handle from the registry (no-op for anonymous
+    handles or if the name was rebound since). The value itself stays
+    usable — dropping only forgets the name. *)
+
+val handle_name : handle -> string option
+val find_handle : string -> handle option
+val handle_names : unit -> string list
+(** Registered branch-point names, sorted. *)
+
+val handle_object_count : handle -> int
+
+val restart_thread : t -> oid -> (unit -> unit) -> unit
+(** Give a halted (resumed/recovered) thread a fresh entry body: same
+    oid, same TLS segment, no generator state consumed, re-enqueued as
+    ready. Raises [Invalid_argument] if the oid is not a thread. *)
+
+val set_gate_entry : t -> oid -> (unit -> unit) -> unit
+(** Re-arm a gate whose entry was lost to serialization ([Entry_dead]).
+    Raises [Invalid_argument] if the oid is not a gate or its entry is
+    still live. *)
+
 (** {1 Introspection (host/test interface, not subject to labels)} *)
 
 val object_count : t -> int

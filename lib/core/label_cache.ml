@@ -62,3 +62,16 @@ let modify t ~thread ~obj =
 
 let hits t = t.hits
 let misses t = t.misses
+
+(* An independent cache with identical contents and statistics, so a
+   forked kernel's hit/miss behaviour is bit-identical to the trunk's
+   at the branch point (same cached entries, same reset threshold
+   fill). *)
+let copy t =
+  {
+    bound = t.bound;
+    observe_tbl = Hashtbl.copy t.observe_tbl;
+    modify_tbl = Hashtbl.copy t.modify_tbl;
+    hits = t.hits;
+    misses = t.misses;
+  }

@@ -24,6 +24,11 @@ val modify : t -> thread:Histar_label.Label.t -> obj:Histar_label.Label.t -> boo
 val hits : t -> int
 val misses : t -> int
 
+val copy : t -> t
+(** An independent cache with identical contents and statistics, so a
+    forked kernel's future hit/miss behaviour matches the trunk's at
+    the branch point exactly. *)
+
 val count_uncached_check : allowed:bool -> unit
 (** Report a label comparison performed outside the cache (gate
     invocation checks use {!Histar_label.Label.leq} directly) into the

@@ -13,9 +13,18 @@ let total t = t.total
 let count t name =
   match Hashtbl.find_opt t.counts name with Some r -> !r | None -> 0
 
+(* Canonical order: count descending, then name — independent of hash
+   iteration order, so profiles with equal contents always list (and
+   hash) identically, whichever path (fork or replay) produced them. *)
 let to_list t =
   Hashtbl.fold (fun name r acc -> (name, !r) :: acc) t.counts []
-  |> List.sort (fun (_, a) (_, b) -> Int.compare b a)
+  |> List.sort (fun (na, a) (nb, b) ->
+         match Int.compare b a with 0 -> String.compare na nb | c -> c)
+
+let copy t =
+  let counts = Hashtbl.create (max 64 (Hashtbl.length t.counts)) in
+  Hashtbl.iter (fun name r -> Hashtbl.add counts name (ref !r)) t.counts;
+  { counts; total = t.total }
 
 let reset t =
   Hashtbl.reset t.counts;

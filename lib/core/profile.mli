@@ -12,7 +12,11 @@ val total : t -> int
 val count : t -> string -> int
 
 val to_list : t -> (string * int) list
-(** Sorted by descending count. *)
+(** Canonical order: count descending, then name — deterministic for
+    equal contents regardless of insertion order. *)
+
+val copy : t -> t
+(** An independent profile with the same counts. *)
 
 val reset : t -> unit
 

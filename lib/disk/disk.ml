@@ -4,6 +4,7 @@ exception Read_error of { sector : int; transient : bool }
 module Metrics = Histar_metrics.Metrics
 module Trace = Histar_metrics.Trace
 module Disk_faults = Histar_faults.Faults.Disk_faults
+module Bptree = Histar_btree.Bptree
 
 (* Process-global media counters and decomposed service-time totals
    (§7's disk model made observable: where virtual time on the platter
@@ -48,11 +49,16 @@ type stats = {
   mutable seeks : int;
 }
 
+(* The durable media is a persistent map sector → contents: capturing
+   "the platter as of this instant" is an O(1) root copy, which is what
+   lets the crash sweep snapshot at every write instead of replaying
+   the workload prefix for every crash point. The volatile write cache
+   stays a hash table — it is lost on crash and copied on fork. *)
 type t = {
   geometry : geometry;
   params : params;
   clock : Histar_util.Sim_clock.t;
-  media : (int, string) Hashtbl.t;  (** durable contents *)
+  mutable media : string Bptree.t;  (** durable contents *)
   cache : (int, string) Hashtbl.t;  (** volatile dirty sectors *)
   stats : stats;
   mutable head : int;  (** current head position (sector) *)
@@ -60,8 +66,19 @@ type t = {
   mutable is_crashed : bool;
   mutable media_writes : int;  (** lifetime media sector writes (monotonic) *)
   mutable write_trace : (sector:int -> data:string -> unit) option;
+  mutable pre_write_hook : (unit -> unit) option;
   mutable faults : Disk_faults.t option;  (** injected media faults *)
 }
+
+let fresh_stats () =
+  {
+    reads = 0;
+    writes = 0;
+    sectors_read = 0;
+    sectors_written = 0;
+    flushes = 0;
+    seeks = 0;
+  }
 
 let create ?(geometry = default_geometry) ?(params = default_params) ?faults
     ~clock () =
@@ -70,22 +87,15 @@ let create ?(geometry = default_geometry) ?(params = default_params) ?faults
     geometry;
     params;
     clock;
-    media = Hashtbl.create 4096;
+    media = Bptree.create ();
     cache = Hashtbl.create 256;
-    stats =
-      {
-        reads = 0;
-        writes = 0;
-        sectors_read = 0;
-        sectors_written = 0;
-        flushes = 0;
-        seeks = 0;
-      };
+    stats = fresh_stats ();
     head = 0;
     crash_after = None;
     is_crashed = false;
     media_writes = 0;
     write_trace = None;
+    pre_write_hook = None;
   }
 
 let set_faults t f = t.faults <- f
@@ -136,7 +146,7 @@ let sector_contents t i =
   match Hashtbl.find_opt t.cache i with
   | Some s -> s
   | None -> (
-      match Hashtbl.find_opt t.media i with
+      match Bptree.find t.media (Int64.of_int i) with
       | Some s -> s
       | None -> zero_sector t)
 
@@ -199,6 +209,10 @@ let write t ~sector data =
   done
 
 let media_write_one t i data =
+  (* The pre-write hook observes the media *before* this write applies:
+     at [media_writes = n] it sees exactly the platter a crash at index
+     n would leave behind (writes 0..n-1, volatile cache lost). *)
+  (match t.pre_write_hook with Some f -> f () | None -> ());
   (match t.crash_after with
   | Some 0 ->
       t.is_crashed <- true;
@@ -211,7 +225,7 @@ let media_write_one t i data =
     | Some f -> Disk_faults.on_media_write f ~sector:i data
     | None -> data
   in
-  Hashtbl.replace t.media i data;
+  t.media <- Bptree.insert t.media (Int64.of_int i) data;
   t.stats.sectors_written <- t.stats.sectors_written + 1;
   t.media_writes <- t.media_writes + 1;
   Metrics.Counter.incr m_media_sector_writes;
@@ -267,25 +281,67 @@ let set_crash_after_writes t n =
 let crashed t = t.is_crashed
 let media_writes t = t.media_writes
 let set_write_trace t f = t.write_trace <- f
+let set_pre_write_hook t f = t.pre_write_hook <- f
 
 let reopen_after_crash t =
   if not t.is_crashed then invalid_arg "Disk.reopen_after_crash: not crashed";
+  (* The surviving platter is the persistent map itself — no copy. *)
   {
     t with
     cache = Hashtbl.create 256;
-    media = Hashtbl.copy t.media;
     head = 0;
     crash_after = None;
     is_crashed = false;
     media_writes = 0;
     write_trace = None;
+    pre_write_hook = None;
+    stats = fresh_stats ();
+  }
+
+(* ---------- branchable media states ---------- *)
+
+type snapshot = {
+  snap_geometry : geometry;
+  snap_params : params;
+  snap_media : string Bptree.t;
+}
+
+let snapshot t =
+  { snap_geometry = t.geometry; snap_params = t.params; snap_media = t.media }
+
+let restore snap ~clock =
+  {
+    geometry = snap.snap_geometry;
+    params = snap.snap_params;
+    clock;
+    media = snap.snap_media;
+    cache = Hashtbl.create 256;
+    stats = fresh_stats ();
+    head = 0;
+    crash_after = None;
+    is_crashed = false;
+    media_writes = 0;
+    write_trace = None;
+    pre_write_hook = None;
+    faults = None;
+  }
+
+let fork t =
+  check_alive t;
+  {
+    t with
+    media = t.media;
+    cache = Hashtbl.copy t.cache;
     stats =
       {
-        reads = 0;
-        writes = 0;
-        sectors_read = 0;
-        sectors_written = 0;
-        flushes = 0;
-        seeks = 0;
+        reads = t.stats.reads;
+        writes = t.stats.writes;
+        sectors_read = t.stats.sectors_read;
+        sectors_written = t.stats.sectors_written;
+        flushes = t.stats.flushes;
+        seeks = t.stats.seeks;
       };
+    crash_after = None;
+    write_trace = None;
+    pre_write_hook = None;
   }

@@ -119,4 +119,41 @@ val crashed : t -> bool
 
 val reopen_after_crash : t -> t
 (** A fresh disk handle over the surviving media contents. Only valid
-    after a crash. *)
+    after a crash. O(1): the media is a persistent map, so the new
+    handle shares it structurally. *)
+
+(** {1 Branchable media states}
+
+    The durable media is a persistent (path-copying) B+-tree, so the
+    platter contents at any instant are an O(1) value. {!snapshot}
+    captures them, {!restore} rebuilds an independent disk over them,
+    and {!fork} branches a live disk. Branches never alias: writes on
+    one are invisible to the others. *)
+
+type snapshot
+(** Immutable capture of the durable media contents (the volatile write
+    cache is deliberately excluded — it is what a crash loses). *)
+
+val snapshot : t -> snapshot
+(** O(1). May be taken at any time, including from inside a
+    pre-write hook or after a crash. *)
+
+val restore : snapshot -> clock:Histar_util.Sim_clock.t -> t
+(** A fresh disk over the captured media: empty write cache, zeroed
+    stats, head at sector 0, no crash scheduled, no faults — exactly
+    the state {!reopen_after_crash} would produce had the original disk
+    crashed at the capture point. O(1). *)
+
+val fork : t -> t
+(** Branch a live (non-crashed) disk: shares the media structurally,
+    copies the volatile cache and per-instance stats, keeps the clock
+    and fault plan, and clears any scheduled crash, write trace and
+    pre-write hook on the branch. Writes on either side stay local. *)
+
+val set_pre_write_hook : t -> (unit -> unit) option -> unit
+(** Install a hook that fires immediately {e before} each media sector
+    write applies (and before any scheduled crash for that write
+    triggers). At the point the hook runs for write index [n]
+    ([media_writes t = n]), the media holds exactly what a crash at
+    index [n] would leave behind — so [snapshot] from inside the hook
+    replaces crash-and-replay with an O(1) branch. [None] disables. *)

@@ -1,8 +1,11 @@
 module Bptree = Histar_btree.Bptree
 
+(* The two index trees are persistent; the allocator handle just holds
+   the current roots. [copy] is therefore O(1) and copies never alias:
+   a fork's allocations can't leak into the trunk. *)
 type t = {
-  by_size : Bptree.t;  (** key = size<<32 | start, value = start *)
-  by_loc : Bptree.t;  (** key = start, value = size *)
+  mutable by_size : int64 Bptree.t;  (** key = size<<32 | start, value = start *)
+  mutable by_loc : int64 Bptree.t;  (** key = start, value = size *)
 }
 
 (* Packing requires starts and sizes below 2^32 sectors; the simulated
@@ -17,13 +20,17 @@ let size_key ~sectors ~start =
 let create () = { by_size = Bptree.create (); by_loc = Bptree.create () }
 
 let insert_extent t ~start ~sectors =
-  Bptree.insert t.by_loc (Int64.of_int start) (Int64.of_int sectors);
-  Bptree.insert t.by_size (size_key ~sectors ~start) (Int64.of_int start)
+  t.by_loc <- Bptree.insert t.by_loc (Int64.of_int start) (Int64.of_int sectors);
+  t.by_size <-
+    Bptree.insert t.by_size (size_key ~sectors ~start) (Int64.of_int start)
 
 let remove_extent t ~start ~sectors =
-  let ok1 = Bptree.remove t.by_loc (Int64.of_int start) in
-  let ok2 = Bptree.remove t.by_size (size_key ~sectors ~start) in
-  assert (ok1 && ok2)
+  (match Bptree.remove t.by_loc (Int64.of_int start) with
+  | Some tr -> t.by_loc <- tr
+  | None -> assert false);
+  match Bptree.remove t.by_size (size_key ~sectors ~start) with
+  | Some tr -> t.by_size <- tr
+  | None -> assert false
 
 let free t ~start ~sectors =
   if sectors <= 0 then invalid_arg "Extent_alloc.free: empty extent";
@@ -117,13 +124,8 @@ let check_invariants t =
       last := Some (start, len))
     t.by_loc
 
-let copy t =
-  let t' = create () in
-  Bptree.iter
-    (fun start len ->
-      insert_extent t' ~start:(Int64.to_int start) ~sectors:(Int64.to_int len))
-    t.by_loc;
-  t'
+(* Structural sharing makes this a constant-time branch point. *)
+let copy t = { by_size = t.by_size; by_loc = t.by_loc }
 
 let encode enc t =
   let module E = Histar_util.Codec.Enc in

@@ -42,7 +42,10 @@ type t = {
   wal_sectors : int;
   apply_threshold : int;
   sector_bytes : int;
-  object_map : Bptree.t;  (** oid → packed (start << 24 | sector count) *)
+  mutable object_map : int64 Bptree.t;
+      (** oid → packed (start << 24 | sector count). The tree is
+          persistent; this field holds the current root, so {!fork} can
+          branch the whole map in O(1). *)
   alloc : Extent_alloc.t;
   dirty : (int64, string option) Hashtbl.t;
       (** pending updates; [None] means deletion *)
@@ -271,7 +274,9 @@ let checkpoint t =
       (match Bptree.find t.object_map oid with
       | Some packed ->
           to_free := unpack packed :: !to_free;
-          ignore (Bptree.remove t.object_map oid)
+          (match Bptree.remove t.object_map oid with
+          | Some m -> t.object_map <- m
+          | None -> assert false)
       | None -> ());
       match update with
       | None -> ()
@@ -282,7 +287,7 @@ let checkpoint t =
           | None -> failwith "Store: disk full"
           | Some start ->
               Disk.write t.disk ~sector:start image;
-              Bptree.insert t.object_map oid (pack ~start ~sectors);
+              t.object_map <- Bptree.insert t.object_map oid (pack ~start ~sectors);
               Hashtbl.replace t.cache oid payload))
     dirty;
   Hashtbl.reset t.dirty;
@@ -577,7 +582,9 @@ let scrub ?(max_passes = 10) t =
           | Some _ -> ()
           | None -> (
               incr faults;
-              ignore (Bptree.remove t.object_map oid);
+              (match Bptree.remove t.object_map oid with
+              | Some m -> t.object_map <- m
+              | None -> assert false);
               quarantine t ~start ~sectors;
               quarantined_n := !quarantined_n + sectors;
               match Hashtbl.find_opt t.cache oid with
@@ -625,6 +632,37 @@ let scrub ?(max_passes = 10) t =
   }
 
 let quarantined_extents t = t.quarantined
+
+(* ---------- branching ---------- *)
+
+(* O(1) in the number of objects: the object map and both allocator
+   trees are persistent (shared roots), the disk fork shares the
+   persistent media map, and the WAL handle is a fresh record over the
+   forked disk. Only the dirty set, clean cache and volatile disk cache
+   are copied. The [quarantined] list and [wal_epoch] live in this
+   record, so a fork's quarantines and epoch bumps never reach the
+   trunk. *)
+let fork t =
+  let disk = Disk.fork t.disk in
+  let wal = Wal.fork t.wal ~disk in
+  {
+    disk;
+    wal;
+    wal_sectors = t.wal_sectors;
+    apply_threshold = t.apply_threshold;
+    sector_bytes = t.sector_bytes;
+    object_map = t.object_map;
+    alloc = Extent_alloc.copy t.alloc;
+    dirty = Hashtbl.copy t.dirty;
+    cache = Hashtbl.copy t.cache;
+    stats = fresh_stats ();
+    generation = t.generation;
+    checkpoint_extent = t.checkpoint_extent;
+    quarantined = t.quarantined;
+    wal_epoch = t.wal_epoch;
+  }
+
+let disk t = t.disk
 
 (* ---------- inspection ---------- *)
 

@@ -32,6 +32,16 @@ val format :
 val recover : disk:Histar_disk.Disk.t -> t
 (** Rebuild from the last snapshot and replay the committed log. *)
 
+val fork : t -> t
+(** Branch the whole store — O(1) in the number of objects. The object
+    map and allocator trees are persistent and shared structurally; the
+    disk fork shares the persistent media map. Mutations on either side
+    (puts, checkpoints, scrubs, quarantines, WAL epoch bumps) stay
+    local to that branch. {!fsck} is valid on any branch. *)
+
+val disk : t -> Histar_disk.Disk.t
+(** The disk this store handle writes to (a fork's is its own). *)
+
 val put : t -> oid:int64 -> string -> unit
 val get : t -> oid:int64 -> string option
 val mem : t -> oid:int64 -> bool

@@ -1,8 +1,18 @@
 open Histar_btree
+module Metrics = Histar_metrics.Metrics
 
 module I64Map = Map.Make (Int64)
 
 let kv = Alcotest.(option (pair int64 int64))
+
+(* Functional helpers over the persistent API. *)
+let insert_seq t n f =
+  let t = ref t in
+  for i = 0 to n - 1 do
+    let k, v = f i in
+    t := Bptree.insert !t k v
+  done;
+  !t
 
 let test_empty () =
   let t = Bptree.create () in
@@ -11,14 +21,14 @@ let test_empty () =
   Alcotest.check kv "min" None (Bptree.min_binding t);
   Alcotest.check kv "max" None (Bptree.max_binding t);
   Alcotest.(check (option int64)) "find" None (Bptree.find t 5L);
-  Alcotest.(check bool) "remove absent" false (Bptree.remove t 5L);
+  Alcotest.(check bool) "remove absent" true (Bptree.remove t 5L = None);
   Bptree.check_invariants t
 
 let test_insert_find () =
-  let t = Bptree.create ~order:4 () in
-  for i = 0 to 999 do
-    Bptree.insert t (Int64.of_int (i * 7 mod 1000)) (Int64.of_int i)
-  done;
+  let t =
+    insert_seq (Bptree.create ~order:4 ()) 1000 (fun i ->
+        (Int64.of_int (i * 7 mod 1000), Int64.of_int i))
+  in
   Bptree.check_invariants t;
   Alcotest.(check int) "cardinal" 1000 (Bptree.cardinal t);
   for i = 0 to 999 do
@@ -27,28 +37,35 @@ let test_insert_find () =
 
 let test_replace () =
   let t = Bptree.create () in
-  Bptree.insert t 1L 10L;
-  Bptree.insert t 1L 20L;
+  let t = Bptree.insert t 1L 10L in
+  let t = Bptree.insert t 1L 20L in
   Alcotest.(check int) "no duplicate" 1 (Bptree.cardinal t);
   Alcotest.(check (option int64)) "replaced" (Some 20L) (Bptree.find t 1L)
 
 let test_delete_all () =
-  let t = Bptree.create ~order:4 () in
   let n = 500 in
-  for i = 0 to n - 1 do
-    Bptree.insert t (Int64.of_int i) (Int64.of_int (i * 2))
-  done;
+  let t =
+    insert_seq (Bptree.create ~order:4 ()) n (fun i ->
+        (Int64.of_int i, Int64.of_int (i * 2)))
+  in
   (* Remove in a scrambled order to exercise borrows and merges. *)
+  let t = ref t in
   for i = 0 to n - 1 do
     let k = Int64.of_int (i * 17 mod n) in
-    if not (Bptree.remove t k) then Alcotest.fail "remove failed";
-    Bptree.check_invariants t
+    (match Bptree.remove !t k with
+    | Some t' -> t := t'
+    | None -> Alcotest.fail "remove failed");
+    Bptree.check_invariants !t
   done;
-  Alcotest.(check bool) "empty at end" true (Bptree.is_empty t)
+  Alcotest.(check bool) "empty at end" true (Bptree.is_empty !t)
 
 let test_ordered_queries () =
-  let t = Bptree.create ~order:4 () in
-  List.iter (fun k -> Bptree.insert t k (Int64.neg k)) [ 10L; 20L; 30L; 40L ];
+  let t =
+    List.fold_left
+      (fun t k -> Bptree.insert t k (Int64.neg k))
+      (Bptree.create ~order:4 ())
+      [ 10L; 20L; 30L; 40L ]
+  in
   Alcotest.check kv "geq exact" (Some (20L, -20L)) (Bptree.find_geq t 20L);
   Alcotest.check kv "geq between" (Some (30L, -30L)) (Bptree.find_geq t 21L);
   Alcotest.check kv "geq past end" None (Bptree.find_geq t 41L);
@@ -61,25 +78,25 @@ let test_ordered_queries () =
   Alcotest.check kv "max" (Some (40L, -40L)) (Bptree.max_binding t)
 
 let test_iter_sorted () =
-  let t = Bptree.create ~order:4 () in
+  let t = ref (Bptree.create ~order:4 ()) in
   for i = 99 downto 0 do
-    Bptree.insert t (Int64.of_int i) 0L
+    t := Bptree.insert !t (Int64.of_int i) 0L
   done;
-  let keys = List.map fst (Bptree.to_list t) in
+  let keys = List.map fst (Bptree.to_list !t) in
   Alcotest.(check (list int64)) "sorted" (List.init 100 Int64.of_int) keys
 
 let test_height_logarithmic () =
-  let t = Bptree.create ~order:16 () in
-  for i = 0 to 9999 do
-    Bptree.insert t (Int64.of_int i) 0L
-  done;
+  let t =
+    insert_seq (Bptree.create ~order:16 ()) 10_000 (fun i ->
+        (Int64.of_int i, 0L))
+  in
   Alcotest.(check bool) "height small" true (Bptree.height t <= 5)
 
 let test_codec_roundtrip () =
-  let t = Bptree.create ~order:8 () in
-  for i = 0 to 299 do
-    Bptree.insert t (Int64.of_int (i * 13)) (Int64.of_int i)
-  done;
+  let t =
+    insert_seq (Bptree.create ~order:8 ()) 300 (fun i ->
+        (Int64.of_int (i * 13), Int64.of_int i))
+  in
   let e = Histar_util.Codec.Enc.create () in
   Bptree.encode e t;
   let d = Histar_util.Codec.Dec.of_string (Histar_util.Codec.Enc.to_string e) in
@@ -87,6 +104,113 @@ let test_codec_roundtrip () =
   Bptree.check_invariants t';
   Alcotest.(check (list (pair int64 int64)))
     "same bindings" (Bptree.to_list t) (Bptree.to_list t')
+
+(* ---- persistence: old versions survive mutation ---- *)
+
+let test_versions_independent () =
+  let base =
+    insert_seq (Bptree.create ~order:4 ()) 200 (fun i ->
+        (Int64.of_int i, Int64.of_int i))
+  in
+  let before = Bptree.to_list base in
+  (* Derive two divergent versions; the base and each sibling must be
+     unaffected by the other's edits. *)
+  let a = Bptree.insert base 1000L 1L in
+  let b = Option.get (Bptree.remove base 0L) in
+  let b = Bptree.insert b 50L 999L in
+  Bptree.check_invariants a;
+  Bptree.check_invariants b;
+  Alcotest.(check (list (pair int64 int64))) "base unchanged" before
+    (Bptree.to_list base);
+  Alcotest.(check (option int64)) "a sees its insert" (Some 1L)
+    (Bptree.find a 1000L);
+  Alcotest.(check (option int64)) "b does not" None (Bptree.find b 1000L);
+  Alcotest.(check (option int64)) "b removed 0" None (Bptree.find b 0L);
+  Alcotest.(check (option int64)) "a kept 0" (Some 0L) (Bptree.find a 0L);
+  Alcotest.(check (option int64)) "b replaced 50" (Some 999L)
+    (Bptree.find b 50L);
+  Alcotest.(check (option int64)) "base kept 50" (Some 50L)
+    (Bptree.find base 50L)
+
+(* ---- structural sharing: forks cost O(height), not O(entries) ----
+
+   The [btree.node_allocs] counter increments on every node
+   construction, so the cost of deriving versions is directly
+   observable. Forking N branches off a 10k-entry tree with one insert
+   each must allocate O(N · height) nodes — path copying — never
+   O(N · entries), which is what a naive copy-the-map design costs. *)
+
+let with_metrics f =
+  let was = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled was) f
+
+let alloc_count () = Metrics.counter_value "btree.node_allocs"
+
+let test_fork_allocs_o_height () =
+  let entries = 10_000 and nforks = 64 in
+  let base =
+    insert_seq (Bptree.create ~order:16 ()) entries (fun i ->
+        (Int64.of_int (i * 2), 0L))
+  in
+  let h = Bptree.height base in
+  let branches = ref [] in
+  let spent =
+    with_metrics (fun () ->
+        let a0 = alloc_count () in
+        for i = 0 to nforks - 1 do
+          (* odd key: every branch inserts a fresh binding *)
+          branches :=
+            Bptree.insert base (Int64.of_int ((i * 2) + 1)) 1L :: !branches
+        done;
+        alloc_count () - a0)
+  in
+  (* An insert rewrites the root-to-leaf path and at worst splits every
+     node on it: well under 3·height constructions. *)
+  let bound = nforks * ((3 * h) + 2) in
+  if spent > bound then
+    Alcotest.fail
+      (Printf.sprintf
+         "forking %d branches allocated %d nodes (height %d, bound %d): \
+          sharing is broken"
+         nforks spent h bound);
+  Alcotest.(check bool) "far below O(N*entries)" true
+    (spent < nforks * entries / 100);
+  (* And the branches are real: each sees exactly its own insert. *)
+  Alcotest.(check int) "base untouched" entries (Bptree.cardinal base);
+  List.iteri
+    (fun j t ->
+      let i = nforks - 1 - j in
+      Alcotest.(check int) "branch cardinal" (entries + 1) (Bptree.cardinal t);
+      Alcotest.(check (option int64))
+        "branch sees own key" (Some 1L)
+        (Bptree.find t (Int64.of_int ((i * 2) + 1)));
+      Bptree.check_invariants t)
+    !branches
+
+let test_remove_allocs_o_height () =
+  let entries = 10_000 and nforks = 64 in
+  let base =
+    insert_seq (Bptree.create ~order:16 ()) entries (fun i ->
+        (Int64.of_int i, 0L))
+  in
+  let h = Bptree.height base in
+  let spent =
+    with_metrics (fun () ->
+        let a0 = alloc_count () in
+        for i = 0 to nforks - 1 do
+          ignore (Option.get (Bptree.remove base (Int64.of_int (i * 100))))
+        done;
+        alloc_count () - a0)
+  in
+  (* A remove rewrites the path and may borrow/merge at each level. *)
+  let bound = nforks * ((4 * h) + 2) in
+  if spent > bound then
+    Alcotest.fail
+      (Printf.sprintf
+         "removing on %d branches allocated %d nodes (height %d, bound %d)"
+         nforks spent h bound);
+  Alcotest.(check int) "base untouched" entries (Bptree.cardinal base)
 
 (* ---- model-based qcheck: compare against Map ---- *)
 
@@ -129,26 +253,30 @@ let prop_model order =
     ~count:300
     QCheck2.Gen.(list_size (int_bound 400) gen_op)
     (fun ops ->
-      let t = Bptree.create ~order () in
+      let t = ref (Bptree.create ~order ()) in
       let m = ref I64Map.empty in
       List.for_all
         (fun op ->
           match op with
           | Insert (k, v) ->
-              Bptree.insert t k v;
+              t := Bptree.insert !t k v;
               m := I64Map.add k v !m;
-              Bptree.find t k = Some v
+              Bptree.find !t k = Some v
           | Remove k ->
               let was = I64Map.mem k !m in
               m := I64Map.remove k !m;
-              Bptree.remove t k = was
-          | FindGeq k -> Bptree.find_geq t k = model_geq !m k
-          | FindLeq k -> Bptree.find_leq t k = model_leq !m k)
+              (match Bptree.remove !t k with
+              | Some t' ->
+                  t := t';
+                  was
+              | None -> not was)
+          | FindGeq k -> Bptree.find_geq !t k = model_geq !m k
+          | FindLeq k -> Bptree.find_leq !t k = model_leq !m k)
         ops
-      && Bptree.cardinal t = I64Map.cardinal !m
-      && Bptree.to_list t = I64Map.bindings !m
+      && Bptree.cardinal !t = I64Map.cardinal !m
+      && Bptree.to_list !t = I64Map.bindings !m
       &&
-      (Bptree.check_invariants t;
+      (Bptree.check_invariants !t;
        true))
 
 let prop_random_churn =
@@ -156,21 +284,42 @@ let prop_random_churn =
     QCheck2.Gen.(int_range 1 10_000)
     (fun seed ->
       let rng = Histar_util.Rng.create (Int64.of_int seed) in
-      let t = Bptree.create ~order:6 () in
+      let t = ref (Bptree.create ~order:6 ()) in
       let m = ref I64Map.empty in
       for _ = 1 to 2000 do
         let k = Int64.of_int (Histar_util.Rng.int rng 500) in
         if Histar_util.Rng.bool rng then begin
-          Bptree.insert t k k;
+          t := Bptree.insert !t k k;
           m := I64Map.add k k !m
         end
         else begin
-          ignore (Bptree.remove t k);
+          (match Bptree.remove !t k with Some t' -> t := t' | None -> ());
           m := I64Map.remove k !m
         end
       done;
-      Bptree.check_invariants t;
-      Bptree.to_list t = I64Map.bindings !m)
+      Bptree.check_invariants !t;
+      Bptree.to_list !t = I64Map.bindings !m)
+
+(* Every intermediate version of a random edit sequence stays exactly
+   what it was when it was made — the property the kernel-fork layer
+   rests on. *)
+let prop_versions_persistent =
+  QCheck2.Test.make ~name:"every version persists unchanged" ~count:30
+    QCheck2.Gen.(int_range 1 10_000)
+    (fun seed ->
+      let rng = Histar_util.Rng.create (Int64.of_int seed) in
+      let t = ref (Bptree.create ~order:4 ()) in
+      let versions = ref [] in
+      for _ = 1 to 300 do
+        let k = Int64.of_int (Histar_util.Rng.int rng 80) in
+        (if Histar_util.Rng.bool rng then t := Bptree.insert !t k k
+         else
+           match Bptree.remove !t k with Some t' -> t := t' | None -> ());
+        versions := (!t, Bptree.to_list !t) :: !versions
+      done;
+      List.for_all
+        (fun (v, expected) -> Bptree.to_list v = expected)
+        !versions)
 
 (* ---------- histar_check: differential test against Map with
    integrated shrinking — a divergence shrinks to a minimal op
@@ -203,42 +352,48 @@ let gen_op =
 let gen_ops = Gen.(resize 60 (list gen_op))
 
 let apply_differential order ops =
-  let t = Bptree.create ~order () in
+  let t = ref (Bptree.create ~order ()) in
   let m = ref I64Map.empty in
   List.iter
     (fun op ->
       (match op with
       | Ins (k, v) ->
-          Bptree.insert t k v;
+          t := Bptree.insert !t k v;
           m := I64Map.add k v !m
       | Del k ->
-          let removed = Bptree.remove t k in
+          let removed =
+            match Bptree.remove !t k with
+            | Some t' ->
+                t := t';
+                true
+            | None -> false
+          in
           Check.ensure ~msg:(Printf.sprintf "remove %Ld disagrees" k)
             (removed = I64Map.mem k !m);
           m := I64Map.remove k !m
       | Find k ->
           Check.ensure ~msg:(Printf.sprintf "find %Ld disagrees" k)
-            (Bptree.find t k = I64Map.find_opt k !m));
-      Bptree.check_invariants t;
+            (Bptree.find !t k = I64Map.find_opt k !m));
+      Bptree.check_invariants !t;
       Check.ensure ~msg:"cardinal disagrees"
-        (Bptree.cardinal t = I64Map.cardinal !m))
+        (Bptree.cardinal !t = I64Map.cardinal !m))
     ops;
   Check.ensure ~msg:"final bindings disagree"
-    (Bptree.to_list t = I64Map.bindings !m);
+    (Bptree.to_list !t = I64Map.bindings !m);
   (* ordered queries against the model, at every key in the window *)
   let bindings = I64Map.bindings !m in
   for k = 0 to 50 do
     let k = Int64.of_int k in
     let geq = List.find_opt (fun (k', _) -> Int64.compare k' k >= 0) bindings in
     Check.ensure ~msg:(Printf.sprintf "find_geq %Ld disagrees" k)
-      (Bptree.find_geq t k = geq);
+      (Bptree.find_geq !t k = geq);
     let leq =
       List.fold_left
         (fun acc (k', v) -> if Int64.compare k' k <= 0 then Some (k', v) else acc)
         None bindings
     in
     Check.ensure ~msg:(Printf.sprintf "find_leq %Ld disagrees" k)
-      (Bptree.find_leq t k = leq)
+      (Bptree.find_leq !t k = leq)
   done
 
 let check_tests =
@@ -263,8 +418,18 @@ let () =
           Alcotest.test_case "height" `Quick test_height_logarithmic;
           Alcotest.test_case "codec" `Quick test_codec_roundtrip;
         ] );
+      ( "persistence",
+        [
+          Alcotest.test_case "versions independent" `Quick
+            test_versions_independent;
+          Alcotest.test_case "fork allocs O(height)" `Quick
+            test_fork_allocs_o_height;
+          Alcotest.test_case "remove allocs O(height)" `Quick
+            test_remove_allocs_o_height;
+        ] );
       ( "model",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_model 4; prop_model 16; prop_random_churn ] );
+          [ prop_model 4; prop_model 16; prop_random_churn;
+            prop_versions_persistent ] );
       ("differential (histar_check)", check_tests);
     ]

@@ -85,6 +85,10 @@ let sweep_test ?max_points w =
           reports := r :: !reports;
           if r.Crash_sweep.total_writes <= 0 then
             Alcotest.fail "workload performed no media writes";
+          (* All three real workloads carry a model snapshot, so the
+             sweep defaults to the O(W) fork-based path. *)
+          if r.Crash_sweep.mode <> `Fork then
+            Alcotest.fail "sweep did not default to fork mode";
           Format.printf "%a@." Crash_sweep.pp_report r
       | exception Check.Falsified msg -> Alcotest.fail msg)
 
@@ -110,17 +114,81 @@ let test_coverage () =
            floor)
   end
 
-(* ---------- injected regression is caught ---------- *)
+(* ---------- fork vs replay: the double-run discipline ----------
 
-let test_injected_regression_caught () =
-  (* A "recovery" that skips WAL replay: it formats and commits like
-     the real WAL workload but validates against a recovery that drops
-     every record. The sweep must catch this at some crash index and
-     print a replayable report. Skipped when a replay filter targets a
-     different workload, since the sweep then visits no crash points. *)
+   The same crash cell produced both ways must do metric-for-metric
+   identical recovery work. This is the bit-identity contract that
+   justifies switching the sweep default to the O(W) fork path. *)
+
+let metric_list =
+  Alcotest.(list (pair string int))
+
+let test_fork_replay_recovery_identical () =
   if replaying () then ()
   else
-  let broken =
+    let seed = Check.default_seed in
+    List.iter
+      (fun w ->
+        List.iter
+          (fun index ->
+            let fork =
+              Crash_sweep.recovery_metrics w ~seed ~index ~mode:`Fork
+            in
+            let replay =
+              Crash_sweep.recovery_metrics w ~seed ~index ~mode:`Replay
+            in
+            Alcotest.check metric_list
+              (Printf.sprintf "%s @ %d: fork == replay" w.Crash_sweep.name
+                 index)
+              replay fork)
+          [ 0; 3; 17 ])
+      (Workloads.all ())
+
+let test_cells_counter_and_throughput () =
+  if replaying () then ()
+  else begin
+    let was = Histar_metrics.Metrics.enabled () in
+    Histar_metrics.Metrics.set_enabled true;
+    let cells0 = Histar_metrics.Metrics.counter_value "crash_sweep.cells" in
+    let r =
+      Fun.protect
+        ~finally:(fun () -> Histar_metrics.Metrics.set_enabled was)
+        (fun () -> Crash_sweep.sweep ~max_points:12 (Workloads.wal ()))
+    in
+    let cells = Histar_metrics.Metrics.counter_value "crash_sweep.cells" in
+    Alcotest.(check int) "one cells tick per crash point" r.Crash_sweep.points
+      (cells - cells0);
+    Alcotest.(check bool) "throughput is measurable" true
+      (Crash_sweep.cells_per_sec r > 0.0)
+  end
+
+(* The >= 10x wall-clock claim. CPU-time ratios on shared CI runners
+   are noisy, so this only runs when explicitly requested
+   (HISTAR_CHECK_SPEEDUP=1, set by the snapshot-smoke CI job). *)
+let test_fork_speedup () =
+  if Stdlib.Sys.getenv_opt "HISTAR_CHECK_SPEEDUP" <> Some "1" then ()
+  else begin
+    (* A longer run sharpens the asymptotics: replay pays the whole
+       prefix per cell, fork pays only the recovery check. *)
+    let w = Workloads.store ~nops:300 () in
+    let fork = Crash_sweep.sweep ~max_points:64 ~mode:`Fork w in
+    let replay = Crash_sweep.sweep ~max_points:64 ~mode:`Replay w in
+    let ratio =
+      Crash_sweep.cells_per_sec fork /. Crash_sweep.cells_per_sec replay
+    in
+    Format.printf "fork %.0f cells/s, replay %.0f cells/s (%.1fx)@."
+      (Crash_sweep.cells_per_sec fork)
+      (Crash_sweep.cells_per_sec replay)
+      ratio;
+    if ratio < 10.0 then
+      Alcotest.fail
+        (Printf.sprintf "fork-based sweep only %.1fx faster than replay"
+           ratio)
+  end
+
+(* ---------- injected regression is caught ---------- *)
+
+let broken_wal_workload () =
     {
       Crash_sweep.name = "wal-noreplay";
       mk =
@@ -148,10 +216,22 @@ let test_injected_regression_caught () =
                   failwith
                     (Printf.sprintf "%d committed records lost" !committed)
           in
-          { Crash_sweep.disk; run; check });
+          let snapshot () =
+            let c = !committed in
+            fun () -> committed := c
+          in
+          { Crash_sweep.disk; run; check; snapshot = Some snapshot });
     }
-  in
-  match Crash_sweep.sweep ~max_points:16 broken with
+
+(* A "recovery" that skips WAL replay: it formats and commits like the
+   real WAL workload but validates against a recovery that drops every
+   record. The sweep must catch this at some crash index and print a
+   replayable report — and the fork-based and replay-based sweeps must
+   print the {e same} report, since they check identical media.
+   Skipped when a replay filter targets a different workload, since
+   the sweep then visits no crash points. *)
+let catch_broken mode =
+  match Crash_sweep.sweep ~max_points:16 ~mode (broken_wal_workload ()) with
   | _ -> Alcotest.fail "injected WAL-replay regression was not caught"
   | exception Check.Falsified msg ->
       check_mentions msg
@@ -161,7 +241,16 @@ let test_injected_regression_caught () =
           "HISTAR_CHECK_WORKLOAD=wal-noreplay";
           "HISTAR_CHECK_CRASH_INDEX=";
           "records lost";
-        ]
+        ];
+      msg
+
+let test_injected_regression_caught () =
+  if replaying () then ()
+  else
+    let by_fork = catch_broken `Fork in
+    let by_replay = catch_broken `Replay in
+    Alcotest.(check string) "fork and replay report identically" by_replay
+      by_fork
 
 let () =
   Alcotest.run "histar_check"
@@ -184,5 +273,14 @@ let () =
           Alcotest.test_case "coverage" `Quick test_coverage;
           Alcotest.test_case "injected regression caught" `Quick
             test_injected_regression_caught;
+        ] );
+      ( "fork vs replay",
+        [
+          Alcotest.test_case "recovery metrics byte-identical" `Quick
+            test_fork_replay_recovery_identical;
+          Alcotest.test_case "cells counter and throughput" `Quick
+            test_cells_counter_and_throughput;
+          Alcotest.test_case "fork sweep >= 10x (HISTAR_CHECK_SPEEDUP=1)"
+            `Quick test_fork_speedup;
         ] );
     ]

@@ -1096,6 +1096,113 @@ let test_negative_offset_is_error () =
       Alcotest.(check bool) "thread still runs" true
         (Sys.segment_cas (centry root s) ~off:8 ~expected:0L ~desired:7L))
 
+(* ---------- branchable kernel states (fork / resume / drop) ---------- *)
+
+let test_fork_resume_isolated () =
+  let k = Kernel.create () in
+  let seg = ref None in
+  let _tid =
+    Kernel.spawn k ~name:"setup" (fun () ->
+        let s =
+          Sys.segment_create ~container:(Kernel.root k) ~label:l1 ~quota:4096L
+            ~len:6 "shared"
+        in
+        Sys.segment_write (centry (Kernel.root k) s) ~off:0 "trunk!";
+        seg := Some s)
+  in
+  Kernel.run k;
+  let s = Option.get !seg in
+  let h = Kernel.fork k in
+  (* Two independent branches off the same handle, each mutating the
+     same segment differently; neither sees the other or the trunk. *)
+  let run_branch data =
+    let b = Kernel.resume h in
+    let tid =
+      Kernel.spawn b ~name:"branch" (fun () ->
+          Sys.segment_write (centry (Kernel.root b) s) ~off:0 data)
+    in
+    ignore tid;
+    Kernel.run b;
+    Option.get (Kernel.segment_data b s)
+  in
+  let d1 = run_branch "brancA" in
+  let d2 = run_branch "brancB" in
+  Alcotest.(check string) "branch 1 sees its write" "brancA" d1;
+  Alcotest.(check string) "branch 2 sees its write" "brancB" d2;
+  Alcotest.(check (option string)) "trunk untouched" (Some "trunk!")
+    (Kernel.segment_data k s);
+  (* The handle captured the whole state: object population matches. *)
+  Alcotest.(check int) "handle object count" (Kernel.object_count k)
+    (Kernel.handle_object_count h)
+
+let test_fork_named_handles () =
+  let k = Kernel.create () in
+  let h1 = Kernel.fork ~name:"phase-1" k in
+  let _tid = Kernel.spawn k ~name:"t" (fun () -> ignore (Sys.cat_create ())) in
+  Kernel.run k;
+  let h2 = Kernel.fork ~name:"phase-2" k in
+  Alcotest.(check (option string)) "name" (Some "phase-1")
+    (Kernel.handle_name h1);
+  let found name h =
+    match Kernel.find_handle name with Some h' -> h' == h | None -> false
+  in
+  Alcotest.(check bool) "registry finds phase-1" true (found "phase-1" h1);
+  Alcotest.(check bool) "registry finds phase-2" true (found "phase-2" h2);
+  Alcotest.(check bool) "names listed" true
+    (List.mem "phase-1" (Kernel.handle_names ())
+    && List.mem "phase-2" (Kernel.handle_names ()));
+  Kernel.drop h1;
+  Alcotest.(check bool) "dropped name forgotten" true
+    (Kernel.find_handle "phase-1" = None);
+  (* Dropping only forgets the name; the value still resumes. *)
+  let b = Kernel.resume h1 in
+  Alcotest.(check int) "dropped handle still resumes"
+    (Kernel.handle_object_count h1)
+    (Kernel.object_count b);
+  Kernel.drop h2
+
+let test_fork_resume_reruns_deterministically () =
+  (* A resumed branch restarts its thread and replays the same suffix:
+     generator state (oids, categories) was captured, so two resumes
+     produce identical object ids. *)
+  let k = Kernel.create () in
+  let tid = Kernel.spawn k ~name:"setup" (fun () -> ignore (Sys.cat_create ())) in
+  Kernel.run k;
+  let h = Kernel.fork k in
+  let run_once () =
+    let b = Kernel.resume h in
+    (* Resumed threads are halted (continuations don't serialize);
+       re-arm the captured thread with a fresh body. *)
+    Alcotest.(check (option Alcotest.string)) "resumed thread halted"
+      (Some "halted")
+      (match Kernel.thread_state b tid with
+      | Some `Halted -> Some "halted"
+      | Some `Ready -> Some "ready"
+      | Some `Running -> Some "running"
+      | Some `Blocked -> Some "blocked"
+      | None -> None);
+    let made = ref [] in
+    Kernel.restart_thread b tid (fun () ->
+        let s =
+          Sys.segment_create ~container:(Kernel.root b) ~label:l1
+            ~quota:1024L ~len:4 "s"
+        in
+        made := [ s ]);
+    Kernel.run b;
+    !made
+  in
+  Alcotest.(check (list int64)) "same oids on both resumes" (run_once ())
+    (run_once ())
+
+let test_restart_thread_rejects_non_thread () =
+  let k = Kernel.create () in
+  (match Kernel.restart_thread k (Kernel.root k) (fun () -> ()) with
+  | () -> Alcotest.fail "restarted a container"
+  | exception Invalid_argument _ -> ());
+  match Kernel.set_gate_entry k (Kernel.root k) (fun () -> ()) with
+  | () -> Alcotest.fail "re-armed a container"
+  | exception Invalid_argument _ -> ()
+
 let () =
   Alcotest.run "histar_kernel"
     [
@@ -1211,5 +1318,15 @@ let () =
             test_quota_move_target_wrap_rejected;
           Alcotest.test_case "negative segment offsets are errors" `Quick
             test_negative_offset_is_error;
+        ] );
+      ( "branchable states",
+        [
+          Alcotest.test_case "fork/resume isolation" `Quick
+            test_fork_resume_isolated;
+          Alcotest.test_case "named handles" `Quick test_fork_named_handles;
+          Alcotest.test_case "resume is deterministic" `Quick
+            test_fork_resume_reruns_deterministically;
+          Alcotest.test_case "restart/set_gate_entry guards" `Quick
+            test_restart_thread_rejects_non_thread;
         ] );
     ]

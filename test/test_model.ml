@@ -271,54 +271,127 @@ let prop_quota_conformance trace =
 let l1s = { Conf.ls_def = 2; ls_ents = [] }
 let near_max = Int64.sub Int64.max_int 100L
 
+(* Each regression trace is checked in both execution modes: the
+   historical whole-trace replay and the fork-based per-op path the
+   fuzz corpus now runs on. The verdicts must agree — and be clean. *)
 let regression name trace () =
-  match Conf.compare_traces trace with
-  | None -> ()
-  | Some detail -> Alcotest.fail (name ^ " regressed: " ^ detail)
+  List.iter
+    (fun mode ->
+      match Conf.compare_traces ~mode trace with
+      | None -> ()
+      | Some detail ->
+          Alcotest.fail
+            (Printf.sprintf "%s regressed (%s mode): %s" name
+               (match mode with `Fork -> "fork" | `Replay -> "replay")
+               detail))
+    [ `Replay; `Fork ]
 
-let regress_charge_overflow =
+let trace_charge_overflow =
   (* Finite-container admission check used [usage + amount > quota],
      which wraps for huge requests and over-commits. *)
-  regression "charge overflow"
-    [
-      Conf.O_container_create (0, l1s, near_max, []);
-      Conf.O_segment_create (2, l1s, Int64.sub Int64.max_int 1L, 8);
-      Conf.O_get_quota (0, 2);
-    ]
+  [
+    Conf.O_container_create (0, l1s, near_max, []);
+    Conf.O_segment_create (2, l1s, Int64.sub Int64.max_int 1L, 8);
+    Conf.O_get_quota (0, 2);
+  ]
 
-let regress_infinite_usage_wrap =
+let trace_infinite_usage_wrap =
   (* Infinite containers skip admission, but their usage accounting
      still has to saturate rather than wrap negative. *)
-  regression "infinite-container usage wrap"
-    [
-      Conf.O_container_create (0, l1s, 65536L, []);
-      Conf.O_quota_move (0, 2, near_max);
-      Conf.O_quota_move (0, 2, near_max);
-      Conf.O_get_quota (0, 0);
-      Conf.O_get_quota (0, 2);
-    ]
+  [
+    Conf.O_container_create (0, l1s, 65536L, []);
+    Conf.O_quota_move (0, 2, near_max);
+    Conf.O_quota_move (0, 2, near_max);
+    Conf.O_get_quota (0, 0);
+    Conf.O_get_quota (0, 2);
+  ]
 
-let regress_quota_move_wrap =
+let trace_quota_move_wrap =
   (* Repeated quota_move into the same target overflowed the target's
      quota field when the source was infinite. *)
-  regression "quota_move target wrap"
-    [
-      Conf.O_segment_create (0, l1s, 1024L, 8);
-      Conf.O_quota_move (0, 2, near_max);
-      Conf.O_quota_move (0, 2, near_max);
-      Conf.O_get_quota (0, 2);
-    ]
+  [
+    Conf.O_segment_create (0, l1s, 1024L, 8);
+    Conf.O_quota_move (0, 2, near_max);
+    Conf.O_quota_move (0, 2, near_max);
+    Conf.O_get_quota (0, 2);
+  ]
 
-let regress_negative_cas_offset =
+let trace_negative_cas_offset =
   (* segment_cas/futex with a negative offset raised Invalid_argument
      inside the kernel and killed the thread instead of returning an
      Invalid error. *)
-  regression "negative CAS offset crash"
-    [
-      Conf.O_segment_create (0, l1s, 1024L, 16);
-      Conf.O_segment_cas ((0, 2), -8, 0L, 7L);
-      Conf.O_futex_wake ((0, 2), -4, 1);
-    ]
+  [
+    Conf.O_segment_create (0, l1s, 1024L, 16);
+    Conf.O_segment_cas ((0, 2), -8, 0L, 7L);
+    Conf.O_futex_wake ((0, 2), -4, 1);
+  ]
+
+let regression_traces =
+  [
+    ("charge overflow", trace_charge_overflow);
+    ("infinite-container usage wrap", trace_infinite_usage_wrap);
+    ("quota_move target wrap", trace_quota_move_wrap);
+    ("negative CAS offset crash", trace_negative_cas_offset);
+  ]
+
+let regress_charge_overflow = regression "charge overflow" trace_charge_overflow
+
+let regress_infinite_usage_wrap =
+  regression "infinite-container usage wrap" trace_infinite_usage_wrap
+
+let regress_quota_move_wrap =
+  regression "quota_move target wrap" trace_quota_move_wrap
+
+let regress_negative_cas_offset =
+  regression "negative CAS offset crash" trace_negative_cas_offset
+
+(* ---------- fork-based corpus: the double-run discipline ----------
+
+   The fuzz loop now runs on branchable kernel states (each corpus
+   entry keeps a [Kernel.fork] per op boundary; mutants resume from
+   the longest common prefix instead of replaying it). The discipline
+   that keeps the repro lines honest: at a pinned seed, the fork path
+   must be bit-identical to the replay path — same coverage
+   signatures, same corpus evolution, same divergences, same shrunk
+   witness, same report. *)
+
+let test_regression_traces_cov_identical () =
+  List.iter
+    (fun (name, trace) ->
+      Alcotest.(check int)
+        (name ^ ": coverage signature identical")
+        (Conf.trace_cov ~mode:`Replay trace)
+        (Conf.trace_cov ~mode:`Fork trace))
+    regression_traces
+
+let test_fuzz_fork_replay_clean_identical () =
+  let run mode =
+    Conf.run_fuzz ~runs:300 ~seed:Check.default_seed ~mode ()
+  in
+  let f = run `Fork and r = run `Replay in
+  Alcotest.(check string) "clean-kernel reports identical" (Conf.report r)
+    (Conf.report f);
+  Alcotest.(check int) "same corpus size" r.Conf.fs_corpus f.Conf.fs_corpus;
+  Alcotest.(check int) "same run count" r.Conf.fs_runs f.Conf.fs_runs
+
+let test_fuzz_fork_replay_mutant_identical () =
+  (* A weakened kernel must be caught at the same run, shrunk to the
+     same witness, and reported with the same replay line, whichever
+     executor the corpus ran on. *)
+  let run mode =
+    Conf.run_fuzz ~weaken:Kernel.Weaken_gate_star_grant ~runs:200
+      ~seed:Check.default_seed ~mode ()
+  in
+  let f = run `Fork and r = run `Replay in
+  Alcotest.(check string) "mutant reports identical" (Conf.report r)
+    (Conf.report f);
+  match (f.Conf.fs_divergence, r.Conf.fs_divergence) with
+  | Some (tf, df), Some (tr, dr) ->
+      Alcotest.(check string) "same divergence detail" dr df;
+      Alcotest.(check string) "same shrunk witness" (Conf.pp_trace tr)
+        (Conf.pp_trace tf)
+  | None, _ -> Alcotest.fail "fork-mode fuzz missed the gate mutant"
+  | _, None -> Alcotest.fail "replay-mode fuzz missed the gate mutant"
 
 (* ---------- live remote-gate conformance (lib/dist hook) ----------
 
@@ -456,5 +529,14 @@ let () =
             regress_quota_move_wrap;
           Alcotest.test_case "negative CAS offset" `Quick
             regress_negative_cas_offset;
+        ] );
+      ( "fork corpus",
+        [
+          Alcotest.test_case "regression coverage fork == replay" `Quick
+            test_regression_traces_cov_identical;
+          Alcotest.test_case "clean-kernel fuzz reports identical" `Quick
+            test_fuzz_fork_replay_clean_identical;
+          Alcotest.test_case "mutant shrink lines identical" `Quick
+            test_fuzz_fork_replay_mutant_identical;
         ] );
     ]
