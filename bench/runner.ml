@@ -29,6 +29,7 @@ let required_counters =
   [
     "kernel.syscalls";
     "label.checks";
+    "label.elided";
     "disk.media_sector_writes";
     "wal.commits";
   ]

@@ -704,15 +704,53 @@ let add_mdiff a b =
 
 let bucketed l = List.map (fun (s, n) -> (s, bucket n)) l
 
+(* Label-check elision moves counts from [label.checks] to
+   [label.elided] (and adds [label.summary_invalidations]) without
+   changing any decision. Coverage signatures fold the split back
+   together and drop the invalidation counter, so corpus evolution —
+   and hence whole fuzz reports — are bit-identical with elision on
+   and off. *)
+let normalize_mdiff l =
+  let elided = ref 0 in
+  let keep =
+    List.filter
+      (fun (n, v) ->
+        match n with
+        | "label.elided" ->
+            elided := v;
+            false
+        | "label.summary_invalidations" -> false
+        | _ -> true)
+      l
+  in
+  if !elided = 0 then keep
+  else
+    let merged = ref false in
+    let l' =
+      List.map
+        (fun (n, v) ->
+          if String.equal n "label.checks" then begin
+            merged := true;
+            (n, v + !elided)
+          end
+          else (n, v))
+        keep
+    in
+    if !merged then l'
+    else
+      List.sort
+        (fun (x, _) (y, _) -> String.compare x y)
+        (("label.checks", !elided) :: l')
+
 let cov_of ~k ~mdiff ~outs ~term =
   Hashtbl.hash
     ( bucketed (Profile.to_list (Kernel.profile k)),
-      bucketed mdiff,
+      bucketed (normalize_mdiff mdiff),
       List.map out_tag outs,
       pp_term term )
 
-let run_real ?weaken ops =
-  let k = Kernel.create ?weaken () in
+let run_real ?weaken ?elide ops =
+  let k = Kernel.create ?weaken ?elide () in
   let outs = ref [] in
   let slots = ref [ Kernel.root k ] in
   let cats : Category.t list ref = ref [] in
@@ -761,8 +799,8 @@ let exec_model ops =
   let m = run_model ops in
   (m.mr_outs, m.mr_term)
 
-let exec_real ?weaken ops =
-  let r = run_real ?weaken ops in
+let exec_real ?weaken ?elide ops =
+  let r = run_real ?weaken ?elide ops in
   (r.rr_outs, r.rr_term)
 
 (* ---------- final-state comparison ---------- *)
@@ -934,9 +972,9 @@ type branch = {
   br_mterm : term option;
 }
 
-let initial_branch ?weaken () =
+let initial_branch ?weaken ?elide () =
   let mst = Model.init () in
-  let k = Kernel.create ?weaken () in
+  let k = Kernel.create ?weaken ?elide () in
   let tid = Kernel.spawn k ~name:"driver" (fun () -> ()) in
   {
     br_handle = Kernel.fork k;
@@ -1084,18 +1122,97 @@ let exec_from ?(capture = false) base ops =
   in
   (m, r, Array.of_list (List.rev !captured))
 
-let run_pair ?weaken ?(mode = `Replay) trace =
+let run_pair ?weaken ?elide ?(mode = `Replay) trace =
   match mode with
   | `Replay ->
       let m = run_model trace in
-      let r = run_real ?weaken trace in
+      let r = run_real ?weaken ?elide trace in
       (compare_runs m r, r.rr_cov)
   | `Fork ->
-      let m, r, _ = exec_from (initial_branch ?weaken ()) trace in
+      let m, r, _ = exec_from (initial_branch ?weaken ?elide ()) trace in
       (compare_runs m r, r.rr_cov)
 
-let compare_traces ?weaken ?mode trace = fst (run_pair ?weaken ?mode trace)
-let trace_cov ?weaken ?mode trace = snd (run_pair ?weaken ?mode trace)
+let compare_traces ?weaken ?elide ?mode trace =
+  fst (run_pair ?weaken ?elide ?mode trace)
+
+let trace_cov ?weaken ?elide ?mode trace =
+  snd (run_pair ?weaken ?elide ?mode trace)
+
+(* ---------- elided-vs-naive differential ---------- *)
+
+(* Run the same trace on two real kernels — elision on vs. off — and
+   require bit-identical behaviour: same per-op outcomes (including
+   error classes), same termination, same [label.denied] total, same
+   kernel profile and coverage signature, same final state in every
+   slot. Only the [label.checks]/[label.elided] split may differ. *)
+let compare_elision trace =
+  let denied_around f =
+    let was = Metrics.enabled () in
+    Metrics.set_enabled true;
+    let d0 = Metrics.counter_value "label.denied" in
+    let r = f () in
+    let d1 = Metrics.counter_value "label.denied" in
+    Metrics.set_enabled was;
+    (r, d1 - d0)
+  in
+  let a, da = denied_around (fun () -> run_real ~elide:true trace) in
+  let b, db = denied_around (fun () -> run_real ~elide:false trace) in
+  let rec outcomes i ao bo =
+    match (ao, bo) with
+    | [], [] -> None
+    | a1 :: _, b1 :: _ when a1 <> b1 ->
+        Some
+          (Printf.sprintf "outcome %d: elided=%s naive=%s" i (pp_outcome a1)
+             (pp_outcome b1))
+    | _ :: at, _ :: bt -> outcomes (i + 1) at bt
+    | a1 :: _, [] ->
+        Some (Printf.sprintf "outcome %d: elided=%s naive=<none>" i (pp_outcome a1))
+    | [], b1 :: _ ->
+        Some (Printf.sprintf "outcome %d: elided=<none> naive=%s" i (pp_outcome b1))
+  in
+  match outcomes 0 a.rr_outs b.rr_outs with
+  | Some d -> Some d
+  | None ->
+      if a.rr_term <> b.rr_term then
+        Some
+          (Printf.sprintf "termination: elided=%s naive=%s" (pp_term a.rr_term)
+             (pp_term b.rr_term))
+      else if da <> db then
+        Some (Printf.sprintf "label.denied: elided=%d naive=%d" da db)
+      else if
+        Profile.to_list (Kernel.profile a.rr_k)
+        <> Profile.to_list (Kernel.profile b.rr_k)
+      then Some "kernel profile differs between elided and naive runs"
+      else if a.rr_cov <> b.rr_cov then
+        Some "coverage signature differs between elided and naive runs"
+      else begin
+        let slot_of slots oid =
+          let rec go i = function
+            | [] -> -1
+            | o :: tl -> if Int64.equal o oid then i else go (i + 1) tl
+          in
+          go 0 slots
+        in
+        let rec slots i ao bo =
+          match (ao, bo) with
+          | [], [] -> None
+          | aoid :: at, boid :: bt ->
+              let av =
+                real_view_str a.rr_k a.rr_cats (slot_of a.rr_slots) aoid
+              in
+              let bv =
+                real_view_str b.rr_k b.rr_cats (slot_of b.rr_slots) boid
+              in
+              if av <> bv then
+                Some
+                  (Printf.sprintf
+                     "final state, slot %d:\n  elided: %s\n  naive : %s" i av
+                     bv)
+              else slots (i + 1) at bt
+          | _ -> Some "slot tables diverged between elided and naive runs"
+        in
+        slots 0 a.rr_slots b.rr_slots
+      end
 
 (* ---------- generators ---------- *)
 
@@ -1337,14 +1454,14 @@ let gen_quota_trace = Gen.list gen_quota_op
 
 (* ---------- shrinking ---------- *)
 
-let shrink ?weaken trace =
+let shrink_by pred trace =
   let evals = ref 0 in
   let max_evals = 300 in
   let diverges t =
     !evals < max_evals
     && begin
          incr evals;
-         compare_traces ?weaken t <> None
+         pred t
        end
   in
   let rec pass t chunk =
@@ -1364,6 +1481,9 @@ let shrink ?weaken trace =
   in
   let n = List.length trace in
   if n = 0 then trace else pass trace (max 1 (n / 2))
+
+let shrink ?weaken ?elide trace =
+  shrink_by (fun t -> compare_traces ?weaken ?elide t <> None) trace
 
 (* ---------- coverage-guided fuzz loop ---------- *)
 
@@ -1418,8 +1538,8 @@ let common_prefix a b =
   in
   go 0 a b
 
-let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) ?(mode = `Fork) ()
-    =
+let run_fuzz ?weaken ?elide ?runs ?max_size ?(seed = Check.seed ())
+    ?(mode = `Fork) ?(seed_corpus = []) () =
   let runs =
     match runs with
     | Some r -> r
@@ -1428,7 +1548,9 @@ let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) ?(mode = `Fork) ()
   let max_size = Option.value max_size ~default:30 in
   let rng = Rng.create (Int64.logxor seed 0x5EED_F00DL) in
   let base =
-    match mode with `Fork -> Some (initial_branch ?weaken ()) | `Replay -> None
+    match mode with
+    | `Fork -> Some (initial_branch ?weaken ?elide ())
+    | `Replay -> None
   in
   let corpus = ref [] in
   let seen = Hashtbl.create 64 in
@@ -1436,7 +1558,13 @@ let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) ?(mode = `Fork) ()
   let i = ref 0 in
   while !result = None && !i < runs do
     let parent, trace =
-      if !corpus <> [] && Rng.bool rng then
+      (* Seed-corpus traces run first (AFL-style): checked like any
+         other run and admitted to the corpus by coverage, so the
+         mutation engine can grow them. Empty by default, in which
+         case RNG consumption — and thus every pinned catch index —
+         is unchanged. *)
+      if !i < List.length seed_corpus then (None, List.nth seed_corpus !i)
+      else if !corpus <> [] && Rng.bool rng then
         let e = List.nth !corpus (Rng.int rng (List.length !corpus)) in
         (Some e, mutate rng e.ce_trace)
       else
@@ -1447,7 +1575,7 @@ let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) ?(mode = `Fork) ()
     let detail, cov, remember =
       match base with
       | None ->
-          let detail, cov = run_pair ?weaken trace in
+          let detail, cov = run_pair ?weaken ?elide trace in
           (detail, cov, fun () -> { ce_trace = trace; ce_branches = [||] })
       | Some base ->
           (* Resume from the deepest parent branch that is still a
@@ -1479,8 +1607,8 @@ let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) ?(mode = `Fork) ()
     in
     (match detail with
     | Some d ->
-        let t' = shrink ?weaken trace in
-        let d' = Option.value (compare_traces ?weaken t') ~default:d in
+        let t' = shrink ?weaken ?elide trace in
+        let d' = Option.value (compare_traces ?weaken ?elide t') ~default:d in
         result := Some (t', d')
     | None ->
         if not (Hashtbl.mem seen cov) then begin
@@ -1495,6 +1623,30 @@ let run_fuzz ?weaken ?runs ?max_size ?(seed = Check.seed ()) ?(mode = `Fork) ()
     fs_divergence = !result;
     fs_seed = seed;
   }
+
+(* Pure random sweep of the elided-vs-naive differential: no corpus
+   (coverage signatures are elision-normalized, so both runs of a pair
+   always produce the same one — there is nothing elision-specific to
+   steer by), a divergence is shrunk preserving the elided-vs-naive
+   disagreement. *)
+let run_elide_fuzz ?(runs = 200) ?(max_size = 30) ?(seed = Check.seed ()) () =
+  let rng = Rng.create (Int64.logxor seed 0xE11D_EF00L) in
+  let result = ref None in
+  let i = ref 0 in
+  while !result = None && !i < runs do
+    let trace =
+      Gen.generate gen_trace ~seed:(Rng.next64 rng)
+        ~size:(4 + Rng.int rng max_size)
+    in
+    (match compare_elision trace with
+    | Some d ->
+        let t' = shrink_by (fun t -> compare_elision t <> None) trace in
+        let d' = Option.value (compare_elision t') ~default:d in
+        result := Some (t', d')
+    | None -> ());
+    incr i
+  done;
+  { fs_runs = !i; fs_corpus = 0; fs_divergence = !result; fs_seed = seed }
 
 let report fs =
   match fs.fs_divergence with

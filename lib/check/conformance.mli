@@ -105,7 +105,12 @@ val pp_trace : op list -> string
 val pp_outcome : outcome -> string
 
 val exec_model : op list -> outcome list * term
-val exec_real : ?weaken:Kernel.weaken -> op list -> outcome list * term
+
+val exec_real :
+  ?weaken:Kernel.weaken -> ?elide:bool -> op list -> outcome list * term
+(** [elide] is passed through to {!Histar_core.Kernel.create}; it
+    defaults to the process-wide default (elision on unless
+    [HISTAR_NO_ELIDE=1]). *)
 
 type exec_mode = [ `Fork | `Replay ]
 (** How a trace pair is executed. [`Replay] (the historical path)
@@ -119,14 +124,29 @@ type exec_mode = [ `Fork | `Replay ]
     [test_model.ml] pin down. *)
 
 val compare_traces :
-  ?weaken:Kernel.weaken -> ?mode:exec_mode -> op list -> string option
+  ?weaken:Kernel.weaken ->
+  ?elide:bool ->
+  ?mode:exec_mode ->
+  op list ->
+  string option
 (** Run both sides; [Some detail] describes the first divergence
     (per-op outcome, termination, or final-state), [None] if the
     kernel conforms on this trace. [mode] defaults to [`Replay]. *)
 
-val trace_cov : ?weaken:Kernel.weaken -> ?mode:exec_mode -> op list -> int
+val trace_cov :
+  ?weaken:Kernel.weaken -> ?elide:bool -> ?mode:exec_mode -> op list -> int
 (** The trace's coverage signature (what guides the fuzz corpus), for
-    asserting fork/replay bit-identity. *)
+    asserting fork/replay bit-identity. Signatures are
+    elision-normalized: [label.elided] folds back into [label.checks]
+    and [label.summary_invalidations] is dropped, so the same trace
+    yields the same signature with elision on and off. *)
+
+val compare_elision : op list -> string option
+(** The elided-vs-naive differential: run the trace on a kernel with
+    label-check elision on and again with it off, and require
+    bit-identical per-op outcomes, termination, [label.denied] delta,
+    kernel profile, coverage signature and final per-slot state.
+    [Some detail] describes the first disagreement. *)
 
 val gen_trace : op list Gen.t
 (** The full generator, biased towards label-boundary cases: owned
@@ -147,13 +167,22 @@ type fuzz_stats = {
 
 val run_fuzz :
   ?weaken:Kernel.weaken ->
+  ?elide:bool ->
   ?runs:int ->
   ?max_size:int ->
   ?seed:int64 ->
   ?mode:exec_mode ->
+  ?seed_corpus:op list list ->
   unit ->
   fuzz_stats
-(** The coverage-guided loop. Defaults: [runs] 400 (×8 when
+(** The coverage-guided loop. [seed_corpus] (default empty) is a list
+    of traces executed before any generated ones — a seed corpus in
+    the AFL sense: each is differentially checked like any other run,
+    counts against [runs], and joins the corpus by coverage so the
+    mutation engine can extend it. An empty seed corpus leaves RNG
+    consumption bit-identical, so pinned catch indices are unaffected.
+
+    Defaults: [runs] 400 (×8 when
     [HISTAR_CHECK_LONG=1]), [max_size] 30, [seed] {!Check.seed}[()],
     [mode] [`Fork]. In fork mode each corpus entry keeps a branch
     (kernel fork + model value) per op boundary and mutants resume
@@ -162,6 +191,15 @@ val run_fuzz :
     bit-identical to [`Replay] at the same seed. Shrinking is always
     replay-based (the reported repro line needs no branch state).
     Stops at the first divergence (after shrinking it). *)
+
+val run_elide_fuzz :
+  ?runs:int -> ?max_size:int -> ?seed:int64 -> unit -> fuzz_stats
+(** Random sweep of {!compare_elision} over generated traces
+    (defaults: 200 runs, max_size 30, seed {!Check.seed}[()]). No
+    corpus — coverage signatures are elision-normalized by design, so
+    there is nothing elision-specific to steer by; [fs_corpus] is 0.
+    A divergence is shrunk preserving the elided-vs-naive
+    disagreement. *)
 
 val report : fuzz_stats -> string
 (** Human-readable report; includes the [HISTAR_CHECK_SEED=0x...] replay

@@ -21,6 +21,8 @@ let to_list t =
   |> List.sort (fun (na, a) (nb, b) ->
          match Int.compare b a with 0 -> String.compare na nb | c -> c)
 
+let equal a b = a.total = b.total && to_list a = to_list b
+
 let copy t =
   let counts = Hashtbl.create (max 64 (Hashtbl.length t.counts)) in
   Hashtbl.iter (fun name r -> Hashtbl.add counts name (ref !r)) t.counts;

@@ -15,6 +15,10 @@ val to_list : t -> (string * int) list
 (** Canonical order: count descending, then name — deterministic for
     equal contents regardless of insertion order. *)
 
+val equal : t -> t -> bool
+(** Same totals and per-syscall counts ({!to_list} comparison) — the
+    byte-identity check the elision differential uses. *)
+
 val copy : t -> t
 (** An independent profile with the same counts. *)
 

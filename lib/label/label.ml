@@ -1,8 +1,42 @@
-type t = { default : Level.t; entries : Level.t Category.Map.t }
+(* Labels are hash-consed: every value of type [t] in the process is
+   interned in a weak table, so structurally equal labels are the same
+   heap object. [equal] is a pointer test and the lattice operations
+   memoize on compact intern ids. The [uid] is process-local and never
+   serialized; [compare] stays structural so orderings are stable
+   across runs. *)
+type t = { uid : int; default : Level.t; entries : Level.t Category.Map.t }
+
+let structural_equal a b =
+  Level.equal a.default b.default && Category.Map.equal Level.equal a.entries b.entries
+
+let structural_hash t =
+  Category.Map.fold
+    (fun c lv acc -> (Hashtbl.hash (Category.to_int64 c, Level.to_rank lv) + (acc * 65599)) land max_int)
+    t.entries (Level.to_rank t.default)
+
+module Intern = Weak.Make (struct
+  type nonrec t = t
+
+  let equal = structural_equal
+  let hash = structural_hash
+end)
+
+let intern_tbl = Intern.create 1024
+let next_uid = ref 0
+
+(* The uid is only consumed when the candidate is actually inserted;
+   re-interning an existing label allocates nothing persistent. *)
+let intern ~default ~entries =
+  let candidate = { uid = !next_uid; default; entries } in
+  let v = Intern.merge intern_tbl candidate in
+  if v == candidate then incr next_uid;
+  v
+
+let interned_count () = !next_uid
 
 let make d =
   if Level.equal d Level.J then invalid_arg "Label.make: default level J";
-  { default = d; entries = Category.Map.empty }
+  intern ~default:d ~entries:Category.Map.empty
 
 let default t = t.default
 
@@ -12,11 +46,29 @@ let get t c =
   | None -> t.default
 
 let set t c lv =
-  if Level.equal lv t.default then { t with entries = Category.Map.remove c t.entries }
-  else { t with entries = Category.Map.add c lv t.entries }
+  let entries =
+    if Level.equal lv t.default then Category.Map.remove c t.entries
+    else Category.Map.add c lv t.entries
+  in
+  if entries == t.entries then t else intern ~default:t.default ~entries
 
 let of_list entries d =
-  List.fold_left (fun acc (c, lv) -> set acc c lv) (make d) entries
+  let base = make d in
+  (* Single sorted dedup pass: stable-sort by category so later entries
+     for the same category stay behind earlier ones, keep the last of
+     each run, drop default levels, intern the canonical map once. *)
+  let sorted = List.stable_sort (fun (a, _) (b, _) -> Category.compare a b) entries in
+  let rec keep_last = function
+    | (c1, _) :: ((c2, _) :: _ as rest) when Category.equal c1 c2 -> keep_last rest
+    | kept :: rest -> kept :: keep_last rest
+    | [] -> []
+  in
+  let map =
+    List.fold_left
+      (fun m (c, lv) -> if Level.equal lv d then m else Category.Map.add c lv m)
+      Category.Map.empty (keep_last sorted)
+  in
+  if Category.Map.is_empty map then base else intern ~default:d ~entries:map
 
 let entries t = Category.Map.bindings t.entries
 
@@ -30,12 +82,14 @@ let ranked t =
 let categories t =
   Category.Map.fold (fun c _ acc -> Category.Set.add c acc) t.entries Category.Set.empty
 
-let equal a b =
-  Level.equal a.default b.default && Category.Map.equal Level.equal a.entries b.entries
+(* Interning makes structural equality coincide with identity. *)
+let equal a b = a == b
 
 let compare a b =
-  let c = Level.compare a.default b.default in
-  if c <> 0 then c else Category.Map.compare Level.compare a.entries b.entries
+  if a == b then 0
+  else
+    let c = Level.compare a.default b.default in
+    if c <> 0 then c else Category.Map.compare Level.compare a.entries b.entries
 
 (* Pointwise combination over the union of the two entry sets. *)
 let merge_with f a b =
@@ -50,7 +104,7 @@ let merge_with f a b =
   let d = f a.default b.default in
   (* Re-normalize: entries equal to the new default are dropped. *)
   let entries = Category.Map.filter (fun _ lv -> not (Level.equal lv d)) entries in
-  { default = d; entries }
+  intern ~default:d ~entries
 
 let pointwise_forall f a b =
   let ok = ref (f a.default b.default) in
@@ -64,18 +118,49 @@ let pointwise_forall f a b =
       b.entries;
   !ok
 
-let leq a b = pointwise_forall Level.leq a b
-let lub a b = merge_with Level.max a b
-let glb a b = merge_with Level.min a b
+let leq_naive a b = pointwise_forall Level.leq a b
+let lub_naive a b = merge_with Level.max a b
+let glb_naive a b = merge_with Level.min a b
+
+(* Memo tables keyed by intern ids. Uids are never reused (the counter
+   only advances on fresh insertions), so a stale entry for a collected
+   label is inert: its key can never be looked up again. Bounded by
+   wholesale reset, mirroring [label_cache]. *)
+let memo_bound = 1 lsl 16
+
+let memo (tbl : ((int * int), 'a) Hashtbl.t) key compute =
+  match Hashtbl.find_opt tbl key with
+  | Some v -> v
+  | None ->
+      let v = compute () in
+      if Hashtbl.length tbl >= memo_bound then Hashtbl.reset tbl;
+      Hashtbl.replace tbl key v;
+      v
+
+let leq_tbl : (int * int, bool) Hashtbl.t = Hashtbl.create 1024
+let lub_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 1024
+let glb_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 1024
+
+let leq a b = if a == b then true else memo leq_tbl (a.uid, b.uid) (fun () -> leq_naive a b)
+let lub a b = if a == b then a else memo lub_tbl (a.uid, b.uid) (fun () -> lub_naive a b)
+let glb a b = if a == b then a else memo glb_tbl (a.uid, b.uid) (fun () -> glb_naive a b)
 
 let map_levels f t =
   let d = f t.default in
   let entries = Category.Map.map f t.entries in
   let entries = Category.Map.filter (fun _ lv -> not (Level.equal lv d)) entries in
-  { default = d; entries }
+  intern ~default:d ~entries
 
-let raise_j t = map_levels (function Level.Star -> Level.J | lv -> lv) t
-let lower_star t = map_levels (function Level.J -> Level.Star | lv -> lv) t
+let raise_j_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 1024
+let lower_star_tbl : (int * int, t) Hashtbl.t = Hashtbl.create 1024
+
+let raise_j t =
+  memo raise_j_tbl (t.uid, t.uid) (fun () ->
+      map_levels (function Level.Star -> Level.J | lv -> lv) t)
+
+let lower_star t =
+  memo lower_star_tbl (t.uid, t.uid) (fun () ->
+      map_levels (function Level.J -> Level.Star | lv -> lv) t)
 
 let owns t c =
   match get t c with Level.Star | Level.J -> true | Level.L0 | Level.L1 | Level.L2 | Level.L3 -> false
@@ -119,9 +204,11 @@ let decode dec =
     else
       let c = Category.of_int64 (D.i64 dec) in
       let lv = Level.of_rank (D.u8 dec) in
-      go (set acc c lv) (i + 1)
+      let acc = if Level.equal lv d then Category.Map.remove c acc else Category.Map.add c lv acc in
+      go acc (i + 1)
   in
-  go (make d) 0
+  if Level.equal d Level.J then invalid_arg "Label.make: default level J";
+  intern ~default:d ~entries:(go Category.Map.empty 0)
 
 let pp fmt t =
   Format.fprintf fmt "{";

@@ -9,7 +9,13 @@
     [leq l1 l2] iff for every category [c], [l1(c) <= l2(c)] in the
     order ⋆ < 0 < 1 < 2 < 3 < J. Ownership (⋆) is shifted high to J by
     [raise_j] (the paper's superscript-J operator) and back by
-    [lower_star] (superscript-⋆). *)
+    [lower_star] (superscript-⋆).
+
+    Labels are hash-consed: every constructor interns its result in a
+    process-wide weak table, so structurally equal labels are the same
+    heap object, [equal] is a pointer test, and [leq]/[lub]/[glb]
+    memoize on compact intern ids. The intern id is process-local and
+    never serialized; [compare] remains structural. *)
 
 type t
 
@@ -41,7 +47,17 @@ val categories : t -> Category.Set.t
 (** Categories with non-default entries. *)
 
 val equal : t -> t -> bool
+(** Physical equality. Because all constructors intern, this coincides
+    with structural (and hence extensional) equality. *)
+
 val compare : t -> t -> int
+(** Structural order (default level, then entries); stable across runs
+    and processes, unlike the intern ids. *)
+
+val interned_count : unit -> int
+(** Number of distinct labels interned so far in this process (weak
+    table insertions; never decremented). Re-interning a structurally
+    equal label does not advance it. *)
 
 (** {1 Lattice operations} *)
 
@@ -53,6 +69,14 @@ val lub : t -> t -> t
 
 val glb : t -> t -> t
 (** Greatest lower bound: pointwise minimum. *)
+
+val leq_naive : t -> t -> bool
+val lub_naive : t -> t -> t
+val glb_naive : t -> t -> t
+(** Un-memoized reference implementations — the direct §2 pointwise
+    algebra over the entry maps, bypassing the intern-id memo tables.
+    Oracles for the differential tests; the memoized operations must
+    agree with these exactly on every input. *)
 
 (** {1 Ownership operators} *)
 

@@ -24,8 +24,8 @@ type world = {
   bob_auth : Authd.t;
 }
 
-let with_world f =
-  let k = Kernel.create () in
+let with_world ?elide f =
+  let k = Kernel.create ?elide () in
   let result = ref None in
   let failure = ref None in
   let _tid =
@@ -362,6 +362,38 @@ let test_owned_set_exact_delta () =
       Alcotest.(check int) "success delta is {ur, uw} + 2 session cats" 4
         (Category.Set.cardinal granted))
 
+(* The full §6.2 login exchange — a failed attempt followed by a
+   successful one — must be bit-for-bit the same whether the kernel
+   elides label checks behind gate flow summaries or re-runs every
+   one: same outcomes, same secret visibility, same log, same
+   [label.denied] count, same syscall profile. *)
+let test_login_elide_identical () =
+  let module Metrics = Histar_metrics.Metrics in
+  let module Profile = Histar_core.Profile in
+  let run elide =
+    let denied0 = Metrics.counter_value "label.denied" in
+    let r =
+      with_world ~elide (fun w ->
+          let bad = attempt_login w ~username:"bob" ~password:"wrong" in
+          let ok = attempt_login w ~username:"bob" ~password:"hunter2" in
+          ((bad, ok), Logd.entries w.log, Kernel.profile w.k))
+    in
+    let denied = Metrics.counter_value "label.denied" - denied0 in
+    (r, denied)
+  in
+  let was = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled was)
+    (fun () ->
+      let (outs_e, log_e, prof_e), den_e = run true in
+      let (outs_n, log_n, prof_n), den_n = run false in
+      Alcotest.(check bool) "same login outcomes" true (outs_n = outs_e);
+      Alcotest.(check (list string)) "identical audit log" log_n log_e;
+      Alcotest.(check int) "identical label.denied delta" den_n den_e;
+      Alcotest.(check bool) "identical syscall profiles" true
+        (Profile.equal prof_n prof_e))
+
 (* fuzz: no password other than the exact one is ever granted *)
 let prop_no_false_grants =
   QCheck2.Test.make ~name:"login never grants on a wrong password" ~count:12
@@ -396,6 +428,8 @@ let () =
           Alcotest.test_case "trojan in CR mode" `Quick
             test_trojan_in_cr_mode_never_sees_password;
           Alcotest.test_case "append-only log" `Quick test_log_is_append_only;
+          Alcotest.test_case "elided kernel login identical" `Quick
+            test_login_elide_identical;
           QCheck_alcotest.to_alcotest prop_no_false_grants;
         ] );
     ]

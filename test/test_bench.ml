@@ -97,6 +97,31 @@ let test_validate_rejects_tampering () =
       | _ -> j)
     "missing required counter"
 
+(* The elision acceptance bar from the gate-IPC workload: repeat gate
+   invocations hit their flow summaries, so full lattice comparisons
+   stay well below one per syscall and the elided counter is hot. *)
+let test_ipc_elision_ratio () =
+  let _, _, f =
+    List.find (fun (n, _, _) -> n = "ipc-pingpong") Runner.workloads
+  in
+  Metrics.set_enabled true;
+  Metrics.reset ();
+  Fun.protect
+    ~finally:(fun () -> Metrics.set_enabled false)
+    (fun () ->
+      ignore (f Runner.Smoke);
+      let checks = Metrics.counter_value "label.checks" in
+      let elided = Metrics.counter_value "label.elided" in
+      let syscalls = Metrics.counter_value "kernel.syscalls" in
+      Alcotest.(check bool)
+        "elision fired on the gate IPC path" true (elided > 0);
+      let ratio = float_of_int checks /. float_of_int syscalls in
+      if ratio >= 1.2 then
+        Alcotest.failf
+          "full label checks per syscall regressed: checks=%d syscalls=%d \
+           (%.3f per syscall, elided=%d)"
+          checks syscalls ratio elided)
+
 let test_suite_deterministic () =
   let j1 = Runner.run_suite ~size:Runner.Smoke () in
   let j2 = Runner.run_suite ~size:Runner.Smoke () in
@@ -183,6 +208,8 @@ let () =
             test_validate_rejects_tampering;
           Alcotest.test_case "trajectory is deterministic" `Quick
             test_suite_deterministic;
+          Alcotest.test_case "gate IPC elision ratio" `Quick
+            test_ipc_elision_ratio;
         ] );
       ( "overhead",
         [

@@ -289,6 +289,74 @@ let check_tests =
           Check.ensure (Label.equal (Label.lower_star (Label.raise_j a)) a));
   ]
 
+(* ---------- hash-consing: interning and memoized operators ----------
+
+   Labels are interned in a weak table: structural equality coincides
+   with pointer equality ([Label.equal] is [==]), and leq/lub/glb are
+   memoized on interned uids. These properties pin down the soundness
+   side: memoization and interning must be observationally invisible
+   next to the naive pointwise algebra and the reference model's
+   assoc-list one. *)
+
+module Mlabel = Histar_model.Mlabel
+
+let mlabel_of l =
+  let ents, d = Label.ranked l in
+  Mlabel.of_entries ents d
+
+let canon_m l = (Mlabel.entries l, Mlabel.default l)
+
+let hashcons_tests =
+  let open Gen in
+  [
+    Check.test_case ~print:pp2 "pointer equality iff structural equality"
+      (pair gen_label' gen_label')
+      (fun (a, b) ->
+        Check.ensure ~msg:"equal/ranked disagree"
+          (Label.equal a b = (Label.ranked a = Label.ranked b)));
+    Check.test_case ~print:pp_label "of_list reconstructs the same pointer"
+      gen_label' (fun a ->
+        Check.ensure (Label.equal (Label.of_list (Label.entries a) (Label.default a)) a));
+    Check.test_case ~print:pp2 "memoized leq agrees with naive"
+      (pair gen_label' gen_label')
+      (fun (a, b) ->
+        Check.ensure (Label.leq a b = Label.leq_naive a b);
+        Check.ensure (Label.leq b a = Label.leq_naive b a));
+    Check.test_case ~print:pp2 "memoized lub/glb agree with naive"
+      (pair gen_label' gen_label')
+      (fun (a, b) ->
+        Check.ensure (Label.equal (Label.lub a b) (Label.lub_naive a b));
+        Check.ensure (Label.equal (Label.glb a b) (Label.glb_naive a b)));
+    Check.test_case ~print:pp2 "memoized ops agree with Mlabel"
+      (pair gen_label' gen_label')
+      (fun (a, b) ->
+        let ma = mlabel_of a and mb = mlabel_of b in
+        Check.ensure ~msg:"leq" (Label.leq a b = Mlabel.leq ma mb);
+        Check.ensure ~msg:"lub"
+          (Label.ranked (Label.lub a b) = canon_m (Mlabel.lub ma mb));
+        Check.ensure ~msg:"glb"
+          (Label.ranked (Label.glb a b) = canon_m (Mlabel.glb ma mb)));
+  ]
+
+let test_intern_single_allocation () =
+  (* Categories no other test touches, so the first build is the only
+     allocation; every later build — reordered, with shadowed
+     duplicate entries, or through set — must return the same value
+     without growing the intern table. *)
+  let c1 = cat 910001 and c2 = cat 910002 in
+  let a = lbl [ (c1, Level.L3); (c2, Level.Star) ] Level.L1 in
+  let n = Label.interned_count () in
+  let b = lbl [ (c2, Level.Star); (c1, Level.L3) ] Level.L1 in
+  let c = lbl [ (c1, Level.L0); (c1, Level.L3); (c2, Level.Star) ] Level.L1 in
+  Alcotest.(check bool) "reordered entries intern to the same label" true
+    (Label.equal b a);
+  Alcotest.(check bool) "of_list keeps the last duplicate entry" true
+    (Label.equal c a);
+  Alcotest.(check int) "no new interned values" n (Label.interned_count ());
+  let via_set = Label.set (Label.set (Label.make Level.L1) c1 Level.L3) c2 Level.Star in
+  Alcotest.(check bool) "set chain reaches the interned label" true
+    (Label.equal via_set a)
+
 let () =
   Alcotest.run "histar_label"
     [
@@ -309,4 +377,10 @@ let () =
         ] );
       ("lattice laws", List.map QCheck_alcotest.to_alcotest qcheck_tests);
       ("lattice laws (histar_check)", check_tests);
+      ( "hash-consing",
+        hashcons_tests
+        @ [
+            Alcotest.test_case "single allocation per distinct label" `Quick
+              test_intern_single_allocation;
+          ] );
     ]
