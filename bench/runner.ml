@@ -349,20 +349,43 @@ let wget_faulty size =
    One entry per node count gives the scale trajectory (requests/sec
    vs nodes) as consecutive cells of the same committed run; the
    dist-smoke CI job checks the 1→4 cells actually speed up. *)
-let dist_cluster ~nodes size =
+let dist_cluster ?(user_count = 2) ?(concurrency = 8) ?(zipf = false) ~nodes
+    size =
   let module Webcluster = Histar_apps.Webcluster in
+  let module Rng = Histar_util.Rng in
   let requests = pick size ~smoke:12 ~full:120 in
-  let wc =
-    Webcluster.build ~app_nodes:nodes ~user_count:2 ~work_us:5_000 ()
-  in
+  let wc = Webcluster.build ~app_nodes:nodes ~user_count ~work_us:5_000 () in
   let users = Webcluster.users wc in
+  (* Request mix: round-robin for the small cells, zipfian (weight
+     1/rank over the user population, fixed seed) for the big one —
+     a skewed popular-user mix is what makes the session-token cache
+     and per-connection admission memos earn their keep, and it
+     concentrates load on a few shards the way real traffic would. *)
+  let pick_user =
+    if not zipf then fun i -> users.(i mod Array.length users)
+    else begin
+      let n = Array.length users in
+      let weights = Array.init n (fun r -> 1.0 /. float_of_int (r + 1)) in
+      let total = Array.fold_left ( +. ) 0.0 weights in
+      let rng = Rng.create 0x7a69706621L in
+      fun _ ->
+        let x = float_of_int (Rng.int rng 1_000_000) /. 1e6 *. total in
+        let rec scan r acc =
+          if r >= n - 1 then r
+          else
+            let acc = acc +. weights.(r) in
+            if x < acc then r else scan (r + 1) acc
+        in
+        users.(scan 0 0.0)
+    end
+  in
   let batch =
     Array.init requests (fun i ->
-        let u, p = users.(i mod Array.length users) in
+        let u, p = pick_user i in
         (u, p, u))
   in
   let t0 = Webcluster.clock_snapshot wc in
-  let finished, outcomes = Webcluster.run_load wc ~concurrency:8 batch in
+  let finished, outcomes = Webcluster.run_load wc ~concurrency batch in
   if not finished then
     failwith (Printf.sprintf "dist-cluster-%d: load did not complete" nodes);
   Array.iter
@@ -441,13 +464,17 @@ let workloads =
      "HTTP transfer under 5% loss + 1% latent sector errors, with scrub",
      wget_faulty);
     ("dist-cluster-1", "web cluster request batch over 1 app node",
-     dist_cluster ~nodes:1);
+     fun size -> dist_cluster ~nodes:1 size);
     ("dist-cluster-2", "web cluster request batch over 2 app nodes",
-     dist_cluster ~nodes:2);
+     fun size -> dist_cluster ~nodes:2 size);
     ("dist-cluster-4", "web cluster request batch over 4 app nodes",
-     dist_cluster ~nodes:4);
+     fun size -> dist_cluster ~nodes:4 size);
     ("dist-cluster-8", "web cluster request batch over 8 app nodes",
-     dist_cluster ~nodes:8);
+     fun size -> dist_cluster ~nodes:8 size);
+    ("dist-cluster-16",
+     "web cluster request batch over 16 app nodes, zipfian over 8 users",
+     fun size ->
+       dist_cluster ~nodes:16 ~user_count:8 ~concurrency:16 ~zipf:true size);
     ("snapshot-fork",
      "copy-on-write store branches: fork/mutate/fsck/drop at depth 1/8/64",
      snapshot_fork);

@@ -26,10 +26,22 @@ type host = { h_stack : Stack.t; h_clock : Sim_clock.t }
 type t = {
   mutable kernels : Kernel.t list;  (* reversed registration order *)
   mutable hosts : host list;
+  mutable on_tick : (int64 -> unit) option;
+      (* driver hook, called with global virtual now once per drive
+         round — the crash-plan pump (kill/restart at virtual times) *)
 }
 
-let create () = { kernels = []; hosts = [] }
+let create () = { kernels = []; hosts = []; on_tick = None }
 let add_kernel t k = t.kernels <- t.kernels @ [ k ]
+
+(* Remove a node from scheduling (node crash): its threads stop
+   running and its timers stop being considered, exactly as if the
+   machine lost power — volatile state is simply never consulted
+   again.  Removal is by physical identity; re-adding a recovered
+   kernel appends it at the end of registration order, which is part
+   of the deterministic schedule and must match across double runs. *)
+let remove_kernel t k = t.kernels <- List.filter (fun k' -> k' != k) t.kernels
+let set_on_tick t f = t.on_tick <- f
 
 let add_host t ~stack ~clock =
   t.hosts <- t.hosts @ [ { h_stack = stack; h_clock = clock } ]
@@ -59,6 +71,27 @@ let clocks t =
    timing out against its own lagging clock would otherwise see
    cross-node deadlines recede indefinitely. Timers left overdue by
    the jump fire on later rounds with wait 0. *)
+(* Global virtual now: the maximum over every clock in the cluster.
+   This is the time axis crash schedules are written against. *)
+let global_now_ns t =
+  List.fold_left
+    (fun m c ->
+      let n = Sim_clock.now_ns c in
+      if Int64.compare n m > 0 then n else m)
+    0L (clocks t)
+
+(* Jointly advance every clock to the global maximum — the same
+   synchronization a timer firing performs, available to hosts that
+   want a clean time baseline after un-driven work (e.g. measuring
+   from after provisioning rather than across it). *)
+let sync_clocks t =
+  let tgt = global_now_ns t in
+  List.iter
+    (fun c ->
+      let d = Int64.sub tgt (Sim_clock.now_ns c) in
+      if Int64.compare d 0L > 0 then Sim_clock.advance_ns c d)
+    (clocks t)
+
 let fire_next_timer t =
   let best = ref None in
   let consider wait target =
@@ -86,13 +119,7 @@ let fire_next_timer t =
   | None -> false
   | Some (w, target) ->
       let cs = clocks t in
-      let global_now =
-        List.fold_left
-          (fun m c ->
-            let n = Sim_clock.now_ns c in
-            if Int64.compare n m > 0 then n else m)
-          0L cs
-      in
+      let global_now = global_now_ns t in
       let tgt = Int64.add global_now w in
       List.iter
         (fun c ->
@@ -125,6 +152,7 @@ let settle ?(max_rounds = 64) t =
 
 let drive ?(slice = 20_000) ?(max_rounds = 200_000) t ~until () =
   let rec round n =
+    (match t.on_tick with Some f -> f (global_now_ns t) | None -> ());
     if until () then true
     else if n <= 0 then false
     else begin

@@ -11,6 +11,28 @@ type t
 val create : unit -> t
 val add_kernel : t -> Histar_core.Kernel.t -> unit
 
+val remove_kernel : t -> Histar_core.Kernel.t -> unit
+(** Node crash: stop scheduling the kernel and stop honoring its
+    timers — volatile state is never consulted again.  Re-adding a
+    recovered kernel with {!add_kernel} appends it to registration
+    order (part of the deterministic schedule). *)
+
+val global_now_ns : t -> int64
+(** Global virtual now — the maximum over every clock in the
+    cluster.  Crash schedules ([crash:node=..,at=..] entries) are
+    written against this axis. *)
+
+val sync_clocks : t -> unit
+(** Jointly advance every clock to {!global_now_ns} — what a timer
+    firing does implicitly, exposed for hosts that want a clean time
+    baseline after un-driven work (e.g. a build that charged disk
+    time to one node's clock during provisioning). *)
+
+val set_on_tick : t -> (int64 -> unit) option -> unit
+(** Driver hook invoked with [global_now_ns] once per {!drive} round
+    (before slicing).  Used to pump node-crash fault plans: the hook
+    kills/restarts nodes when their virtual-time deadlines pass. *)
+
 val add_host :
   t -> stack:Histar_net.Stack.t -> clock:Histar_util.Sim_clock.t -> unit
 (** Register an external (kernel-less) endpoint whose retransmission

@@ -56,6 +56,117 @@ module Seal = Histar_crypto.Seal
 let m_calls = Metrics.counter "net.dist_calls"
 let m_refused = Metrics.counter "net.dist_refused"
 let m_served = Metrics.counter "net.dist_served"
+let m_probes = Metrics.counter "net.dist_probes"
+let m_batched = Metrics.counter "net.dist_admit_batched"
+let m_conn_reused = Metrics.counter "net.dist_conn_reused"
+
+(* --- tuning knobs ---
+
+   All dist-plane tuning lives under HISTAR_DIST_*, mirroring the
+   HISTAR_FAULTS / HISTAR_CHECK_* conventions: read at use time (so a
+   test can set and unset them), integer-valued, with the defaults
+   documented here and in EXPERIMENTS.md.
+
+     HISTAR_DIST_GIVEUP          connect attempts before a call gives
+                                 up with Transport (default 1 — fail
+                                 fast, the balancer handles failover)
+     HISTAR_DIST_COOLDOWN_MS     initial per-peer backoff after a
+                                 transport failure (default 40)
+     HISTAR_DIST_RETRY_CAP_MS    cap on the exponential backoff
+                                 (default 640 — 5 doublings)
+     HISTAR_DIST_SHARDS          user-db shard count for apps/bench
+                                 (default 3)
+     HISTAR_DIST_SESSION_TTL_MS  app-node session-token cache TTL
+                                 (default 5000) *)
+module Tuning = struct
+  let env_int name default =
+    match Stdlib.Sys.getenv_opt name with
+    | Some s -> ( try int_of_string (String.trim s) with _ -> default)
+    | None -> default
+
+  let giveup () = env_int "HISTAR_DIST_GIVEUP" 1
+  let cooldown_ms () = env_int "HISTAR_DIST_COOLDOWN_MS" 40
+  let retry_cap_ms () = env_int "HISTAR_DIST_RETRY_CAP_MS" 640
+  let shards () = env_int "HISTAR_DIST_SHARDS" 3
+  let session_ttl_ms () = env_int "HISTAR_DIST_SESSION_TTL_MS" 5_000
+end
+
+(* --- peer health ---
+
+   Per-peer failure tracking with capped exponential backoff.  PR 5's
+   balancer used a fixed-period cooldown: a dead node was re-probed
+   every cooldown forever, so a permanently dead shard cost one full
+   RTO give-up per period for the rest of the run.  Here consecutive
+   failures double the backoff up to HISTAR_DIST_RETRY_CAP_MS; the
+   first send after a backoff window expires is a *probe*, counted in
+   [net.dist_probes].  A probe that succeeds resets the peer to
+   healthy; one that fails doubles the window again.  All state is
+   driven by virtual time, so failover schedules replay exactly. *)
+module Peer_health = struct
+  type peer = { mutable fails : int; mutable down_until_ns : int64 }
+
+  type t = {
+    peers : (int, peer) Hashtbl.t;
+    cooldown_ns : int64;
+    cap_ns : int64;
+  }
+
+  let ns_of_ms ms = Int64.mul (Int64.of_int ms) 1_000_000L
+
+  let create ?cooldown_ms ?cap_ms () =
+    let cd =
+      match cooldown_ms with Some m -> m | None -> Tuning.cooldown_ms ()
+    in
+    let cap =
+      match cap_ms with Some m -> m | None -> Tuning.retry_cap_ms ()
+    in
+    {
+      peers = Hashtbl.create 8;
+      cooldown_ns = ns_of_ms (max 1 cd);
+      cap_ns = ns_of_ms (max 1 cap);
+    }
+
+  let peer t node =
+    match Hashtbl.find_opt t.peers node with
+    | Some p -> p
+    | None ->
+        let p = { fails = 0; down_until_ns = 0L } in
+        Hashtbl.replace t.peers node p;
+        p
+
+  (* May we send to [node] now?  [`Yes] — healthy.  [`Probe] — the
+     backoff window elapsed; this send is the probe (counted).
+     [`No] — still inside the backoff window. *)
+  let usable t ~node ~now_ns =
+    let p = peer t node in
+    if p.fails = 0 then `Yes
+    else if Int64.compare now_ns p.down_until_ns >= 0 then (
+      Metrics.Counter.incr m_probes;
+      `Probe)
+    else `No
+
+  let ok t ~node =
+    let p = peer t node in
+    p.fails <- 0;
+    p.down_until_ns <- 0L
+
+  let failed t ~node ~now_ns =
+    let p = peer t node in
+    p.fails <- p.fails + 1;
+    (* cooldown * 2^(fails-1), capped; shift saturates via the cap *)
+    let mult = Int64.shift_left 1L (min 20 (p.fails - 1)) in
+    let backoff =
+      let b = Int64.mul t.cooldown_ns mult in
+      if Int64.compare b t.cap_ns > 0 || Int64.compare b 0L <= 0 then t.cap_ns
+      else b
+    in
+    p.down_until_ns <- Int64.add now_ns backoff
+
+  let fail_count t ~node = (peer t node).fails
+
+  let is_down t ~node ~now_ns =
+    match usable t ~node ~now_ns with `No -> true | `Yes | `Probe -> false
+end
 
 type service = {
   sv_label : Label.t;
@@ -73,6 +184,12 @@ type t = {
   port : Addr.port;
   peers : int -> Addr.t;
   services : (string, service) Hashtbl.t;
+  mutable svc_version : int;
+      (* bumped on every [register]; invalidates per-conn admission
+         memos built against the old service table *)
+  pool : (int, Netd.Client.sock) Hashtbl.t;
+      (* idle pooled connections per peer node ([Hashtbl.add]
+         multi-binding: concurrent callers each pop their own) *)
   mutable nonce_seq : int;
   m_node_refused : Metrics.Counter.t;
 }
@@ -165,6 +282,23 @@ let export_owned t ?(trust = []) cat =
   | None -> Names.set_grant e (make_grant_gate t cat));
   e.Names.e_wire
 
+(* Re-bind a persisted category to its original wire name after a
+   node recovers from its store: record the binding and install a
+   fresh grant gate (persisted gate entries die with serialization).
+   Unlike [export_owned] no wire name is minted — the wire identity
+   survives the crash, so importers on other nodes keep their twins
+   and the directory's trust entries stay valid. Must run on a thread
+   owning [cat]. *)
+let rebind_owned t ~wire cat =
+  let e =
+    match Names.find_wire t.names wire with
+    | Some e -> e
+    | None -> Names.record t.names ~wire ~cat ()
+  in
+  match e.Names.e_grant with
+  | Some _ -> ()
+  | None -> Names.set_grant e (make_grant_gate t cat)
+
 (* Claim grants carried by a reply: import each wire name and acquire
    its ⋆ (first importer owns the twin outright). *)
 let claim_grants t wires =
@@ -180,8 +314,13 @@ let claim_grants t wires =
 (* --- server side --- *)
 
 let register t ~service ~label ~clearance handler =
+  t.svc_version <- t.svc_version + 1;
   Hashtbl.replace t.services service
     { sv_label = label; sv_clear = clearance; sv_handler = handler }
+
+let unregister t ~service =
+  t.svc_version <- t.svc_version + 1;
+  Hashtbl.remove t.services service
 
 (* Poll-park until the proxy posts its result. A futex would require
    the clean conn thread to observe tainted proxy writes; virtual
@@ -193,7 +332,14 @@ let rec await_cell cell =
       Sys.sleep_until_ns (Int64.add (Sys.clock_ns ()) 50_000L);
       await_cell cell
 
-let run_service t call (sv : service) =
+(* Admission phase: translate the caller's wire label and capacity
+   into local categories and run the §3.5 check.  Pure given the
+   names/trust state, so it is memoizable per connection (below) —
+   trust only ever grows, and growth only *adds* ⋆ to the translated
+   label, so a cached admit is never more permissive than a fresh
+   one.  Refusals are never cached: a caller refused during a handoff
+   window must be admitted on the next request after commit. *)
+let admit_call t call (sv : service) =
   let from = call.Wire.c_from in
   let resolve w = (import t w).Names.e_cat in
   let lt =
@@ -214,11 +360,13 @@ let run_service t call (sv : service) =
   match
     Proto.admit ~lt ~ct ~lg:sv.sv_label ~gclear:sv.sv_clear ~rl ~rc ~lv:l3
   with
-  | Error reason ->
-      ignore (refuse t reason : (_, call_error) result);
-      { Wire.r_status = S_refused; r_label = { wl_entries = []; wl_default = 1 };
-        r_grants = []; r_payload = reason }
-  | Ok () -> (
+  | Error reason -> Error reason
+  | Ok () -> Ok (lt, ct, rl, rc)
+
+(* Execution phase: spawn the proxy at the admitted floor and police
+   the reply. *)
+let run_admitted t call (sv : service) ~ct ~rl ~rc =
+  (
       let clean = Sys.self_label () in
       acquire_stars t rl;
       let cell = ref None in
@@ -285,16 +433,61 @@ let run_service t call (sv : service) =
                 { Wire.r_status = S_ok; r_label = wl; r_grants;
                   r_payload = payload }))
 
-let handle_call t call =
+(* Per-connection admission memo.  On a long-lived peer connection
+   the same (caller, label, capacity, service) tuple recurs on every
+   request, so the admission outcome — wire translation plus the full
+   §3.5 check — runs once per connection instead of once per request;
+   replays are counted in [net.dist_admit_batched].  Entries carry
+   the service-table version: re-registering a service (recovery,
+   rebalance import) invalidates every memo built against the old
+   table.  Only admits are memoized — a refusal (e.g. during a
+   handoff window) must be recomputed so the caller is admitted again
+   the moment the handoff commits. *)
+type memo_key = string * int * Wire.wlabel * Wire.wlabel
+
+let memo_key (call : Wire.call) : memo_key =
+  (call.Wire.c_service, call.Wire.c_from, call.Wire.c_label, call.Wire.c_clear)
+
+let handle_call ?memo t call =
   match Hashtbl.find_opt t.services call.Wire.c_service with
   | None ->
       { Wire.r_status = S_error; r_label = { wl_entries = []; wl_default = 1 };
         r_grants = []; r_payload = "no such service: " ^ call.Wire.c_service }
-  | Some sv -> run_service t call sv
+  | Some sv -> (
+      let cached =
+        match memo with
+        | None -> None
+        | Some tbl -> (
+            match Hashtbl.find_opt tbl (memo_key call) with
+            | Some (ver, ct, rl, rc) when ver = t.svc_version ->
+                Some (ct, rl, rc)
+            | Some _ | None -> None)
+      in
+      match cached with
+      | Some (ct, rl, rc) ->
+          Metrics.Counter.incr m_batched;
+          run_admitted t call sv ~ct ~rl ~rc
+      | None -> (
+          match admit_call t call sv with
+          | Error reason ->
+              ignore (refuse t reason : (_, call_error) result);
+              { Wire.r_status = S_refused;
+                r_label = { wl_entries = []; wl_default = 1 };
+                r_grants = []; r_payload = reason }
+          | Ok (_lt, ct, rl, rc) ->
+              (match memo with
+              | Some tbl ->
+                  Hashtbl.replace tbl (memo_key call)
+                    (t.svc_version, ct, rl, rc)
+              | None -> ());
+              run_admitted t call sv ~ct ~rl ~rc))
 
 let conn_loop t sock () =
   let rc = t.container in
   let buf = ref "" in
+  let memo : (memo_key, int * Label.t * Label.t * Label.t) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let closed = ref false in
   try
     while not !closed do
@@ -304,7 +497,7 @@ let conn_loop t sock () =
           let reply =
             match Wire.unseal_msg t.seal ~nonce body with
             | Some (Wire.Call call) -> (
-                try handle_call t call
+                try handle_call ~memo t call
                 with e ->
                   { Wire.r_status = S_error;
                     r_label = { wl_entries = []; wl_default = 1 };
@@ -360,6 +553,8 @@ let start k ~netd ~names ~key ~container ~port ~peers () =
       port;
       peers;
       services = Hashtbl.create 8;
+      svc_version = 0;
+      pool = Hashtbl.create 8;
       nonce_seq = 0;
       m_node_refused = Metrics.counter (Fmt.str "net.dist_refused.n%d" node);
     }
@@ -387,6 +582,38 @@ let recv_frame t rc sock buf =
   in
   go ()
 
+(* Connection pooling: idle peer connections are parked in [t.pool]
+   and reused by later calls ([Hashtbl.add] multi-binding — two
+   concurrent callers to the same node each pop a distinct socket, so
+   frames never interleave on one stream).  A pooled socket can be
+   stale (the peer crashed and restarted since it was parked): a
+   transport failure on a *pooled* socket is retried once on a fresh
+   connection before the error is surfaced.  The PR-5 close-before-
+   taint discipline becomes park-before-taint: returning a socket to
+   the pool is host-side bookkeeping, no netd traffic, so it is safe
+   after the final netd interaction and before the label raise. *)
+let pool_take t ~node =
+  match Hashtbl.find_opt t.pool node with
+  | Some sock ->
+      Hashtbl.remove t.pool node;
+      Metrics.Counter.incr m_conn_reused;
+      Some sock
+  | None -> None
+
+let pool_put t ~node sock = Hashtbl.add t.pool node sock
+
+let pool_drop_all t ~node =
+  let rec go () =
+    match Hashtbl.find_opt t.pool node with
+    | Some sock ->
+        Hashtbl.remove t.pool node;
+        (try Netd.Client.close t.netd ~return_container:t.container sock
+         with Netd.Client.Netd_error _ -> ());
+        go ()
+    | None -> ()
+  in
+  go ()
+
 let call t ~node ~service args =
   Metrics.Counter.incr m_calls;
   let rc = t.container in
@@ -395,69 +622,103 @@ let call t ~node ~service args =
   match Proto.to_wire t.names lt with
   | Error m -> refuse t ("dist: egress: " ^ m)
   | Ok wl -> (
-      match Proto.to_wire t.names capacity with
-      | Error m -> refuse t ("dist: egress capacity: " ^ m)
-      | Ok wc -> (
-          match
-            Netd.Client.connect_retry ~attempts:1 t.netd ~return_container:rc
-              (t.peers node)
-          with
-          | exception Netd.Client.Netd_error m -> Error (Transport m)
-          | sock -> (
-              let finish r =
+      let attempt sock =
+        (* One request/reply exchange over [sock].  [`Transport] means
+           the stream died (retryable on a fresh conn when the socket
+           was pooled); any other outcome is final. *)
+        let drop r =
+          (try Netd.Client.close t.netd ~return_container:rc sock
+           with Netd.Client.Netd_error _ -> ());
+          r
+        in
+        let park r =
+          pool_put t ~node sock;
+          r
+        in
+        match Proto.to_wire t.names capacity with
+        | Error m ->
+            (* Socket unused — park it for the next caller. *)
+            `Final (park (refuse t ("dist: egress capacity: " ^ m)))
+        | Ok wc -> (
+            try
+              let nonce = mint_nonce t in
+              Netd.Client.send t.netd ~return_container:rc sock
+                (Wire.seal_msg t.seal ~nonce
+                   (Wire.Call
+                      {
+                        c_service = service;
+                        c_from = t.node_id;
+                        c_label = wl;
+                        c_clear = wc;
+                        c_args = args;
+                      }));
+              let buf = ref "" in
+              match recv_frame t rc sock buf with
+              | None -> `Transport "connection closed"
+              | Some (rnonce, body) -> (
+                  match Wire.unseal_msg t.seal ~nonce:rnonce body with
+                  | None | Some (Wire.Call _) ->
+                      `Final (drop (refuse t "dist: unsealable reply"))
+                  | Some (Wire.Reply r) -> (
+                      match r.Wire.r_status with
+                      | Wire.S_refused -> `Final (park (refuse t r.Wire.r_payload))
+                      | Wire.S_error ->
+                          `Final (park (Error (Remote r.Wire.r_payload)))
+                      | Wire.S_ok ->
+                          let resolve w = (import t w).Names.e_cat in
+                          let rlabel =
+                            Proto.of_wire ~resolve
+                              ~trusted:(fun w ->
+                                Names.trusted_for t.names ~wire:w ~node)
+                              r.Wire.r_label
+                          in
+                          (* Acceptance: raising our label to read the
+                             reply must stay within our clearance. *)
+                          let needed =
+                            Label.taint_to_read ~thread:(Sys.self_label ())
+                              ~obj:rlabel
+                          in
+                          if not (Label.leq needed (Sys.self_clearance ()))
+                          then
+                            `Final
+                              (park
+                                 (refuse t "dist: reply exceeds caller clearance"))
+                          else (
+                            (* Park while still clean: once tainted, this
+                               thread may no longer speak to netd (egress
+                               policy), so the label raise must be the
+                               last thing done. *)
+                            let r =
+                              park (Ok (r.Wire.r_payload, r.Wire.r_grants))
+                            in
+                            Sys.self_set_label needed;
+                            `Final r)))
+            with Netd.Client.Netd_error m -> `Transport m)
+      in
+      let fresh () =
+        match
+          Netd.Client.connect_retry ~attempts:(max 1 (Tuning.giveup ())) t.netd
+            ~return_container:rc (t.peers node)
+        with
+        | exception Netd.Client.Netd_error m -> Error (Transport m)
+        | sock -> (
+            match attempt sock with
+            | `Final r -> r
+            | `Transport m ->
                 (try Netd.Client.close t.netd ~return_container:rc sock
                  with Netd.Client.Netd_error _ -> ());
-                r
-              in
-              try
-                let nonce = mint_nonce t in
-                Netd.Client.send t.netd ~return_container:rc sock
-                  (Wire.seal_msg t.seal ~nonce
-                     (Wire.Call
-                        {
-                          c_service = service;
-                          c_from = t.node_id;
-                          c_label = wl;
-                          c_clear = wc;
-                          c_args = args;
-                        }));
-                let buf = ref "" in
-                match recv_frame t rc sock buf with
-                | None -> finish (Error (Transport "connection closed"))
-                | Some (rnonce, body) -> (
-                    match Wire.unseal_msg t.seal ~nonce:rnonce body with
-                    | None | Some (Wire.Call _) ->
-                        finish (refuse t "dist: unsealable reply")
-                    | Some (Wire.Reply r) -> (
-                        match r.Wire.r_status with
-                        | Wire.S_refused -> finish (refuse t r.Wire.r_payload)
-                        | Wire.S_error -> finish (Error (Remote r.Wire.r_payload))
-                        | Wire.S_ok ->
-                            let resolve w = (import t w).Names.e_cat in
-                            let rlabel =
-                              Proto.of_wire ~resolve
-                                ~trusted:(fun w ->
-                                  Names.trusted_for t.names ~wire:w ~node)
-                                r.Wire.r_label
-                            in
-                            (* Acceptance: raising our label to read the
-                               reply must stay within our clearance. *)
-                            let needed =
-                              Label.taint_to_read ~thread:(Sys.self_label ())
-                                ~obj:rlabel
-                            in
-                            if not (Label.leq needed (Sys.self_clearance ()))
-                            then
-                              finish
-                                (refuse t "dist: reply exceeds caller clearance")
-                            else (
-                              (* Close while still clean: once tainted,
-                                 this thread may no longer speak to
-                                 netd (egress policy), so the label
-                                 raise must be the last thing done. *)
-                              let r =
-                                finish (Ok (r.Wire.r_payload, r.Wire.r_grants))
-                              in
-                              Sys.self_set_label needed;
-                              r)))
-              with Netd.Client.Netd_error m -> finish (Error (Transport m)))))
+                Error (Transport m))
+      in
+      match pool_take t ~node with
+      | None -> fresh ()
+      | Some sock -> (
+          match attempt sock with
+          | `Final r -> r
+          | `Transport _ ->
+              (* Stale pooled conn (peer restarted since it was
+                 parked): drop every pooled conn to this peer and
+                 retry once on a fresh connection. *)
+              (try Netd.Client.close t.netd ~return_container:rc sock
+               with Netd.Client.Netd_error _ -> ());
+              pool_drop_all t ~node;
+              fresh ()))

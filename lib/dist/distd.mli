@@ -32,6 +32,55 @@ type call_error =
   | Remote of string  (** remote execution error *)
   | Transport of string  (** connect/stream failure (node down, lossy link) *)
 
+(** Dist-plane tuning knobs, consolidated under [HISTAR_DIST_*] env
+    vars (read at use time, integer-valued), mirroring the
+    [HISTAR_FAULTS] / [HISTAR_CHECK_*] conventions:
+
+    - [HISTAR_DIST_GIVEUP] — connect attempts before a call fails with
+      [Transport] (default 1: fail fast, failover handles the rest)
+    - [HISTAR_DIST_COOLDOWN_MS] — initial per-peer backoff after a
+      transport failure (default 40)
+    - [HISTAR_DIST_RETRY_CAP_MS] — cap on the exponential backoff
+      (default 640)
+    - [HISTAR_DIST_SHARDS] — user-db shard count for apps and bench
+      (default 3)
+    - [HISTAR_DIST_SESSION_TTL_MS] — app-node session-token cache TTL
+      (default 5000) *)
+module Tuning : sig
+  val giveup : unit -> int
+  val cooldown_ms : unit -> int
+  val retry_cap_ms : unit -> int
+  val shards : unit -> int
+  val session_ttl_ms : unit -> int
+end
+
+(** Per-peer failure tracking with capped exponential backoff, driven
+    entirely by virtual time (replayable).  Consecutive transport
+    failures double the backoff window from [cooldown_ms] up to
+    [cap_ms]; the first send after a window expires is a probe,
+    counted in [net.dist_probes].  A permanently dead peer is probed
+    ever more rarely instead of once per fixed cooldown forever. *)
+module Peer_health : sig
+  type t
+
+  val create : ?cooldown_ms:int -> ?cap_ms:int -> unit -> t
+  (** Defaults come from {!Tuning}. *)
+
+  val usable : t -> node:int -> now_ns:int64 -> [ `Yes | `Probe | `No ]
+  (** [`Yes]: healthy. [`Probe]: backoff elapsed, this send is the
+      probe (counted in [net.dist_probes]). [`No]: still backing off —
+      do not send. *)
+
+  val ok : t -> node:int -> unit
+  (** Record a success: the peer is healthy again. *)
+
+  val failed : t -> node:int -> now_ns:int64 -> unit
+  (** Record a transport failure: doubles the backoff window. *)
+
+  val fail_count : t -> node:int -> int
+  val is_down : t -> node:int -> now_ns:int64 -> bool
+end
+
 val start :
   Histar_core.Kernel.t ->
   netd:Histar_net.Netd.t ->
@@ -60,12 +109,30 @@ val register :
     gate with label [label] (its ⋆s are granted to the proxy) and
     clearance [clearance] (callers above it are refused). The handler
     runs on the proxy thread and returns the reply payload plus
-    categories to grant through the return (it must own them). *)
+    categories to grant through the return (it must own them).
+
+    Re-registering (any [register] or {!unregister} call) bumps the
+    node's service-table version, invalidating the per-connection
+    admission memos: a long-lived peer connection re-runs the full
+    translate+admit for each (caller, label, capacity, service) tuple
+    after the table changes, and otherwise replays the cached admit —
+    counted in [net.dist_admit_batched].  Refusals are never cached. *)
+
+val unregister : t -> service:string -> unit
+(** Remove a service (e.g. while its shard's data is mid-handoff);
+    callers get a remote error until it is re-registered. *)
 
 val export_owned : t -> ?trust:int list -> Category.t -> int64
 (** Publish a locally-owned category cluster-wide: mint its wire
     name, register [trust]ed speaker nodes, and install the local
     grant gate. Must run on a thread owning the category. *)
+
+val rebind_owned : t -> wire:int64 -> Category.t -> unit
+(** Re-bind a persisted category to its pre-crash wire name on a
+    recovered node and install a fresh grant gate. No wire name is
+    minted — identity survives the crash, so remote twins and
+    directory trust stay valid. Must run on a thread owning the
+    category. *)
 
 val claim_grants : t -> int64 list -> Category.t list
 (** Claim grants carried by a reply: import each wire name and
@@ -81,4 +148,14 @@ val call :
     clearance. On [Ok], the caller's label has been raised as needed
     to read the reply (within its clearance) and the payload plus any
     granted wire names are returned. Runs on the calling thread (it
-    performs the netd socket calls itself). *)
+    performs the netd socket calls itself).
+
+    Connections are pooled per peer: a completed exchange parks its
+    socket for reuse by the next (possibly different) calling thread
+    — reuses counted in [net.dist_conn_reused] — and a transport
+    failure on a pooled socket is retried once on a fresh connection
+    (the peer may have restarted since the socket was parked). *)
+
+val pool_drop_all : t -> node:int -> unit
+(** Close every pooled connection to [node] — call when the peer is
+    known dead so later calls don't burn an RTO on a stale socket. *)

@@ -24,7 +24,18 @@ module Schedule = struct
     flap_down_ms : int;
   }
 
-  type t = { seed : int64; disk : disk option; net : net option }
+  type crash = {
+    crash_node : int;
+    at_ms : int;
+    restart_after_ms : int option;
+  }
+
+  type t = {
+    seed : int64;
+    disk : disk option;
+    net : net option;
+    crashes : crash list;
+  }
 
   let default_disk =
     { latent_rate = 0.01; transient_rate = 0.02; corrupt_rate = 0.002 }
@@ -41,9 +52,10 @@ module Schedule = struct
       flap_down_ms = 0;
     }
 
-  let none = { seed = 0x00C0FFEEL; disk = None; net = None }
+  let none = { seed = 0x00C0FFEEL; disk = None; net = None; crashes = [] }
 
-  let mk ?(seed = 0x00C0FFEEL) ?disk ?net () = { seed; disk; net }
+  let mk ?(seed = 0x00C0FFEEL) ?disk ?net ?(crashes = []) () =
+    { seed; disk; net; crashes }
 
   let disk_fields d =
     [
@@ -64,6 +76,11 @@ module Schedule = struct
       ("flap_down", string_of_int n.flap_down_ms);
     ]
 
+  let crash_fields c =
+    [ ("node", string_of_int c.crash_node); ("at", string_of_int c.at_ms) ]
+    @ Option.(
+        to_list (map (fun r -> ("restart", string_of_int r)) c.restart_after_ms))
+
   let to_string t =
     let section name fields =
       name ^ ":"
@@ -72,7 +89,8 @@ module Schedule = struct
     String.concat ";"
       (Printf.sprintf "seed=0x%Lx" t.seed
       :: Option.(to_list (map (fun d -> section "disk" (disk_fields d)) t.disk))
-      @ Option.(to_list (map (fun n -> section "net" (net_fields n)) t.net)))
+      @ Option.(to_list (map (fun n -> section "net" (net_fields n)) t.net))
+      @ List.map (fun c -> section "crash" (crash_fields c)) t.crashes)
 
   let parse_kvs s =
     (* "k=v,k=v" -> assoc list; raises Failure on malformed input *)
@@ -120,6 +138,24 @@ module Schedule = struct
       flap_down_ms = get_i kvs "flap_down" default_net.flap_down_ms;
     }
 
+  let crash_of_kvs kvs =
+    let req key =
+      match List.assoc_opt key kvs with
+      | None -> failwith (Printf.sprintf "crash section missing %s" key)
+      | Some v -> (
+          match int_of_string_opt v with
+          | Some i when i >= 0 -> i
+          | _ -> failwith (Printf.sprintf "bad int %s=%s" key v))
+    in
+    {
+      crash_node = req "node";
+      at_ms = req "at";
+      restart_after_ms =
+        (match List.assoc_opt "restart" kvs with
+        | None -> None
+        | Some _ -> Some (req "restart"));
+    }
+
   let of_string s =
     try
       let t =
@@ -137,6 +173,9 @@ module Schedule = struct
                   match name with
                   | "disk" -> { t with disk = Some (disk_of_kvs kvs) }
                   | "net" -> { t with net = Some (net_of_kvs kvs) }
+                  | "crash" ->
+                      (* multiple crash sections accumulate in order *)
+                      { t with crashes = t.crashes @ [ crash_of_kvs kvs ] }
                   | _ -> failwith (Printf.sprintf "unknown section %S" name))
               | None -> (
                   match parse_kvs section with
@@ -315,4 +354,71 @@ module Net_faults = struct
       let mask = 1 lsl Rng.int t.rng 8 in
       Bytes.set b i (Char.chr (Char.code (Bytes.get b i) lxor mask))
     end
+end
+
+module Node_faults = struct
+  (* Node-crash plan: unlike the probabilistic disk/net plans this one
+     is purely schedule-driven — a crash entry names a node, the
+     virtual millisecond it dies, and optionally how many milliseconds
+     later it restarts. The driver polls [due] against global virtual
+     time; each event fires exactly once, in time order (kill before
+     restart on a tie, list order after that), so a run is a pure
+     function of the schedule string. *)
+
+  type action = Kill of int | Restart of int
+
+  type t = {
+    mutable pending : (int64 * int * action) list;
+        (* (virtual ns, tiebreak rank, action), sorted *)
+    c_kills : Metrics.Counter.t;
+    c_restarts : Metrics.Counter.t;
+  }
+
+  let ns_of_ms ms = Int64.mul (Int64.of_int ms) 1_000_000L
+
+  let create (s : Schedule.t) =
+    match s.crashes with
+    | [] -> None
+    | crashes ->
+        let events =
+          List.concat
+            (List.mapi
+               (fun i (c : Schedule.crash) ->
+                 let kill = (ns_of_ms c.at_ms, (2 * i) + 0, Kill c.crash_node) in
+                 match c.restart_after_ms with
+                 | None -> [ kill ]
+                 | Some r ->
+                     [
+                       kill;
+                       ( ns_of_ms (c.at_ms + r),
+                         (2 * i) + 1,
+                         Restart c.crash_node );
+                     ])
+               crashes)
+        in
+        Some
+          {
+            pending =
+              List.sort
+                (fun (t1, r1, _) (t2, r2, _) ->
+                  match Int64.compare t1 t2 with 0 -> compare r1 r2 | c -> c)
+                events;
+            c_kills = Metrics.counter "faults.node_kills";
+            c_restarts = Metrics.counter "faults.node_restarts";
+          }
+
+  let due t ~now_ns =
+    let rec take acc = function
+      | (at, _, a) :: rest when Int64.compare at now_ns <= 0 ->
+          (match a with
+          | Kill _ -> Metrics.Counter.incr t.c_kills
+          | Restart _ -> Metrics.Counter.incr t.c_restarts);
+          take (a :: acc) rest
+      | rest ->
+          t.pending <- rest;
+          List.rev acc
+    in
+    take [] t.pending
+
+  let remaining t = List.length t.pending
 end

@@ -42,13 +42,26 @@ module Schedule : sig
     flap_down_ms : int;
   }
 
-  type t = { seed : int64; disk : disk option; net : net option }
+  type crash = {
+    crash_node : int;  (** cluster node id, consumer-interpreted *)
+    at_ms : int;  (** kill the node at this virtual millisecond *)
+    restart_after_ms : int option;
+        (** restart this many ms after the kill; [None] = stays dead *)
+  }
+
+  type t = {
+    seed : int64;
+    disk : disk option;
+    net : net option;
+    crashes : crash list;
+  }
 
   val default_disk : disk
   val default_net : net
   val none : t
 
-  val mk : ?seed:int64 -> ?disk:disk -> ?net:net -> unit -> t
+  val mk :
+    ?seed:int64 -> ?disk:disk -> ?net:net -> ?crashes:crash list -> unit -> t
 
   val to_string : t -> string
   (** Compact replayable form; [of_string (to_string t) = Ok t]. *)
@@ -104,4 +117,28 @@ module Net_faults : sig
   val on_frame : t -> now_ns:int64 -> verdict
   val corrupt_bytes : t -> bytes -> unit
   (** Flip one deterministic-random byte in place. *)
+end
+
+(** Node-crash plan: schedule-driven (not probabilistic) kill /
+    restart events at virtual times, polled by a cluster driver
+    against global virtual time. Each event fires exactly once, in
+    time order (kill before restart on a tie), so a crash scenario is
+    a pure function of the schedule string — the same
+    [HISTAR_FAULTS="crash:node=2,at=500,restart=300"] line replays the
+    same kill. Fired kills and restarts are counted in
+    [faults.node_kills] / [faults.node_restarts]. *)
+module Node_faults : sig
+  type t
+
+  type action =
+    | Kill of int  (** take the node off the cluster, volatile state lost *)
+    | Restart of int  (** recover the node from its own durable store *)
+
+  val create : Schedule.t -> t option
+  (** [None] when the schedule has no crash entries. *)
+
+  val due : t -> now_ns:int64 -> action list
+  (** Pop every event with firing time <= [now_ns], in order. *)
+
+  val remaining : t -> int
 end

@@ -108,18 +108,34 @@ let emit_tcp t ~dst_ip ~tcp =
              ip = { src_ip = t.sip; dst_ip; proto = Tcp tcp };
            })
 
+let give_up c reason =
+  c.error <- Some reason;
+  c.cstate <- Closed;
+  c.rto_deadline <- Int64.max_int;
+  Metrics.Counter.incr m_rto_giveups;
+  Hashtbl.remove c.stack.conns (conn_key c)
+
 let send_seg c ?(payload = "") ?(flags = no_flags) ~seq () =
-  emit_tcp c.stack ~dst_ip:c.remote.Addr.ip
-    ~tcp:
-      {
-        src_port = c.local_port;
-        dst_port = c.remote.Addr.port;
-        seq;
-        ack_no = c.rcv_nxt;
-        flags;
-        window = window_bytes;
-        payload;
-      }
+  (* A destination with no hub endpoint is a powered-off machine on
+     the local segment: fail the connection synchronously (the ICMP
+     host-unreachable a LAN would deliver) rather than burning a full
+     retransmission-give-up sequence. A *lossy or flapping* link
+     keeps its endpoint attached, so loss recovery still goes through
+     the RTO path. *)
+  if c.stack.resolve c.remote.Addr.ip = None && c.cstate <> Closed then
+    give_up c "no route to host"
+  else
+    emit_tcp c.stack ~dst_ip:c.remote.Addr.ip
+      ~tcp:
+        {
+          src_port = c.local_port;
+          dst_port = c.remote.Addr.port;
+          seq;
+          ack_no = c.rcv_nxt;
+          flags;
+          window = window_bytes;
+          payload;
+        }
 
 let send_ack c = send_seg c ~flags:{ no_flags with ack = true } ~seq:c.snd_nxt ()
 
@@ -406,13 +422,6 @@ let input t bytes =
 let count_retx c =
   c.stack.segments_retransmitted <- c.stack.segments_retransmitted + 1;
   Metrics.Counter.incr m_segments_retransmitted
-
-let give_up c reason =
-  c.error <- Some reason;
-  c.cstate <- Closed;
-  c.rto_deadline <- Int64.max_int;
-  Metrics.Counter.incr m_rto_giveups;
-  Hashtbl.remove c.stack.conns (conn_key c)
 
 let handle_timeout c =
   Metrics.Counter.incr m_rto_timeouts;

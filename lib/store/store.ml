@@ -19,6 +19,9 @@ let m_cache_misses = Metrics.counter "store.cache_misses"
 (* Scrub/repair activity under media faults: objects rewritten to
    fresh homes, sectors permanently quarantined, objects whose payload
    could not be recovered from any copy. *)
+let m_recoveries = Metrics.counter "store.recoveries"
+let m_recovered_objects = Metrics.counter "store.recovered_objects"
+let m_replayed_records = Metrics.counter "store.replayed_records"
 let m_scrubs = Metrics.counter "store.scrubs"
 let m_repaired = Metrics.counter "store.repaired_objects"
 let m_quarantined = Metrics.counter "store.quarantined_sectors"
@@ -493,6 +496,13 @@ let recover ~disk =
       | Some data -> put t ~oid data
       | None -> delete t ~oid)
     records;
+  (* Recovery accounting: how often nodes come back from their own
+     store, how many WAL records the committed prefix replayed, and
+     how many live objects the recovered map holds — the numbers a
+     shard-death drill reads to prove recovery actually happened. *)
+  Metrics.Counter.incr m_recoveries;
+  Metrics.Counter.add m_replayed_records (List.length records);
+  Metrics.Counter.add m_recovered_objects (Bptree.cardinal t.object_map);
   t
 
 (* ---------- scrub (media-fault repair) ---------- *)

@@ -30,7 +30,11 @@ val format :
     65536 (32 MB); default [apply_threshold] is 1000 records. *)
 
 val recover : disk:Histar_disk.Disk.t -> t
-(** Rebuild from the last snapshot and replay the committed log. *)
+(** Rebuild from the last snapshot and replay the committed log.
+    Counted in [store.recoveries]; the committed-prefix replay length
+    and resulting live-object count land in [store.replayed_records]
+    and [store.recovered_objects] — the numbers a shard-death drill
+    reads to prove a node really came back from its own store. *)
 
 val fork : t -> t
 (** Branch the whole store — O(1) in the number of objects. The object

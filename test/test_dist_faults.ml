@@ -1,0 +1,294 @@
+(* Shard-death acceptance cell: the sharded web cluster under a
+   combined disk + net + crash schedule.
+
+   One replayable [HISTAR_FAULTS]-style schedule kills a db shard at a
+   virtual millisecond mid-load and restarts it from its own store.
+   The drill must show, in one run:
+
+   - the cluster keeps serving: users on surviving shards are never
+     refused, users on the dead shard are *refused* (transport error
+     or backoff), never mis-admitted, and never shown anyone else's
+     record;
+   - packet capture on both hubs sees zero record plaintext;
+   - the restarted shard recovers from its own WAL/checkpoint, passes
+     fsck, and re-enters rotation — a final batch serves everyone;
+   - the whole run, fault decisions included, is byte-for-byte
+     reproducible: two fresh runs produce identical outcome + metric
+     digests.  A divergence prints the HISTAR_FAULTS line that
+     replays it.
+
+   Plus the rebalance discipline: a draining arc refuses admission
+   (never mis-routes) until the handoff commits, and a committed
+   rebalance moves the user's record to the target shard intact. *)
+
+module Webcluster = Histar_apps.Webcluster
+module Cluster = Histar_dist.Cluster
+module Ring = Histar_dist.Ring
+module Faults = Histar_faults.Faults
+module Schedule = Faults.Schedule
+module Hub = Histar_net.Hub
+module Store = Histar_store.Store
+module Metrics = Histar_metrics.Metrics
+
+let contains_sub hay needle =
+  let nh = String.length hay and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub hay i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let with_metrics f =
+  let was_enabled = Metrics.enabled () in
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled was_enabled) f
+
+(* The acceptance schedule.  Timing is on the global virtual axis:
+   provisioning runs the clocks to ~42ms, the 32-request batch spans
+   roughly 42–190ms, so kill-at-60 / restart-at-100 lands the whole
+   death + recovery inside the measured window.  Node 3 is shard 0
+   (balancer = 0, apps = 1..2, shards = 3..4), asserted below rather
+   than trusted. *)
+let acceptance_schedule =
+  Schedule.mk ~seed:0x5AD0FF5EL
+    ~disk:
+      {
+        Schedule.latent_rate = 0.005;
+        transient_rate = 0.01;
+        corrupt_rate = 0.001;
+      }
+    ~net:
+      {
+        Schedule.loss_rate = 0.01;
+        corrupt_rate = 0.0;
+        duplicate_rate = 0.005;
+        reorder_rate = 0.0;
+        reorder_depth = 0;
+        jitter_us = 50;
+        flap_period_ms = 0;
+        flap_down_ms = 0;
+      }
+    ~crashes:
+      [ { Schedule.crash_node = 3; at_ms = 60; restart_after_ms = Some 40 } ]
+    ()
+
+type cell = {
+  c_refused : int;  (* batch-1 requests answered without the record *)
+  c_digest : string;  (* outcomes + served + nonzero metrics *)
+}
+
+let run_cell () =
+  Metrics.reset ();
+  let wc =
+    Webcluster.build ~app_nodes:2 ~db_shards:2 ~user_count:4 ~work_us:5_000
+      ~cooldown_ms:20 ~faults:acceptance_schedule ()
+  in
+  Alcotest.(check int)
+    "crash plan targets shard 0's node id" 3
+    (Webcluster.shard_node_id wc 0);
+  let victims = Webcluster.shard_users wc 0 in
+  Alcotest.(check bool) "the doomed shard owns at least one user" true
+    (victims <> []);
+  Alcotest.(check bool) "and not all of them" true
+    (List.length victims < Array.length (Webcluster.users wc));
+  let front_cap = Buffer.create 4096 and back_cap = Buffer.create 4096 in
+  Hub.set_tap (Webcluster.front_hub wc)
+    (Some (Buffer.add_string front_cap));
+  Hub.set_tap (Webcluster.back_hub wc) (Some (Buffer.add_string back_cap));
+  let users = Webcluster.users wc in
+  let mk_batch n =
+    Array.init n (fun i ->
+        let u, p = users.(i mod Array.length users) in
+        (u, p, u))
+  in
+  let all_secrets = Array.map (fun (u, _) -> Webcluster.secret_of wc u) users in
+  (* A reply either carries exactly the caller's own record, or is a
+     refusal that carries nobody's. *)
+  let audit tag outcomes =
+    let refused = ref 0 in
+    Array.iter
+      (fun o ->
+        let own = Webcluster.secret_of wc o.Webcluster.o_user in
+        if not (contains_sub o.Webcluster.o_reply own) then begin
+          incr refused;
+          Alcotest.(check bool)
+            (Printf.sprintf "%s: refusal is an ERR/REFUSED (%s)" tag
+               o.Webcluster.o_reply)
+            true
+            (contains_sub o.Webcluster.o_reply "ERR"
+            || contains_sub o.Webcluster.o_reply "REFUSED")
+        end;
+        Array.iteri
+          (fun i s ->
+            if fst users.(i) <> o.Webcluster.o_user then
+              Alcotest.(check bool)
+                (Printf.sprintf "%s: no cross-user record in a reply" tag)
+                false
+                (contains_sub o.Webcluster.o_reply s))
+          all_secrets)
+      outcomes;
+    !refused
+  in
+  (* Batch 1 brackets the kill and the restart. *)
+  let finished, outcomes = Webcluster.run_load wc ~concurrency:8 (mk_batch 32) in
+  Alcotest.(check bool) "kill batch completed" true finished;
+  let refused = audit "kill batch" outcomes in
+  Alcotest.(check bool) "the kill refused someone" true (refused > 0);
+  (* Survivors were never refused: every refusal names a victim. *)
+  Array.iter
+    (fun o ->
+      if
+        not
+          (contains_sub o.Webcluster.o_reply
+             (Webcluster.secret_of wc o.Webcluster.o_user))
+      then
+        Alcotest.(check bool)
+          (Printf.sprintf "refusal hit a user of the dead shard (%s)"
+             o.Webcluster.o_user)
+          true
+          (List.mem o.Webcluster.o_user victims))
+    outcomes;
+  Alcotest.(check int) "schedule killed exactly once" 1
+    (Metrics.counter_value "faults.node_kills");
+  Alcotest.(check int) "and restarted exactly once" 1
+    (Metrics.counter_value "faults.node_restarts");
+  Alcotest.(check int) "shard kill observed" 1
+    (Metrics.counter_value "webcluster.shard_kills");
+  Alcotest.(check int) "store-based recovery observed" 1
+    (Metrics.counter_value "webcluster.shard_recoveries");
+  Alcotest.(check bool) "recovery replayed the shard's own store" true
+    (Metrics.counter_value "store.recoveries" > 0);
+  (* The shard is back, and its recovered store proves tiling. *)
+  Alcotest.(check bool) "shard 0 alive again" true (Webcluster.shard_alive wc 0);
+  Store.fsck (Webcluster.shard_store wc 0);
+  (* Batch 2: everyone is served again, victims included. *)
+  let finished, outcomes = Webcluster.run_load wc ~concurrency:8 (mk_batch 16) in
+  Alcotest.(check bool) "post-recovery batch completed" true finished;
+  Alcotest.(check int) "post-recovery batch serves every user" 0
+    (audit "post-recovery" outcomes);
+  (* Zero record plaintext on either wire, while the taps demonstrably
+     saw the traffic. *)
+  Alcotest.(check bool) "taps captured traffic" true
+    (Buffer.length front_cap > 0 && Buffer.length back_cap > 0);
+  Array.iter
+    (fun s ->
+      Alcotest.(check bool) "no record plaintext on the front hub" false
+        (contains_sub (Buffer.contents front_cap) s);
+      Alcotest.(check bool) "no record plaintext on the backbone" false
+        (contains_sub (Buffer.contents back_cap) s))
+    all_secrets;
+  Hub.set_tap (Webcluster.front_hub wc) None;
+  Hub.set_tap (Webcluster.back_hub wc) None;
+  let digest =
+    String.concat "|"
+      (Array.to_list
+         (Array.map
+            (fun o -> o.Webcluster.o_user ^ ":" ^ o.Webcluster.o_reply)
+            outcomes))
+    ^ Printf.sprintf "|served=%s|metrics=%s"
+        (String.concat ","
+           (Array.to_list (Array.map string_of_int (Webcluster.served wc))))
+        (String.concat ";"
+           (List.filter_map
+              (fun (k, v) ->
+                if v = 0 then None else Some (Printf.sprintf "%s=%d" k v))
+              (Metrics.snapshot ())))
+  in
+  { c_refused = refused; c_digest = digest }
+
+let test_shard_death_cell () = with_metrics @@ fun () -> ignore (run_cell ())
+
+let test_shard_death_reproducible () =
+  with_metrics @@ fun () ->
+  let a = run_cell () in
+  let b = run_cell () in
+  if not (String.equal a.c_digest b.c_digest) then
+    Printf.printf "HISTAR_FAULTS=%s replays this divergence\n%!"
+      (Schedule.to_string acceptance_schedule);
+  Alcotest.(check string) "two runs, bit for bit" a.c_digest b.c_digest;
+  Alcotest.(check int) "same refusal count" a.c_refused b.c_refused
+
+(* A draining arc refuses admission — the request is either served by
+   the shard that provably owns the user's category, or refused; it is
+   never answered by a node whose export trust is in flux — and a
+   committed rebalance moves the record intact. *)
+let test_handoff_refusal_and_rebalance () =
+  with_metrics @@ fun () ->
+  let wc = Webcluster.build ~app_nodes:2 ~db_shards:2 ~user_count:4 () in
+  let users = Webcluster.users wc in
+  let batch = Array.map (fun (u, p) -> (u, p, u)) users in
+  let check_served tag outcomes =
+    Array.iter
+      (fun o ->
+        Alcotest.(check bool)
+          (Printf.sprintf "%s: %s served (%s)" tag o.Webcluster.o_user
+             o.Webcluster.o_reply)
+          true
+          (contains_sub o.Webcluster.o_reply
+             (Webcluster.secret_of wc o.Webcluster.o_user)))
+      outcomes
+  in
+  let finished, outcomes = Webcluster.run_load wc batch in
+  Alcotest.(check bool) "baseline completed" true finished;
+  check_served "baseline" outcomes;
+  let mover, _ = users.(0) in
+  let src = Option.get (Webcluster.shard_of_user wc mover) in
+  let dst = 1 - src in
+  (* Mark the arc draining by hand (what rebalance does internally) to
+     hold the refusal window open across a whole batch. *)
+  (match
+     Ring.begin_handoff (Webcluster.ring wc) ~key:("user:" ^ mover)
+       ~target:(Webcluster.shard_node_id wc dst)
+   with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  let refusals_before = Webcluster.handoff_refusals wc in
+  let finished, outcomes = Webcluster.run_load wc batch in
+  Alcotest.(check bool) "draining batch completed" true finished;
+  Array.iter
+    (fun o ->
+      if o.Webcluster.o_user = mover then begin
+        Alcotest.(check bool)
+          ("draining arc refuses: " ^ o.Webcluster.o_reply)
+          true
+          (contains_sub o.Webcluster.o_reply "REFUSED");
+        Array.iter
+          (fun (u, _) ->
+            Alcotest.(check bool) "refusal carries no record" false
+              (contains_sub o.Webcluster.o_reply (Webcluster.secret_of wc u)))
+          users
+      end
+      else check_served "draining bystander" [| o |])
+    outcomes;
+  Alcotest.(check bool) "refusals counted" true
+    (Webcluster.handoff_refusals wc > refusals_before);
+  (match Ring.abort_handoff (Webcluster.ring wc) ~key:("user:" ^ mover) with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail e);
+  (* The real migration: record and category move to the live target,
+     admission refused only inside the internal window. *)
+  (match Webcluster.rebalance_user wc ~user:mover ~to_shard:dst with
+  | Ok () -> ()
+  | Error e -> Alcotest.fail ("rebalance: " ^ e));
+  Alcotest.(check (option int))
+    "arc ownership moved" (Some dst)
+    (Webcluster.shard_of_user wc mover);
+  Alcotest.(check bool) "rebalance counted" true
+    (Metrics.counter_value "webcluster.rebalances" > 0);
+  let finished, outcomes = Webcluster.run_load wc batch in
+  Alcotest.(check bool) "post-rebalance batch completed" true finished;
+  check_served "post-rebalance" outcomes
+
+let () =
+  Alcotest.run "dist-faults"
+    [
+      ( "shard-death",
+        [
+          Alcotest.test_case "combined-schedule kill/recover cell" `Quick
+            test_shard_death_cell;
+          Alcotest.test_case "byte-for-byte reproducible" `Quick
+            test_shard_death_reproducible;
+        ] );
+      ( "rebalance",
+        [
+          Alcotest.test_case "refused during handoff, served after" `Quick
+            test_handoff_refusal_and_rebalance;
+        ] );
+    ]

@@ -46,7 +46,16 @@ let test_schedule_roundtrip () =
           }
       else None
     in
-    let s = Schedule.mk ~seed ?disk ?net () in
+    let crashes =
+      List.init (Rng.int rng 3) (fun _ ->
+          {
+            Schedule.crash_node = Rng.int rng 16;
+            at_ms = Rng.int rng 10_000;
+            restart_after_ms =
+              (if Rng.bool rng then Some (Rng.int rng 5_000) else None);
+          })
+    in
+    let s = Schedule.mk ~seed ?disk ?net ~crashes () in
     match Schedule.of_string (Schedule.to_string s) with
     | Ok s' ->
         Alcotest.(check string)
@@ -56,6 +65,50 @@ let test_schedule_roundtrip () =
           (Printf.sprintf "of_string (to_string %s): %s" (Schedule.to_string s)
              e)
   done
+
+(* The documented crash grammar parses field-for-field, multiple
+   sections accumulate in order, and a plan built from the schedule
+   fires Kill strictly before the paired Restart. *)
+let test_schedule_crash_sections () =
+  (match Schedule.of_string "crash:node=2,at=500,restart=300" with
+  | Ok s -> (
+      match s.Schedule.crashes with
+      | [ c ] ->
+          Alcotest.(check int) "node" 2 c.Schedule.crash_node;
+          Alcotest.(check int) "at" 500 c.Schedule.at_ms;
+          Alcotest.(check (option int)) "restart" (Some 300) c.restart_after_ms
+      | cs -> Alcotest.fail (Printf.sprintf "%d crash entries" (List.length cs)))
+  | Error e -> Alcotest.fail e);
+  let s =
+    Schedule.mk
+      ~crashes:
+        [
+          { Schedule.crash_node = 3; at_ms = 60; restart_after_ms = Some 40 };
+          { Schedule.crash_node = 5; at_ms = 80; restart_after_ms = None };
+        ]
+      ()
+  in
+  (match Schedule.of_string (Schedule.to_string s) with
+  | Ok s' ->
+      Alcotest.(check string)
+        "crash sections survive the round-trip in order" (Schedule.to_string s)
+        (Schedule.to_string s')
+  | Error e -> Alcotest.fail e);
+  let plan = Option.get (Faults.Node_faults.create s) in
+  Alcotest.(check int) "three events armed" 3 (Faults.Node_faults.remaining plan);
+  Alcotest.(check bool)
+    "nothing due before the first kill" true
+    (Faults.Node_faults.due plan ~now_ns:59_000_000L = []);
+  Alcotest.(check bool)
+    "kill of node 3 due at 60ms" true
+    (Faults.Node_faults.due plan ~now_ns:60_000_000L
+    = [ Faults.Node_faults.Kill 3 ]);
+  Alcotest.(check bool)
+    "kill of 5 then restart of 3, in time order" true
+    (Faults.Node_faults.due plan ~now_ns:200_000_000L
+    = [ Faults.Node_faults.Kill 5; Faults.Node_faults.Restart 3 ]);
+  Alcotest.(check int) "each event fires exactly once" 0
+    (Faults.Node_faults.remaining plan)
 
 let test_schedule_errors () =
   let bad = [ "seed=xyzzy"; "disk:latent=banana"; "net:loss"; "bogus:1" ] in
@@ -301,6 +354,8 @@ let () =
       ( "schedule",
         [
           Alcotest.test_case "roundtrip" `Quick test_schedule_roundtrip;
+          Alcotest.test_case "crash sections" `Quick
+            test_schedule_crash_sections;
           Alcotest.test_case "errors" `Quick test_schedule_errors;
         ] );
       ( "disk",
