@@ -445,6 +445,56 @@ let snapshot_fork size =
   in
   ns
 
+(* The LIO floating-label layer priced end to end: one service thread
+   serving a fixed mix of tenant evaluations, each a [to_labeled]
+   block (one-shot gate create + call + reap) plus a laundering outbox
+   excursion (§3.5 ⋆-drop on the scope's return). Every fifth request
+   is a cross-tenant peek the kernel denies inside the block, so the
+   entry prices the denial path too; the service label must come back
+   clean or the workload fails. *)
+let lio_eval size =
+  let module Lio_eval = Histar_apps.Lio_eval in
+  let requests = pick size ~smoke:40 ~full:1_000 in
+  let tenants = [| "alice"; "bob"; "carol"; "dave" |] in
+  let n = Array.length tenants in
+  let m = mk_machine () in
+  let elapsed = ref (-1L) in
+  let _tid =
+    Kernel.spawn m.kernel ~name:"lio-eval" (fun () ->
+        let t =
+          Lio_eval.create ~container:(Kernel.root m.kernel)
+            (Array.to_list tenants)
+        in
+        Array.iteri
+          (fun i name -> Lio_eval.set_var t ~tenant:name "x" (i + 1))
+          tenants;
+        let denials = ref 0 in
+        let (), ns =
+          timed m.clock (fun () ->
+              for i = 0 to requests - 1 do
+                let name = tenants.(i mod n) in
+                let e =
+                  if i mod 5 = 4 then begin
+                    incr denials;
+                    Lio_eval.Peek (tenants.((i + 1) mod n), "x")
+                  end
+                  else Lio_eval.Add (Lio_eval.Var "x", Lio_eval.Lit i)
+                in
+                ignore (Lio_eval.eval t ~tenant:name e)
+              done)
+        in
+        if Lio_eval.served t <> requests - !denials then
+          failwith "lio-eval: served count off";
+        if Lio_eval.denied t <> !denials then
+          failwith "lio-eval: denied count off";
+        if not (Lio_eval.clean t) then
+          failwith "lio-eval: service label not clean after the batch";
+        elapsed := ns)
+  in
+  Kernel.run m.kernel;
+  if !elapsed < 0L then failwith "lio-eval: batch did not complete";
+  !elapsed
+
 let workloads =
   [
     ("ipc-pingpong", "pipe round trips through the gate IPC path", ipc_pingpong);
@@ -478,6 +528,9 @@ let workloads =
     ("snapshot-fork",
      "copy-on-write store branches: fork/mutate/fsck/drop at depth 1/8/64",
      snapshot_fork);
+    ("lio-eval",
+     "multi-tenant LIO evaluator: to_labeled blocks + laundered outbox scopes",
+     lio_eval);
   ]
 
 let workload_names = List.map (fun (n, _, _) -> n) workloads

@@ -50,6 +50,7 @@ type op =
   | O_as_unmap of (int * int) * int64
   | O_thread_create of int * lspec * lspec * int64
   | O_gate_create of int * lspec * lspec * int64 * bool
+  | O_gate_create_oneshot of int * lspec * lspec * int64 * bool
   | O_gate_call of (int * int) * lspec option * lspec option * lspec * int
   | O_taint_to_read of int * int
   | O_futex_wake of (int * int) * int * int
@@ -135,6 +136,9 @@ let pp_op = function
         (pp_lspec csp) q
   | O_gate_create (c, sp, csp, q, keep) ->
       Printf.sprintf "O_gate_create (%d,%s,%s,%LdL,%b)" c (pp_lspec sp)
+        (pp_lspec csp) q keep
+  | O_gate_create_oneshot (c, sp, csp, q, keep) ->
+      Printf.sprintf "O_gate_create_oneshot (%d,%s,%s,%LdL,%b)" c (pp_lspec sp)
         (pp_lspec csp) q keep
   | O_gate_call ((c, o), lsp, csp, vsp, r) ->
       let opt = function None -> "None" | Some sp -> "Some " ^ pp_lspec sp in
@@ -374,7 +378,21 @@ let mk_model_harness ~st ~slots ~ncats ~outs =
     | O_gate_create (c, sp, csp, q, keep) ->
         creating
           (Model.Gate_create
-             { gc_spec = spec c sp q "gate"; gc_clearance = mlab csp; gc_keep = keep })
+             {
+               gc_spec = spec c sp q "gate";
+               gc_clearance = mlab csp;
+               gc_keep = keep;
+               gc_once = false;
+             })
+    | O_gate_create_oneshot (c, sp, csp, q, keep) ->
+        creating
+          (Model.Gate_create
+             {
+               gc_spec = spec c sp q "gate1";
+               gc_clearance = mlab csp;
+               gc_keep = keep;
+               gc_once = true;
+             })
     | O_gate_call (g, lsp, csp, vsp, r) ->
         record
           (out_of
@@ -639,6 +657,15 @@ let mk_real_harness ~outs ~slots ~cats ~stuck ~gates =
             let g =
               Sys.gate_create ~container:(oid_of c) ~label:(lab sp)
                 ~clearance:(lab csp) ~quota:q ~name:"gate"
+                (gate_entry ~stuck keep)
+            in
+            gates := !gates @ [ (g, keep) ];
+            created g)
+    | O_gate_create_oneshot (c, sp, csp, q, keep) ->
+        atomic (fun () ->
+            let g =
+              Sys.gate_create ~one_shot:true ~container:(oid_of c)
+                ~label:(lab sp) ~clearance:(lab csp) ~quota:q ~name:"gate1"
                 (gate_entry ~stuck keep)
             in
             gates := !gates @ [ (g, keep) ];

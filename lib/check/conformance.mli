@@ -70,6 +70,13 @@ type op =
       (** gate whose service immediately gate-returns; the [bool] is
           "keep": return owning every category the entry owns (the §6.2
           ownership-granting gate) vs. dropping all of them *)
+  | O_gate_create_oneshot of int * lspec * lspec * int64 * bool
+      (** like {!O_gate_create} but with [Sys.gate_create ~one_shot:true]
+          / model [gc_once = true]: the gate reaps itself from its naming
+          container after the first successful invocation. Never emitted
+          by {!gen_trace} (adding ops to the generator would shift the
+          pinned mutation-catch indices); exercised by hand-written
+          regression traces in [test/test_check.ml]. *)
   | O_gate_call of (int * int) * lspec option * lspec option * lspec * int
       (** (gate, requested label or floor, requested clearance or
           current, verify, return-container slot) *)

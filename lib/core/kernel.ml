@@ -69,10 +69,14 @@ type gate_entry =
           clobber the outer one) *)
   | Entry_dead  (** recovered from disk: code is gone *)
 
-type gate = { gclear : Label.t; mutable gentry : gate_entry }
+type gate = { gclear : Label.t; mutable gentry : gate_entry; gonce : bool }
 (* [gentry] is mutable only so harnesses can re-arm an [Entry_dead]
    gate after resuming a forked/recovered state (see [set_gate_entry]);
-   the kernel itself never reassigns it. *)
+   the kernel itself never reassigns it. [gonce] marks a one-shot
+   service gate: reaped from its naming container after the first
+   successful invocation, exactly like the return gates [gate_call]
+   mints — the kernel primitive beneath scoped label excursions
+   (lib/lio's [to_labeled]/[catch]). *)
 type address_space = { mutable mappings : mapping list }
 
 type device = {
@@ -362,7 +366,9 @@ let encode_obj o =
   | Thr th ->
       Label.encode e th.tclear;
       Codec.Enc.i64 e th.tls
-  | Gat g -> Label.encode e g.gclear
+  | Gat g ->
+      Label.encode e g.gclear;
+      Codec.Enc.bool e g.gonce
   | Asp a ->
       Codec.Enc.list e
         (fun e m ->
@@ -429,7 +435,8 @@ let decode_obj payload =
           }
     | Gate ->
         let gclear = Label.decode d in
-        Gat { gclear; gentry = Entry_dead }
+        let gonce = Codec.Dec.bool d in
+        Gat { gclear; gentry = Entry_dead; gonce }
     | Address_space ->
         let mappings =
           Codec.Dec.list d (fun d ->
@@ -748,7 +755,7 @@ let thread_create_impl k ~(spec : create_spec) ~clearance ~entry =
   enqueue k o.id;
   ok_resp (R_oid o.id)
 
-let gate_create_impl k ~(spec : create_spec) ~clearance ~entry =
+let gate_create_impl k ~(spec : create_spec) ~clearance ~entry ~one_shot =
   let lt = cur_label k in
   let ct = cur_clearance k in
   (* §3.5 states L_T ⊑ L_G ⊑ C_G ⊑ C_T, but the paper's own examples
@@ -768,9 +775,18 @@ let gate_create_impl k ~(spec : create_spec) ~clearance ~entry =
         (Label.to_string clearance)
     else Ok ()
   in
-  let body = Gat { gclear = clearance; gentry = entry } in
+  let body = Gat { gclear = clearance; gentry = entry; gonce = one_shot } in
   let* o = create_object k ~spec ~kind:Gate ~clearance_check:true ~body in
   ok_resp (R_oid o.id)
+
+(* A one-shot service gate reaps itself on first successful invocation,
+   sharing the return-gate discipline: unlink from the naming container
+   so repeated scoped excursions do not exhaust its quota. *)
+let reap_one_shot k (gate : centry) gate_obj g =
+  if g.gonce then
+    match find_obj k gate.container with
+    | Some ({ body = Con c; _ } as d_obj) -> unlink k d_obj c gate_obj.id
+    | Some _ | None -> ()
 
 (* Gate invocation checks (§3.5):
    L_T ⊑ C_G,  L_T ⊑ L_V,  (L_T^J ⊔ L_G^J)^⋆ ⊑ L_R ⊑ C_R ⊑ (C_T ⊔ C_G).
@@ -859,7 +875,9 @@ let gate_enter_impl k ~gate ~requested_label ~requested_clearance ~verify_label
   set_thread_labels k o th ~label:requested_label
     ~clearance:requested_clearance;
   match g.gentry with
-  | Entry_fn f -> Ok (A_jump f)
+  | Entry_fn f ->
+      reap_one_shot k gate gate_obj g;
+      Ok (A_jump f)
   | Entry_resume slot -> (
       match !slot with
       | Some (kont, prev_return_gate) ->
@@ -897,14 +915,17 @@ let gate_call_impl k kont ~gate ~requested_label ~requested_clearance
   in
   let* ret_obj =
     create_object k ~spec:return_spec ~kind:Gate ~clearance_check:true
-      ~body:(Gat { gclear = return_clearance; gentry = Entry_resume slot })
+      ~body:
+        (Gat { gclear = return_clearance; gentry = Entry_resume slot; gonce = false })
   in
   let o, th = cur_thread k in
   th.return_gate <- Some (centry return_spec.container ret_obj.id);
   set_thread_labels k o th ~label:requested_label
     ~clearance:requested_clearance;
   match g.gentry with
-  | Entry_fn f -> Ok (A_jump f)
+  | Entry_fn f ->
+      reap_one_shot k gate gate_obj g;
+      Ok (A_jump f)
   | Entry_resume _ | Entry_dead ->
       invalid_f "gate_call: target must be a service gate"
 
@@ -1265,8 +1286,8 @@ let handle_syscall k kont req : action =
             else label_errf "thread_get_label: not readable"
         | Seg _ | Con _ | Gat _ | Asp _ | Dev _ ->
             invalid_f "thread_get_label: not a thread")
-    | Gate_create { spec; clearance; entry } ->
-        gate_create_impl k ~spec ~clearance ~entry:(Entry_fn entry)
+    | Gate_create { spec; clearance; entry; one_shot } ->
+        gate_create_impl k ~spec ~clearance ~entry:(Entry_fn entry) ~one_shot
     | Gate_enter { gate; requested_label; requested_clearance; verify_label } ->
         gate_enter_impl k ~gate ~requested_label ~requested_clearance
           ~verify_label

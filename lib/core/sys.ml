@@ -158,10 +158,16 @@ let thread_get_label ce = label_resp "thread_get_label" (Thread_get_label ce)
 
 (* --- gates --- *)
 
-let gate_create ~container ~label ~clearance ~quota ~name entry =
+let gate_create ?(one_shot = false) ~container ~label ~clearance ~quota ~name
+    entry =
   oid_resp "gate_create"
     (Gate_create
-       { spec = { container; label; descrip = name; quota }; clearance; entry })
+       {
+         spec = { container; label; descrip = name; quota };
+         clearance;
+         entry;
+         one_shot;
+       })
 
 let default_verify = Label.make Histar_label.Level.L3
 

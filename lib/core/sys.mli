@@ -111,6 +111,7 @@ val thread_get_label : centry -> Label.t
 (** {1 Gates} *)
 
 val gate_create :
+  ?one_shot:bool ->
   container:oid ->
   label:Label.t ->
   clearance:Label.t ->
@@ -118,6 +119,12 @@ val gate_create :
   name:string ->
   (unit -> unit) ->
   oid
+(** [one_shot] (default [false]) makes the gate reap itself from its
+    naming container after the first successful invocation, exactly
+    like the return gates {!gate_call} mints. This is the primitive
+    beneath scoped label excursions: lib/lio creates a one-shot gate
+    per [to_labeled]/[catch] block so abandoned scopes cannot pile up
+    in the scratch container. *)
 
 val gate_enter :
   gate:centry ->

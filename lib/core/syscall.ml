@@ -87,6 +87,10 @@ type req =
       spec : create_spec;
       clearance : Label.t;
       entry : unit -> unit;
+      one_shot : bool;
+          (** reap the gate after its first successful invocation, like
+              the return gates [Gate_call] mints — the primitive under
+              scoped label excursions (lib/lio's [to_labeled]) *)
     }
   | Gate_enter of {
       gate : centry;

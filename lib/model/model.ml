@@ -64,7 +64,12 @@ type req =
   | As_unmap of centry * int64
   | Thread_create of spec * Mlabel.t
   | Thread_get_label of centry
-  | Gate_create of { gc_spec : spec; gc_clearance : Mlabel.t; gc_keep : bool }
+  | Gate_create of {
+      gc_spec : spec;
+      gc_clearance : Mlabel.t;
+      gc_keep : bool;
+      gc_once : bool;
+    }
   | Gate_call of {
       g_gate : centry;
       g_label : Mlabel.t option;
@@ -101,7 +106,7 @@ type body =
   | Seg of string
   | Con of con
   | Thr of { tclear : Mlabel.t }
-  | Gat of { gclear : Mlabel.t; gkeep : bool }
+  | Gat of { gclear : Mlabel.t; gkeep : bool; gonce : bool }
   | Asp of mapping list
   | Dev [@warning "-37"]
 
@@ -430,13 +435,12 @@ let gate_call st tid ~g_gate ~g_label ~g_clear ~g_verify ~g_retcon =
     in
     let rc = match g_clear with Some c -> c | None -> cur_clear st tid in
     let* gid, gobj = resolve st tid ~op:"gate_call" g_gate in
-    let* gclear, gkeep =
+    let* gclear, gkeep, gonce =
       match gobj.body with
-      | Gat { gclear; gkeep } -> Ok (gclear, gkeep)
+      | Gat { gclear; gkeep; gonce } -> Ok (gclear, gkeep, gonce)
       | Seg _ | Con _ | Thr _ | Asp _ | Dev ->
           err E_invalid "gate_call: not a gate"
     in
-    ignore gid;
     let lt = cur_label st tid in
     let ct = cur_clear st tid in
     let* () =
@@ -459,9 +463,12 @@ let gate_call st tid ~g_gate ~g_label ~g_clear ~g_verify ~g_retcon =
             sc_descrip = "return gate";
           }
         ~kind:Gate ~clearance_check:true
-        ~body:(Gat { gclear = ct; gkeep = false })
+        ~body:(Gat { gclear = ct; gkeep = false; gonce = false })
     in
     let st = set_thread st tid ~label:rl ~clear:rc in
+    (* a one-shot service gate reaps itself at entry, like the return
+       gate it hands back — mirror the kernel's [reap_one_shot] *)
+    let st = if gonce then unlink st g_gate.container gid else st in
     Ok (st, rg_oid, gkeep)
   in
   match res with
@@ -779,7 +786,7 @@ let exec st tid req : (state * resp, err * string) result =
           else err E_label "thread_get_label: not readable"
       | Seg _ | Con _ | Gat _ | Asp _ | Dev ->
           err E_invalid "thread_get_label: not a thread")
-  | Gate_create { gc_spec; gc_clearance; gc_keep } ->
+  | Gate_create { gc_spec; gc_clearance; gc_keep; gc_once } ->
       let lt = cur_label st tid in
       let ct = cur_clear st tid in
       let* () =
@@ -790,7 +797,7 @@ let exec st tid req : (state * resp, err * string) result =
       in
       let* st, id =
         create_object st tid ~spec:gc_spec ~kind:Gate ~clearance_check:true
-          ~body:(Gat { gclear = gc_clearance; gkeep = gc_keep })
+          ~body:(Gat { gclear = gc_clearance; gkeep = gc_keep; gonce = gc_once })
       in
       Ok (st, R_oid id)
   | Gate_call _ -> assert false (* handled in [step] *)

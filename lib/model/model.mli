@@ -86,11 +86,18 @@ type req =
   | As_unmap of centry * int64
   | Thread_create of spec * Mlabel.t  (** clearance of the new thread *)
   | Thread_get_label of centry
-  | Gate_create of { gc_spec : spec; gc_clearance : Mlabel.t; gc_keep : bool }
+  | Gate_create of {
+      gc_spec : spec;
+      gc_clearance : Mlabel.t;
+      gc_keep : bool;
+      gc_once : bool;
+    }
       (** [gc_keep]: the modeled service entry immediately returns via
           [gate_return], keeping all owned categories when [gc_keep]
           (granting the gate's ⋆s through the return, §6.2) and keeping
-          none otherwise. *)
+          none otherwise. [gc_once]: the gate is one-shot — reaped from
+          its naming container after the first successful invocation,
+          mirroring the kernel's [Sys.gate_create ~one_shot:true]. *)
   | Gate_call of {
       g_gate : centry;
       g_label : Mlabel.t option;  (** [None]: request the gate floor *)

@@ -355,6 +355,78 @@ let test_build_sim () =
       Alcotest.(check bool) "linked image exists" true img
   | None -> Alcotest.fail "build did not finish"
 
+(* ---------- multi-tenant LIO evaluator ---------- *)
+
+let run_lio_eval f =
+  let kernel = Kernel.create () in
+  let out = ref None in
+  ignore
+    (Kernel.spawn kernel ~name:"lio-eval" (fun () ->
+         let t =
+           Lio_eval.create ~container:(Kernel.root kernel) [ "alice"; "bob" ]
+         in
+         out := Some (f t)));
+  Kernel.run kernel;
+  match !out with
+  | Some v -> v
+  | None -> Alcotest.fail "evaluator thread did not complete"
+
+let test_lio_eval_tenants () =
+  run_lio_eval (fun t ->
+      Lio_eval.set_var t ~tenant:"alice" "x" 20;
+      Lio_eval.set_var t ~tenant:"bob" "x" 7;
+      Alcotest.(check bool)
+        "alice eval ok" true
+        (Lio_eval.eval t ~tenant:"alice"
+           Lio_eval.(Add (Var "x", Mul (Lit 2, Lit 11)))
+        = Ok ());
+      Alcotest.(check bool)
+        "bob eval ok" true
+        (Lio_eval.eval t ~tenant:"bob" Lio_eval.(Add (Var "x", Lit 1)) = Ok ());
+      Alcotest.(check string) "alice outbox" "42"
+        (Lio_eval.read_out t ~tenant:"alice");
+      Alcotest.(check string) "bob outbox" "8"
+        (Lio_eval.read_out t ~tenant:"bob");
+      Alcotest.(check int) "served both from one thread" 2 (Lio_eval.served t);
+      Alcotest.(check bool)
+        "service label clean after serving both tenants" true
+        (Lio_eval.clean t))
+
+let test_lio_eval_cross_tenant_denied () =
+  run_lio_eval (fun t ->
+      Lio_eval.set_var t ~tenant:"bob" "secret" 1234;
+      let peek () =
+        Lio_eval.eval t ~tenant:"alice" Lio_eval.(Peek ("bob", "secret"))
+      in
+      Alcotest.(check bool) "peek refused" true (peek () = Error "denied");
+      let reply = Lio_eval.read_out t ~tenant:"alice" in
+      Alcotest.(check string) "alice sees only the denial" "ERR denied" reply;
+      (* the denial is independent of the secret's value *)
+      Lio_eval.set_var t ~tenant:"bob" "secret" 5678;
+      Alcotest.(check bool) "peek still refused" true (peek () = Error "denied");
+      Alcotest.(check string) "identical denial either way" reply
+        (Lio_eval.read_out t ~tenant:"alice");
+      Alcotest.(check int) "denials counted" 2 (Lio_eval.denied t);
+      Alcotest.(check bool) "service label clean after denials" true
+        (Lio_eval.clean t))
+
+let test_lio_eval_error_confined () =
+  run_lio_eval (fun t ->
+      Lio_eval.set_var t ~tenant:"alice" "x" 3;
+      Alcotest.(check bool)
+        "division by zero reported, not fatal" true
+        (Lio_eval.eval t ~tenant:"alice" Lio_eval.(Div (Lit 1, Lit 0))
+        = Error "eval failed");
+      Alcotest.(check string) "outbox carries the error" "ERR eval"
+        (Lio_eval.read_out t ~tenant:"alice");
+      (* the service survives and keeps serving *)
+      Alcotest.(check bool)
+        "next request fine" true
+        (Lio_eval.eval t ~tenant:"alice" Lio_eval.(Var "x") = Ok ());
+      Alcotest.(check string) "outbox updated" "3"
+        (Lio_eval.read_out t ~tenant:"alice");
+      Alcotest.(check bool) "service label clean" true (Lio_eval.clean t))
+
 let () =
   Alcotest.run "histar_apps"
     [
@@ -390,4 +462,13 @@ let () =
             test_internet_data_cannot_enter_corp;
         ] );
       ("build", [ Alcotest.test_case "compile+link" `Quick test_build_sim ]);
+      ( "lio eval",
+        [
+          Alcotest.test_case "two tenants, one thread" `Quick
+            test_lio_eval_tenants;
+          Alcotest.test_case "cross-tenant peek denied" `Quick
+            test_lio_eval_cross_tenant_denied;
+          Alcotest.test_case "eval error confined" `Quick
+            test_lio_eval_error_confined;
+        ] );
     ]

@@ -7,6 +7,8 @@ module Gen = Histar_check.Gen
 module Check = Histar_check.Check
 module Crash_sweep = Histar_check.Crash_sweep
 module Workloads = Histar_check.Workloads
+module Ni = Histar_check.Noninterference
+module Lio = Histar_lio.Lio
 module Wal = Histar_wal.Wal
 module Disk = Histar_disk.Disk
 module Sim_clock = Histar_util.Sim_clock
@@ -252,6 +254,93 @@ let test_injected_regression_caught () =
     Alcotest.(check string) "fork and replay report identically" by_replay
       by_fork
 
+(* ---------- noninterference twins ---------- *)
+
+(* The property itself, through the shrinking engine: any divergence
+   found here comes back as a minimal program with a replay line. *)
+let test_ni_property =
+  Check.test_case ~count:60 ~max_size:12 ~print:Ni.pp_prog
+    "twin traces low-equivalent" Ni.gen_prog Ni.prop
+
+(* The acceptance sweep: >= 500 clean twin pairs at the pinned seed,
+   and the whole harness bit-identical when run twice. Nightly CI sets
+   HISTAR_CHECK_LONG=1 (with a date-seeded HISTAR_CHECK_SEED) to run a
+   larger schedule. *)
+let ni_count () =
+  if Stdlib.Sys.getenv_opt "HISTAR_CHECK_LONG" = Some "1" then 2000 else 500
+
+let test_ni_suite_deterministic () =
+  let count = ni_count () in
+  let seed = Check.seed () in
+  let n1, d1 = Ni.suite_digest ~count ~seed () in
+  let n2, d2 = Ni.suite_digest ~count ~seed () in
+  Alcotest.(check int) "clean twin pairs" count n1;
+  Alcotest.(check int) "same pair count" n1 n2;
+  Alcotest.(check string) "double harness run bit-identical" d1 d2
+
+(* Committed witness programs for the two planted library-level leaks:
+   each must diverge under its weaken switch and stay clean on the
+   unweakened library — the LIO analogue of PR-4's regression traces. *)
+let ni_witness_tolabeled =
+  [
+    Ni.S_write_high (0, "a");
+    Ni.S_to_labeled_low [ Ni.S_read_high 0 ];
+    Ni.S_unlabel_last;
+    Ni.S_write_low_reg 0;
+  ]
+
+let ni_witness_catch =
+  [
+    Ni.S_write_high (0, "a");
+    Ni.S_catch ([ Ni.S_throw_if_odd 0 ], [ Ni.S_write_low (0, "caught") ]);
+  ]
+
+let ni_witness name weaken prog () =
+  let a, b = Ni.check_twins ~weaken prog in
+  if List.equal String.equal a b then
+    Alcotest.fail
+      (Printf.sprintf "%s: witness %s no longer diverges under %s" name
+         (Ni.pp_prog prog) (Lio.weaken_to_string weaken));
+  (* the unweakened library conforms on the very same program *)
+  Ni.prop prog
+
+(* The generated schedule must also expose both mutants within a
+   bounded budget (catch indices recorded in EXPERIMENTS.md). *)
+let ni_mutant name weaken () =
+  match Ni.catch_index ~weaken ~budget:500 () with
+  | Some (_, _) -> ()
+  | None ->
+      Alcotest.fail
+        (Printf.sprintf "%s survived 500 twin pairs of the pinned schedule"
+           name)
+
+(* Allocation-order perturbation: twin A throws before the two high
+   allocations, twin B performs both, so every oid allocated after the
+   block differs between the twins — including the low-visible scope
+   gates of the subsequent to_labeled_low. Only the canonical
+   (descrip, first-appearance) naming keeps the projections equal. *)
+let ni_perturbation () =
+  let prog =
+    [
+      Ni.S_write_high (0, "a");
+      Ni.S_to_labeled_high
+        [ Ni.S_throw_if_odd 0; Ni.S_alloc_high; Ni.S_alloc_high ];
+      Ni.S_to_labeled_low [ Ni.S_read_low 0 ];
+      Ni.S_write_low (1, "z");
+    ]
+  in
+  let a, b = Ni.check_twins prog in
+  if not (List.equal String.equal a b) then
+    Alcotest.fail "projection not invariant under oid-stream perturbation";
+  if not (List.exists (fun l -> contains ~needle:"low1" l) a) then
+    Alcotest.fail "projection lost the low write after the perturbed block"
+
+(* ---------- lib/lio vs Mlio reference differential ---------- *)
+
+let test_lio_model_diff =
+  Check.test_case ~count:200 ~max_size:10 ~print:Ni.pp_lops
+    "lio clearance semantics match Mlio" Ni.gen_lops Ni.prop_lio_model_diff
+
 let () =
   Alcotest.run "histar_check"
     [
@@ -282,5 +371,23 @@ let () =
             test_cells_counter_and_throughput;
           Alcotest.test_case "fork sweep >= 10x (HISTAR_CHECK_SPEEDUP=1)"
             `Quick test_fork_speedup;
+        ] );
+      ( "noninterference",
+        [
+          test_ni_property;
+          Alcotest.test_case "500 clean twin pairs, bit-identical reruns"
+            `Quick test_ni_suite_deterministic;
+          Alcotest.test_case "witness: to_labeled result leak" `Quick
+            (ni_witness "to_labeled" Lio.Weaken_toLabeled_result
+               ni_witness_tolabeled);
+          Alcotest.test_case "witness: catch label leak" `Quick
+            (ni_witness "catch" Lio.Weaken_lio_catch ni_witness_catch);
+          Alcotest.test_case "mutant caught: Weaken_toLabeled_result" `Quick
+            (ni_mutant "Weaken_toLabeled_result" Lio.Weaken_toLabeled_result);
+          Alcotest.test_case "mutant caught: Weaken_lio_catch" `Quick
+            (ni_mutant "Weaken_lio_catch" Lio.Weaken_lio_catch);
+          Alcotest.test_case "projection invariant under oid perturbation"
+            `Quick ni_perturbation;
+          test_lio_model_diff;
         ] );
     ]

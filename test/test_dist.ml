@@ -639,6 +639,47 @@ let test_cluster_scaling () =
   Alcotest.(check bool) "same seed, same makespan" true (Int64.equal m2 m2');
   Alcotest.(check string) "same seed, same run — bit for bit" d2 d2'
 
+(* Session-token TTL: the sealed front-end token elides the auth
+   round-trip only inside its expiry window. Crossing the boundary at
+   virtual time must silently fall back to the slow path (a real auth
+   against the shard, which re-caches a fresh token) — the reply is
+   identical either way; only the webcluster.session_hits counter
+   tells the paths apart. *)
+let test_session_ttl_expiry () =
+  Metrics.set_enabled true;
+  Fun.protect ~finally:(fun () -> Metrics.set_enabled false) @@ fun () ->
+  let wc = Webcluster.build ~app_nodes:2 ~user_count:2 () in
+  let u0, p0 = (Webcluster.users wc).(0) in
+  let secret = Webcluster.secret_of wc u0 in
+  let hits () = Metrics.counter_value "webcluster.session_hits" in
+  let drive tag =
+    let finished, outcomes = Webcluster.run_load wc [| (u0, p0, u0) |] in
+    Alcotest.(check bool) (tag ^ ": completed") true finished;
+    Alcotest.(check bool)
+      (tag ^ ": serves the record")
+      true
+      (contains_sub outcomes.(0).Webcluster.o_reply secret)
+  in
+  let h0 = hits () in
+  drive "first request (slow path)";
+  Alcotest.(check int) "first auth is a token miss" h0 (hits ());
+  drive "second request (inside TTL)";
+  Alcotest.(check int) "second request hits the token" (h0 + 1) (hits ());
+  (* jump the balancer's virtual clock across the expiry boundary (the
+     cluster-wide sync inside run_load raises every other clock to
+     match — time never goes backwards) *)
+  let ttl_ns =
+    Int64.mul (Int64.of_int (Distd.Tuning.session_ttl_ms ())) 1_000_000L
+  in
+  Sim_clock.advance_ns (Webcluster.balancer_clock wc)
+    (Int64.add ttl_ns 1_000_000L);
+  drive "third request (expired token)";
+  Alcotest.(check int)
+    "expired token falls back to real auth (no hit)"
+    (h0 + 1) (hits ());
+  drive "fourth request (re-cached token)";
+  Alcotest.(check int) "re-auth cached a fresh token" (h0 + 2) (hits ())
+
 let suite =
   [
     ("seal roundtrip", `Quick, test_seal_roundtrip);
@@ -653,6 +694,7 @@ let suite =
     ("remote grant claimed", `Quick, test_remote_grant_claimed);
     ("remote refusals", `Quick, test_remote_refusals);
     ("cluster: acceptance and packet capture", `Quick, test_cluster_acceptance);
+    ("cluster: session token TTL expiry", `Quick, test_session_ttl_expiry);
     ("cluster: failover under link flap", `Quick, test_cluster_failover);
     ("cluster: scaling and reproducibility", `Slow, test_cluster_scaling);
   ]

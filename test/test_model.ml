@@ -127,7 +127,9 @@ let login_world () =
       }
     in
     match
-      mstep st daemon (Model.Gate_create { gc_spec; gc_clearance = l2m; gc_keep = keep })
+      mstep st daemon
+        (Model.Gate_create
+           { gc_spec; gc_clearance = l2m; gc_keep = keep; gc_once = false })
     with
     | st, Model.R_oid g -> (st, g)
     | _ -> Alcotest.fail "gate_create"
@@ -376,12 +378,28 @@ let trace_negative_cas_offset =
     Conf.O_futex_wake ((0, 2), -4, 1);
   ]
 
+let trace_one_shot_gate =
+  (* One-shot service gates (the mechanism beneath lib/lio's scope
+     excursions) reap themselves from the naming container on first
+     invocation: the second call through the same entry must fail
+     identically — the name is gone — in kernel and model alike.
+     O_gate_create_oneshot is never emitted by gen_trace (that would
+     shift the pinned mutation-catch indices), so this hand-written
+     trace is its conformance coverage. *)
+  [
+    Conf.O_gate_create_oneshot (0, l1s, { Conf.ls_def = 3; ls_ents = [] },
+      4096L, false);
+    Conf.O_gate_call ((0, 2), None, None, { Conf.ls_def = 4; ls_ents = [] }, 0);
+    Conf.O_gate_call ((0, 2), None, None, { Conf.ls_def = 4; ls_ents = [] }, 0);
+  ]
+
 let regression_traces =
   [
     ("charge overflow", trace_charge_overflow);
     ("infinite-container usage wrap", trace_infinite_usage_wrap);
     ("quota_move target wrap", trace_quota_move_wrap);
     ("negative CAS offset crash", trace_negative_cas_offset);
+    ("one-shot gate reaped", trace_one_shot_gate);
   ]
 
 let regress_charge_overflow = regression "charge overflow" trace_charge_overflow
@@ -394,6 +412,8 @@ let regress_quota_move_wrap =
 
 let regress_negative_cas_offset =
   regression "negative CAS offset crash" trace_negative_cas_offset
+
+let regress_one_shot_gate = regression "one-shot gate reaped" trace_one_shot_gate
 
 (* ---------- fork-based corpus: the double-run discipline ----------
 
@@ -646,6 +666,8 @@ let () =
             regress_quota_move_wrap;
           Alcotest.test_case "negative CAS offset" `Quick
             regress_negative_cas_offset;
+          Alcotest.test_case "one-shot gate reaped" `Quick
+            regress_one_shot_gate;
         ] );
       ( "fork corpus",
         [
