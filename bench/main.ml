@@ -12,6 +12,9 @@
                                   writes BENCH_baseline.json
      main.exe --bench             deterministic runner, full sizes
      main.exe --out FILE          output path for --smoke/--bench
+     main.exe --jobs N            run workloads on N pool domains
+                                  (output minus wall_ms is identical
+                                  at every N)
      main.exe --validate-bench F  validate a BENCH_*.json against the
                                   schema; exit nonzero on mismatch *)
 
@@ -42,7 +45,7 @@ let aliases =
 let usage () =
   print_endline
     "usage: main.exe [--quick] [--bechamel] [experiment ...]\n\
-    \       main.exe --smoke | --bench [--out FILE]\n\
+    \       main.exe --smoke | --bench [--out FILE] [--jobs N]\n\
     \       main.exe --validate-bench FILE";
   print_endline "experiments:";
   List.iter (fun (n, d, _) -> Printf.printf "  %-14s %s\n" n d) experiments;
@@ -60,8 +63,8 @@ let default_out = "BENCH_baseline.json"
 
 (* Run the deterministic runner; a workload that traps names itself on
    stderr and fails the process. *)
-let run_bench ~size ~out =
-  match Runner.run_suite ~size () with
+let run_bench ~jobs ~size ~out =
+  match Runner.run_suite ~jobs ~size () with
   | json ->
       (match Runner.validate json with
       | Ok () -> ()
@@ -97,13 +100,27 @@ let rec parse_out = function
   | _ :: rest -> parse_out rest
   | [] -> None
 
+(* Workload-level parallelism for --smoke/--bench: N independent
+   workloads on the lib/par pool. The trajectory (minus wall_ms) is
+   byte-identical at every N — pinned by test_bench. *)
+let rec parse_jobs = function
+  | "--jobs" :: n :: _ -> (
+      match int_of_string_opt n with
+      | Some n when n >= 1 -> n
+      | Some _ | None ->
+          Printf.eprintf "bench: --jobs wants a positive integer, got %s\n" n;
+          exit 1)
+  | _ :: rest -> parse_jobs rest
+  | [] -> 1
+
 let () =
   let args = List.tl (Array.to_list Stdlib.Sys.argv) in
   let out = Option.value (parse_out args) ~default:default_out in
+  let jobs = parse_jobs args in
   match args with
   | _ when List.mem "--help" args -> usage ()
-  | _ when List.mem "--smoke" args -> run_bench ~size:Runner.Smoke ~out
-  | _ when List.mem "--bench" args -> run_bench ~size:Runner.Full ~out
+  | _ when List.mem "--smoke" args -> run_bench ~jobs ~size:Runner.Smoke ~out
+  | _ when List.mem "--bench" args -> run_bench ~jobs ~size:Runner.Full ~out
   | "--validate-bench" :: path :: _ -> validate_bench path
   | _ ->
       let bechamel = List.mem "--bechamel" args in

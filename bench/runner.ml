@@ -9,6 +9,7 @@
    must strip it. *)
 
 open Harness
+module Par = Histar_par.Par
 module Metrics = Histar_metrics.Metrics
 module Json = Histar_metrics.Json
 module Profile = Histar_core.Profile
@@ -547,14 +548,21 @@ type entry = {
   e_counters : (string * int) list;
 }
 
+(* A workload cell is always sealed: nested lib/par fan-out (the
+   dist-cluster workloads step nodes through Par.run) collapses to the
+   inline path, so the whole cell runs on one domain and its
+   domain-local metric window sees exactly its own work. Sealing even
+   at --jobs 1 keeps the counters — and thus the whole trajectory minus
+   wall_ms — byte-identical at every job count and HISTAR_DOMAINS. *)
 let run_one size (name, descr, f) =
-  let before = Metrics.snapshot () in
+  Par.sealed @@ fun () ->
+  let before = Metrics.snapshot_local () in
   let w0 = Unix.gettimeofday () in
   let virtual_ns =
     try f size with e -> raise (Workload_failed (name, e))
   in
   let wall_ms = (Unix.gettimeofday () -. w0) *. 1e3 in
-  let after = Metrics.snapshot () in
+  let after = Metrics.snapshot_local () in
   let delta = Metrics.diff ~before ~after in
   (* The required spine is always present; other deltas ride along. *)
   let spine =
@@ -571,14 +579,19 @@ let run_one size (name, descr, f) =
     e_counters = spine @ extras;
   }
 
-let run_suite ~size () =
+let run_suite ?(jobs = 1) ~size () =
   let was_enabled = Metrics.enabled () in
   Metrics.set_enabled true;
   Metrics.reset ();
+  let wl = Array.of_list workloads in
   let entries =
     Fun.protect
       ~finally:(fun () -> Metrics.set_enabled was_enabled)
-      (fun () -> List.map (run_one size) workloads)
+      (fun () ->
+        (* Independent workloads, ordered join: entries come back in
+           workload-list order whatever the completion order. *)
+        Par.run ~domains:jobs (Array.length wl) (fun i -> run_one size wl.(i))
+        |> Array.to_list)
   in
   let total_virtual =
     List.fold_left (fun a e -> Int64.add a e.e_virtual_ns) 0L entries

@@ -14,6 +14,7 @@ module Metrics = Histar_metrics.Metrics
 module Model = Histar_model.Model
 module Mlabel = Histar_model.Mlabel
 module Rng = Histar_util.Rng
+module Par = Histar_par.Par
 
 type lspec = { ls_def : int; ls_ents : (int * int) list }
 
@@ -707,13 +708,13 @@ let mk_real_harness ~outs ~slots ~cats ~stuck ~gates =
 (* Metrics window around one scheduler run; the delta is what the
    coverage signature buckets. *)
 let metered f =
-  let was = Metrics.enabled () in
-  Metrics.set_enabled true;
-  let before = Metrics.snapshot () in
-  f ();
-  let after = Metrics.snapshot () in
-  Metrics.set_enabled was;
-  Metrics.diff ~before ~after
+  (* Domain-local window: a scheduler run never leaves its domain, so
+     concurrent fuzz cells on other pool domains can't bleed into the
+     delta. *)
+  Metrics.with_enabled true (fun () ->
+      let before = Metrics.snapshot_local () in
+      f ();
+      Metrics.diff ~before ~after:(Metrics.snapshot_local ()))
 
 (* Sum metric deltas: every snapshot scalar (counters, histogram
    _count/_sum flattenings) is additive, so per-op windows sum to the
@@ -1174,13 +1175,11 @@ let trace_cov ?weaken ?elide ?mode trace =
    slot. Only the [label.checks]/[label.elided] split may differ. *)
 let compare_elision trace =
   let denied_around f =
-    let was = Metrics.enabled () in
-    Metrics.set_enabled true;
-    let d0 = Metrics.counter_value "label.denied" in
-    let r = f () in
-    let d1 = Metrics.counter_value "label.denied" in
-    Metrics.set_enabled was;
-    (r, d1 - d0)
+    Metrics.with_enabled true (fun () ->
+        let before = Metrics.snapshot_local () in
+        let r = f () in
+        let d = Metrics.diff ~before ~after:(Metrics.snapshot_local ()) in
+        (r, Metrics.value_in d "label.denied"))
   in
   let a, da = denied_around (fun () -> run_real ~elide:true trace) in
   let b, db = denied_around (fun () -> run_real ~elide:false trace) in
@@ -1565,7 +1564,22 @@ let common_prefix a b =
   in
   go 0 a b
 
-let run_fuzz ?weaken ?elide ?runs ?max_size ?(seed = Check.seed ())
+(* The fuzz loop is a strict sequence of (decide, execute, commit)
+   iterations: decide consumes the RNG against the current corpus,
+   execute is a pure differential check of the decided trace, commit
+   folds the verdict back into the loop state (result / seen / corpus).
+   Only execute is expensive, and only commit mutates state — so the
+   parallel driver speculates: it decides a batch ahead (recording the
+   RNG state before each decision), executes the batch on the pool, and
+   commits in order. A commit that admits a corpus entry invalidates
+   every later decision in the batch (they were decided against the
+   stale corpus — decide's draw COUNT depends on corpus contents, not
+   just its draws), so the driver rewinds the RNG to the state saved
+   before the first invalid decision and re-decides. The committed
+   (decide, execute, commit) sequence is therefore bit-identical to the
+   sequential loop at every domain count: same RNG stream, same corpus
+   evolution, same verdicts, same pinned catch indices. *)
+let run_fuzz ?domains ?weaken ?elide ?runs ?max_size ?(seed = Check.seed ())
     ?(mode = `Fork) ?(seed_corpus = []) () =
   let runs =
     match runs with
@@ -1583,73 +1597,137 @@ let run_fuzz ?weaken ?elide ?runs ?max_size ?(seed = Check.seed ())
   let seen = Hashtbl.create 64 in
   let result = ref None in
   let i = ref 0 in
-  while !result = None && !i < runs do
-    let parent, trace =
-      (* Seed-corpus traces run first (AFL-style): checked like any
-         other run and admitted to the corpus by coverage, so the
-         mutation engine can grow them. Empty by default, in which
-         case RNG consumption — and thus every pinned catch index —
-         is unchanged. *)
-      if !i < List.length seed_corpus then (None, List.nth seed_corpus !i)
-      else if !corpus <> [] && Rng.bool rng then
-        let e = List.nth !corpus (Rng.int rng (List.length !corpus)) in
-        (Some e, mutate rng e.ce_trace)
-      else
-        ( None,
-          Gen.generate gen_trace ~seed:(Rng.next64 rng)
-            ~size:(4 + Rng.int rng max_size) )
-    in
-    let detail, cov, remember =
-      match base with
-      | None ->
-          let detail, cov = run_pair ?weaken ?elide trace in
-          (detail, cov, fun () -> { ce_trace = trace; ce_branches = [||] })
-      | Some base ->
-          (* Resume from the deepest parent branch that is still a
-             prefix of the mutant; fresh traces start from the shared
-             initial branch. *)
-          let anchor, i0 =
+  (* Decision for iteration [idx], consuming [rng] against the current
+     corpus. Seed-corpus traces run first (AFL-style): checked like any
+     other run and admitted to the corpus by coverage, so the mutation
+     engine can grow them. Empty by default, in which case RNG
+     consumption — and thus every pinned catch index — is unchanged. *)
+  let decide idx =
+    if idx < List.length seed_corpus then (None, List.nth seed_corpus idx)
+    else if !corpus <> [] && Rng.bool rng then
+      let e = List.nth !corpus (Rng.int rng (List.length !corpus)) in
+      (Some e, mutate rng e.ce_trace)
+    else
+      ( None,
+        Gen.generate gen_trace ~seed:(Rng.next64 rng)
+          ~size:(4 + Rng.int rng max_size) )
+  in
+  let execute (parent, trace) =
+    match base with
+    | None ->
+        let detail, cov = run_pair ?weaken ?elide trace in
+        (detail, cov, fun () -> { ce_trace = trace; ce_branches = [||] })
+    | Some base ->
+        (* Resume from the deepest parent branch that is still a
+           prefix of the mutant; fresh traces start from the shared
+           initial branch. Concurrent cells may resume the same
+           anchor: [Kernel.resume] only reads the handle's persistent
+           state. *)
+        let anchor, i0 =
+          match parent with
+          | Some p when Array.length p.ce_branches > 0 ->
+              let pl = common_prefix p.ce_trace trace in
+              let i0 = min pl (Array.length p.ce_branches - 1) in
+              (p.ce_branches.(i0), i0)
+          | Some _ | None -> (base, 0)
+        in
+        let suffix = List.filteri (fun j _ -> j >= i0) trace in
+        let m, r, _ = exec_from anchor suffix in
+        let remember () =
+          (* Deterministic re-execution with per-op capture, so only
+             corpus admissions pay the fork-per-op cost. *)
+          let _, _, captured = exec_from ~capture:true anchor suffix in
+          let prefix =
             match parent with
             | Some p when Array.length p.ce_branches > 0 ->
-                let pl = common_prefix p.ce_trace trace in
-                let i0 = min pl (Array.length p.ce_branches - 1) in
-                (p.ce_branches.(i0), i0)
-            | Some _ | None -> (base, 0)
+                Array.sub p.ce_branches 0 (i0 + 1)
+            | Some _ | None -> [| anchor |]
           in
-          let suffix = List.filteri (fun j _ -> j >= i0) trace in
-          let m, r, _ = exec_from anchor suffix in
-          let remember () =
-            (* Deterministic re-execution with per-op capture, so only
-               corpus admissions pay the fork-per-op cost. *)
-            let _, _, captured = exec_from ~capture:true anchor suffix in
-            let prefix =
-              match parent with
-              | Some p when Array.length p.ce_branches > 0 ->
-                  Array.sub p.ce_branches 0 (i0 + 1)
-              | Some _ | None -> [| anchor |]
-            in
-            { ce_trace = trace; ce_branches = Array.append prefix captured }
-          in
-          (compare_runs m r, r.rr_cov, remember)
-    in
-    (match detail with
+          { ce_trace = trace; ce_branches = Array.append prefix captured }
+        in
+        (compare_runs m r, r.rr_cov, remember)
+  in
+  (* Commit runs on the main domain; [remember]'s capture re-execution
+     is deterministic, so deferring it from the pool cell to the commit
+     point changes nothing. *)
+  let commit (_, trace) (detail, cov, remember) =
+    match detail with
     | Some d ->
         let t' = shrink ?weaken ?elide trace in
         let d' = Option.value (compare_traces ?weaken ?elide t') ~default:d in
-        result := Some (t', d')
+        result := Some (t', d');
+        `Stop
     | None ->
         if not (Hashtbl.mem seen cov) then begin
           Hashtbl.add seen cov ();
-          corpus := remember () :: !corpus
-        end);
-    incr i
-  done;
+          corpus := remember () :: !corpus;
+          `Admitted
+        end
+        else `Clean
+  in
+  let d =
+    if Par.in_task () then 1
+    else match domains with Some d -> max 1 d | None -> Par.domains ()
+  in
+  if d <= 1 then
+    (* Sequential loop, the reference semantics. *)
+    while !result = None && !i < runs do
+      let dec = decide !i in
+      ignore (commit dec (execute dec) : [ `Stop | `Admitted | `Clean ]);
+      incr i
+    done
+  else begin
+    (* Speculative batches. The batch width adapts: corpus admissions
+       are frequent early (every batch rewinds — speculative work is
+       wasted) and rare once coverage saturates (batches commit whole),
+       so width halves on a rewind and doubles on a full commit. *)
+    let width = ref 1 in
+    while !result = None && !i < runs do
+      let b = min !width (runs - !i) in
+      let states = Array.make b (Rng.state rng) in
+      let decs = Array.make b (None, []) in
+      for j = 0 to b - 1 do
+        states.(j) <- Rng.state rng;
+        decs.(j) <- decide (!i + j)
+      done;
+      let outs = Par.run ~domains:d b (fun j -> execute decs.(j)) in
+      let invalid = ref false in
+      let j = ref 0 in
+      while (not !invalid) && !result = None && !j < b do
+        (match commit decs.(!j) outs.(!j) with
+        | `Stop | `Clean -> ()
+        | `Admitted -> invalid := true);
+        incr i;
+        incr j
+      done;
+      if !result <> None then ()
+      else if !invalid && !j < b then begin
+        (* Decisions [!j..] were made against the stale corpus: rewind
+           the RNG to just before the first of them and re-decide. *)
+        Rng.set_state rng states.(!j);
+        width := max 1 (!width / 2)
+      end
+      else width := min (4 * d) (!width * 2)
+    done
+  end;
   {
     fs_runs = !i;
     fs_corpus = Hashtbl.length seen;
     fs_divergence = !result;
     fs_seed = seed;
   }
+
+(* Independent fuzz passes with split seeds, one pool cell per pass —
+   the embarrassingly parallel outer loop for multi-pass (nightly)
+   fuzzing. Each pass runs its own sequential loop (cells are sealed),
+   so pass [p]'s stats are those of [run_fuzz ~seed:(split_seed seed p)]
+   exactly, at every domain count. *)
+let run_fuzz_many ?domains ?weaken ?elide ?runs ?max_size
+    ?(seed = Check.seed ()) ?(mode = `Fork) ~passes () =
+  Par.run ?domains passes (fun p ->
+      run_fuzz ?weaken ?elide ?runs ?max_size ~seed:(Par.split_seed seed p)
+        ~mode ())
+  |> Array.to_list
 
 (* Pure random sweep of the elided-vs-naive differential: no corpus
    (coverage signatures are elision-normalized, so both runs of a pair

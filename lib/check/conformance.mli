@@ -173,6 +173,7 @@ type fuzz_stats = {
 }
 
 val run_fuzz :
+  ?domains:int ->
   ?weaken:Kernel.weaken ->
   ?elide:bool ->
   ?runs:int ->
@@ -197,7 +198,33 @@ val run_fuzz :
     replaying it; verdicts, corpus evolution and reports are
     bit-identical to [`Replay] at the same seed. Shrinking is always
     replay-based (the reported repro line needs no branch state).
-    Stops at the first divergence (after shrinking it). *)
+    Stops at the first divergence (after shrinking it).
+
+    [?domains] (default {!Par.domains}[()]) sets the pool width for
+    speculative execution: trace decisions are made ahead against the
+    current RNG/corpus, executed in parallel, and committed in
+    submission order, with an RNG rewind whenever a corpus admission
+    invalidates the batch's later decisions. The committed sequence —
+    stats, corpus, divergence, pinned catch indices — is bit-identical
+    to the sequential loop at every domain count. *)
+
+val run_fuzz_many :
+  ?domains:int ->
+  ?weaken:Kernel.weaken ->
+  ?elide:bool ->
+  ?runs:int ->
+  ?max_size:int ->
+  ?seed:int64 ->
+  ?mode:exec_mode ->
+  passes:int ->
+  unit ->
+  fuzz_stats list
+(** [passes] independent fuzz passes, each seeded with
+    [Par.split_seed seed p], one pool cell per pass (the
+    embarrassingly parallel outer loop used by the nightly multi-pass
+    sweep). Pass [p]'s stats equal a standalone
+    [run_fuzz ~seed:(split_seed seed p)] exactly, at every domain
+    count. *)
 
 val run_elide_fuzz :
   ?runs:int -> ?max_size:int -> ?seed:int64 -> unit -> fuzz_stats

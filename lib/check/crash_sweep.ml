@@ -1,5 +1,6 @@
 module Disk = Histar_disk.Disk
 module Metrics = Histar_metrics.Metrics
+module Par = Histar_par.Par
 
 (* Cells actually checked (one per crash index, either mode), so the
    bench trajectory can watch sweep throughput. *)
@@ -125,7 +126,24 @@ let clean_run_with_captures w ~seed =
   assert (Array.length snaps = total);
   (inst, snaps, total)
 
-let sweep ?seed:seed_arg ?(max_points = 64) ?full ?mode w =
+(* Run [f] with the current domain's metric shard switched off, so the
+   redundant per-chunk clean runs of a parallel fork sweep contribute
+   nothing — merged metric totals stay byte-identical to the
+   single-domain sweep. *)
+let metrics_quiet f = Metrics.with_enabled false f
+
+(* Contiguous split of [arr] into at most [d] nonempty chunks. Order is
+   preserved, so the lowest falsifying index always lives in the
+   lowest-numbered falsifying chunk — [Par.run]'s lowest-task-index
+   re-raise therefore reproduces the sequential first failure. *)
+let chunks_of d arr =
+  let m = Array.length arr in
+  let d = max 1 (min d m) in
+  List.init d (fun k -> Array.sub arr (k * m / d) (((k + 1) * m / d) - (k * m / d)))
+  |> List.filter (fun c -> Array.length c > 0)
+  |> Array.of_list
+
+let sweep ?domains ?seed:seed_arg ?(max_points = 64) ?full ?mode w =
   let seed = match seed_arg with Some s -> s | None -> Check.seed () in
   let full = match full with Some f -> f | None -> Check.full_mode () in
   let t0 = Stdlib.Sys.time () in
@@ -158,14 +176,40 @@ let sweep ?seed:seed_arg ?(max_points = 64) ?full ?mode w =
       inst.run ();
       let total = Disk.media_writes inst.disk in
       inst.check ~crashed:false inst.disk;
-      let indices = indices ~total in
-      List.iter (crash_one w ~seed ~total) indices;
-      finish ~total ~points:(List.length indices) ~mode
+      (* Every replay cell builds its own instance, so cells fan out
+         one-per-task; [Par.run] re-raises the lowest-index
+         falsification, matching the sequential first failure. *)
+      let indices = Array.of_list (indices ~total) in
+      ignore
+        (Par.run ?domains (Array.length indices) (fun i ->
+             crash_one w ~seed ~total indices.(i))
+          : unit array);
+      finish ~total ~points:(Array.length indices) ~mode
   | `Fork ->
       let inst, snaps, total = clean_run_with_captures w ~seed in
-      let indices = indices ~total in
-      List.iter (fork_one w inst ~seed ~total snaps) indices;
-      finish ~total ~points:(List.length indices) ~mode
+      let indices = Array.of_list (indices ~total) in
+      (* Fork cells share an instance ([restore_model] mutates it), so
+         parallelism is per contiguous chunk: chunk 0 reuses the clean
+         run above, every other chunk deterministically rebuilds its
+         own captures — silently, metrics-wise. *)
+      let d =
+        if Par.in_task () then 1
+        else match domains with Some d -> d | None -> Par.domains ()
+      in
+      let chunks = chunks_of d indices in
+      ignore
+        (Par.run ?domains (Array.length chunks) (fun k ->
+             let inst, snaps =
+               if k = 0 then (inst, snaps)
+               else
+                 let inst, snaps, _ =
+                   metrics_quiet (fun () -> clean_run_with_captures w ~seed)
+                 in
+                 (inst, snaps)
+             in
+             Array.iter (fork_one w inst ~seed ~total snaps) chunks.(k))
+          : unit array);
+      finish ~total ~points:(Array.length indices) ~mode
 
 (* One cell's *recovery* work, metered: produce the crashed media at
    [index] by the given mode, then run the workload check with the
@@ -174,13 +218,12 @@ let sweep ?seed:seed_arg ?(max_points = 64) ?full ?mode w =
    tests pin down. *)
 let recovery_metrics w ~seed ~index ~mode =
   let check inst ~crashed disk =
-    let was = Metrics.enabled () in
-    let before = Metrics.snapshot () in
-    Metrics.set_enabled true;
-    Fun.protect
-      ~finally:(fun () -> Metrics.set_enabled was)
-      (fun () -> inst.check ~crashed disk);
-    Metrics.diff ~before ~after:(Metrics.snapshot ())
+    (* A domain-local window: the recovery work all happens on the
+       calling domain, so [snapshot_local] meters exactly it even when
+       other pool tasks are incrementing their own shards. *)
+    let before = Metrics.snapshot_local () in
+    Metrics.with_enabled true (fun () -> inst.check ~crashed disk);
+    Metrics.diff ~before ~after:(Metrics.snapshot_local ())
   in
   match mode with
   | `Replay ->

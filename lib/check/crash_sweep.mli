@@ -63,11 +63,26 @@ type report = {
   wall_seconds : float;  (** host CPU time for the whole sweep *)
 }
 
-val sweep : ?seed:int64 -> ?max_points:int -> ?full:bool -> ?mode:mode -> t -> report
+val sweep :
+  ?domains:int ->
+  ?seed:int64 ->
+  ?max_points:int ->
+  ?full:bool ->
+  ?mode:mode ->
+  t ->
+  report
 (** Defaults: seed from {!Check.seed}, [max_points] 64, [full] from
     {!Check.full_mode}, [mode] fork when the workload has a [snapshot]
     (replay otherwise). Honors [HISTAR_CHECK_WORKLOAD] /
-    [HISTAR_CHECK_CRASH_INDEX] for single-point replay. *)
+    [HISTAR_CHECK_CRASH_INDEX] for single-point replay.
+
+    Cells fan out on the lib/par pool ([?domains] defaults to
+    [Par.domains ()]): replay cells one per task, fork cells in
+    contiguous chunks (each extra chunk deterministically rebuilds its
+    own clean-run captures with metrics muted). Any falsification
+    raised, and the merged metric totals, are byte-identical at every
+    domain count — the first (lowest-index) failing cell wins, exactly
+    as in a sequential sweep. *)
 
 val recovery_metrics :
   t ->

@@ -3,6 +3,7 @@ module Sys = Histar_core.Sys
 module Label = Histar_label.Label
 module Level = Histar_label.Level
 module Lio = Histar_lio.Lio
+module Par = Histar_par.Par
 module Mlabel = Histar_model.Mlabel
 module Mlio = Histar_model.Mlio
 open Histar_core.Types
@@ -343,29 +344,58 @@ let prog_at ~seed i =
   let si = Int64.add (Int64.mul 0x2545F4914F6CDD1DL (Int64.of_int i)) seed in
   Gen.generate gen_prog ~seed:si ~size:(4 + (i mod 27))
 
-let suite_digest ?(count = 500) ?(seed = Check.default_seed) () =
+(* Twin pairs are index-seeded and mutually independent, so the suite
+   fans out on the lib/par pool: pair [i] runs as task [i] against its
+   own fresh prologue, results join in index order, and the digest is
+   computed from the ordered concatenation — byte-identical to the
+   sequential loop at any HISTAR_DOMAINS. A failing pair surfaces as
+   the lowest failing index, exactly what the sequential scan would
+   have reported first. *)
+let suite_digest ?domains ?(count = 500) ?(seed = Check.default_seed) () =
+  let results =
+    Par.run ?domains count (fun i ->
+        let prog = prog_at ~seed i in
+        let a, b = check_twins prog in
+        (prog, a, b))
+  in
   let buf = Buffer.create 4096 in
-  for i = 0 to count - 1 do
-    let prog = prog_at ~seed i in
-    let a, b = check_twins prog in
-    if not (List.equal String.equal a b) then
-      failwith (Printf.sprintf "pair %d: %s" i (diff_report prog a b));
-    List.iter
-      (fun l ->
-        Buffer.add_string buf l;
-        Buffer.add_char buf '\n')
-      a
-  done;
+  Array.iteri
+    (fun i (prog, a, b) ->
+      if not (List.equal String.equal a b) then
+        failwith (Printf.sprintf "pair %d: %s" i (diff_report prog a b));
+      List.iter
+        (fun l ->
+          Buffer.add_string buf l;
+          Buffer.add_char buf '\n')
+        a)
+    results;
   (count, Digest.to_hex (Digest.string (Buffer.contents buf)))
 
-let catch_index ~weaken ?(seed = Check.default_seed) ?(budget = 2000) () =
+(* Chunked scan: evaluate a pool-width batch of indices concurrently,
+   then take the first catch in index order — the same smallest index
+   the sequential scan returns, with wasted work bounded by one
+   chunk. *)
+let catch_index ?domains ~weaken ?(seed = Check.default_seed) ?(budget = 2000)
+    () =
+  let d =
+    match domains with Some d -> max 1 d | None -> Par.domains ()
+  in
+  let chunk = max d (min budget (4 * d)) in
   let rec go i =
     if i >= budget then None
-    else
-      let prog = prog_at ~seed i in
-      match prop ~weaken prog with
-      | () -> go (i + 1)
-      | exception Failure _ -> Some (i, prog)
+    else begin
+      let n = min chunk (budget - i) in
+      let caught =
+        Par.run ?domains n (fun j ->
+            let prog = prog_at ~seed (i + j) in
+            match prop ~weaken prog with
+            | () -> None
+            | exception Failure _ -> Some (i + j, prog))
+      in
+      match Array.to_list caught |> List.filter_map Fun.id with
+      | hit :: _ -> Some hit
+      | [] -> go (i + n)
+    end
   in
   go 0
 

@@ -70,20 +70,26 @@ val prog_at : seed:int64 -> int -> stmt list
 (** The deterministic program schedule shared by {!suite_digest} and
     {!catch_index}, so a "catch index" is meaningful on its own. *)
 
-val suite_digest : ?count:int -> ?seed:int64 -> unit -> int * string
+val suite_digest :
+  ?domains:int -> ?count:int -> ?seed:int64 -> unit -> int * string
 (** Run [count] (default 500) twin pairs from the schedule; raise on
-    the first divergence, otherwise return the pair count and a hex
-    digest of every low view — two runs must return the identical
-    digest (the harness is deterministic end to end). *)
+    the first (lowest-index) divergence, otherwise return the pair
+    count and a hex digest of every low view — two runs must return
+    the identical digest (the harness is deterministic end to end).
+    Pairs are independent and fan out on the lib/par pool
+    ([?domains] defaults to [Par.domains ()]); the digest and any
+    failure report are byte-identical at every domain count. *)
 
 val catch_index :
+  ?domains:int ->
   weaken:Histar_lio.Lio.weaken ->
   ?seed:int64 ->
   ?budget:int ->
   unit ->
   (int * stmt list) option
 (** Smallest schedule index whose twin pair exposes the planted leak,
-    with the offending program. *)
+    with the offending program. Scans the schedule in pool-width
+    chunks; the returned index is domain-count independent. *)
 
 (** {1 Differential test: Lio vs the Mlio reference}
 

@@ -1952,6 +1952,11 @@ let copy_gate_summaries tbl =
    a registry so later phases can resume or discard it by name. *)
 let handle_registry : (string, handle) Hashtbl.t = Hashtbl.create 16
 
+(* Named forks can happen from any domain (check cells capture corpus
+   branches on the lib/par pool); the registry is the only cross-kernel
+   shared table here, so it gets its own mutex. *)
+let handle_registry_mu = Mutex.create ()
+
 let fork ?name k =
   (* Drop tree entries for objects destroyed since the last fork. *)
   let stale =
@@ -1995,7 +2000,12 @@ let fork ?name k =
       h_name = name;
     }
   in
-  (match name with Some n -> Hashtbl.replace handle_registry n h | None -> ());
+  (match name with
+  | Some n ->
+      Mutex.lock handle_registry_mu;
+      Hashtbl.replace handle_registry n h;
+      Mutex.unlock handle_registry_mu
+  | None -> ());
   h
 
 let resume h =
@@ -2037,18 +2047,27 @@ let resume h =
 
 let drop h =
   match h.h_name with
-  | Some n -> (
-      match Hashtbl.find_opt handle_registry n with
+  | Some n ->
+      Mutex.lock handle_registry_mu;
+      (match Hashtbl.find_opt handle_registry n with
       | Some h' when h' == h -> Hashtbl.remove handle_registry n
-      | Some _ | None -> ())
+      | Some _ | None -> ());
+      Mutex.unlock handle_registry_mu
   | None -> ()
 
 let handle_name h = h.h_name
-let find_handle name = Hashtbl.find_opt handle_registry name
+
+let find_handle name =
+  Mutex.lock handle_registry_mu;
+  let r = Hashtbl.find_opt handle_registry name in
+  Mutex.unlock handle_registry_mu;
+  r
 
 let handle_names () =
-  List.sort String.compare
-    (Hashtbl.fold (fun n _ acc -> n :: acc) handle_registry [])
+  Mutex.lock handle_registry_mu;
+  let ns = Hashtbl.fold (fun n _ acc -> n :: acc) handle_registry [] in
+  Mutex.unlock handle_registry_mu;
+  List.sort String.compare ns
 
 let handle_object_count h = Bptree.cardinal h.h_objects
 

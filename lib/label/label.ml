@@ -24,15 +24,31 @@ end)
 let intern_tbl = Intern.create 1024
 let next_uid = ref 0
 
+(* Interning is process-global and domains intern concurrently (check
+   cells and cluster nodes run on the lib/par pool), so the weak table
+   and the uid counter sit behind one mutex. Canonical pointers stay
+   canonical across domains — two domains interning structurally equal
+   labels get the same heap object — which is what keeps [equal]'s
+   pointer test sound under parallelism. Uids are process-local and
+   never serialized, so their (interleaving-dependent) numbering is
+   invisible to every output. *)
+let intern_mu = Mutex.create ()
+
 (* The uid is only consumed when the candidate is actually inserted;
    re-interning an existing label allocates nothing persistent. *)
 let intern ~default ~entries =
+  Mutex.lock intern_mu;
   let candidate = { uid = !next_uid; default; entries } in
   let v = Intern.merge intern_tbl candidate in
   if v == candidate then incr next_uid;
+  Mutex.unlock intern_mu;
   v
 
-let interned_count () = !next_uid
+let interned_count () =
+  Mutex.lock intern_mu;
+  let n = !next_uid in
+  Mutex.unlock intern_mu;
+  n
 
 let make d =
   if Level.equal d Level.J then invalid_arg "Label.make: default level J";
@@ -128,13 +144,26 @@ let glb_naive a b = merge_with Level.min a b
    wholesale reset, mirroring [label_cache]. *)
 let memo_bound = 1 lsl 16
 
+(* Memo tables are shared across domains behind their own mutex. The
+   lock is *not* held while [compute] runs: compute re-enters [intern]
+   (its own lock), and a duplicate compute from a racing domain is
+   harmless — both results intern to the same canonical pointer, so
+   whichever insert lands last is equal to the other. *)
+let memo_mu = Mutex.create ()
+
 let memo (tbl : ((int * int), 'a) Hashtbl.t) key compute =
+  Mutex.lock memo_mu;
   match Hashtbl.find_opt tbl key with
-  | Some v -> v
+  | Some v ->
+      Mutex.unlock memo_mu;
+      v
   | None ->
+      Mutex.unlock memo_mu;
       let v = compute () in
+      Mutex.lock memo_mu;
       if Hashtbl.length tbl >= memo_bound then Hashtbl.reset tbl;
       Hashtbl.replace tbl key v;
+      Mutex.unlock memo_mu;
       v
 
 let leq_tbl : (int * int, bool) Hashtbl.t = Hashtbl.create 1024

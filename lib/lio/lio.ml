@@ -16,8 +16,15 @@ let weaken_to_string = function
   | Weaken_lio_catch -> "Weaken_lio_catch"
   | Weaken_toLabeled_result -> "Weaken_toLabeled_result"
 
-let weaken : weaken option ref = ref None
-let set_weaken w = weaken := w
+(* Domain-local: twin-pair check cells run concurrently on the lib/par
+   pool, each planting (or clearing) its own leak without perturbing
+   its siblings. A kernel run stays on the domain that started it, so
+   the evaluator below always reads the switch its own cell set. *)
+let weaken_key : weaken option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let weaken () = !(Domain.DLS.get weaken_key)
+let set_weaken w = Domain.DLS.get weaken_key := w
 
 (* ---------- context ---------- *)
 
@@ -165,7 +172,7 @@ let with_scope ctx f =
 
 let to_labeled ctx l f =
   check_between ~op:"to_labeled" l;
-  let weak = !weaken = Some Weaken_toLabeled_result in
+  let weak = weaken () = Some Weaken_toLabeled_result in
   (* Lowering the clearance to [l] for the duration of the block makes
      the kernel itself refuse any taint beyond [l] inside it: the
      attempt raises Kernel_error at the offending unlabel, where it is
@@ -191,7 +198,7 @@ let catch ctx f h =
       taint final;
       v
   | Error e ->
-      if !weaken <> Some Weaken_lio_catch then taint final;
+      if weaken () <> Some Weaken_lio_catch then taint final;
       h e
 
 (* ---------- labeled references ---------- *)

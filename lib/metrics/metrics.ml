@@ -2,31 +2,104 @@
    fixed-bucket latency histograms, all named and process-global so
    instrumentation points anywhere in the tree report into one place.
 
-   Everything is gated on a single [enabled] flag, off by default: a
-   disabled instrumentation point costs one load and one branch, which
-   is what lets the hot paths (syscall dispatch, sector writes) stay
-   instrumented permanently. The benchmark runner enables the registry,
-   snapshots it around each workload, and records the deltas. *)
+   Everything is gated on an [enabled] flag, off by default: a disabled
+   instrumentation point costs one domain-local load and one branch,
+   which is what lets the hot paths (syscall dispatch, sector writes)
+   stay instrumented permanently. The benchmark runner enables the
+   registry, snapshots it around each workload, and records the deltas.
 
-let on = ref false
-let enabled () = !on
-let set_enabled b = on := b
+   Domain safety: each metric is a registered *handle*; the mutable
+   cells live in per-domain shards reached through [Domain.DLS], so an
+   increment never contends with (or races against) another domain.
+   Reads merge the shards deterministically — sums for counter-like
+   scalars and bucket counts, min-of-mins / max-of-maxes for histogram
+   extremes — all commutative, so merged output is independent of how
+   increments interleaved across domains. [snapshot] reads the merged
+   view; [snapshot_local] reads only the calling domain's shard, which
+   is what gives concurrent check cells isolated metric windows. With
+   one domain the two coincide, so single-domain runs are byte-for-byte
+   what the unsharded registry produced. The [enabled] flag is likewise
+   domain-local (a worker toggling a metered window must not perturb
+   its siblings); toggles on the main domain also set the default that
+   freshly created domains inherit. *)
+
+(* Guards registration and shard lists; never held while user code or
+   a shard-cell initializer runs. *)
+let mu = Mutex.create ()
+
+let locked f =
+  Mutex.lock mu;
+  Fun.protect ~finally:(fun () -> Mutex.unlock mu) f
+
+let main_domain = Domain.self ()
+let default_on = Atomic.make false
+
+(* Per-domain override: [None] follows the global default, so a
+   [set_enabled] on the main domain reaches pool workers even when they
+   were spawned before the call. A non-main domain calling
+   [set_enabled] pins a sticky local override — scoped windows inside
+   pool tasks should use [with_enabled] instead, which restores the
+   override on exit. *)
+let on_key : bool option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let enabled () =
+  match !(Domain.DLS.get on_key) with
+  | Some b -> b
+  | None -> Atomic.get default_on
+
+let set_enabled b =
+  if Domain.self () = main_domain then (
+    Atomic.set default_on b;
+    Domain.DLS.get on_key := None)
+  else Domain.DLS.get on_key := Some b
+
+let with_enabled b f =
+  let r = Domain.DLS.get on_key in
+  let saved = !r in
+  r := Some b;
+  Fun.protect ~finally:(fun () -> r := saved) f
+
+(* A shard cell per (metric, domain), created on the metric's first
+   touch from that domain and threaded onto the metric's cell list so
+   merges and resets can reach every shard from any domain. *)
+let shard_key cells fresh =
+  Domain.DLS.new_key (fun () ->
+      let cell = fresh () in
+      Mutex.lock mu;
+      cells := cell :: !cells;
+      Mutex.unlock mu;
+      cell)
 
 (* ---------- metric bodies ---------- *)
 
-type counter = { c_name : string; mutable c_v : int }
-type gauge = { g_name : string; mutable g_v : int }
+type counter = {
+  c_name : string;
+  c_cells : int ref list ref;
+  c_key : int ref Domain.DLS.key;
+}
+
+type gauge = {
+  g_name : string;
+  g_cells : int ref list ref;
+  g_key : int ref Domain.DLS.key;
+}
+
+type hshard = {
+  hs_counts : int array;  (** length = Array.length bounds + 1 *)
+  mutable hs_count : int;
+  mutable hs_sum : int;
+  mutable hs_min : int;
+  mutable hs_max : int;
+}
 
 type histogram = {
   h_name : string;
   bounds : int array;
       (** strictly increasing inclusive upper bounds; observations above
           the last bound land in an implicit overflow bucket *)
-  counts : int array;  (** length = Array.length bounds + 1 *)
-  mutable h_count : int;
-  mutable h_sum : int;
-  mutable h_min : int;
-  mutable h_max : int;
+  h_cells : hshard list ref;
+  h_key : hshard Domain.DLS.key;
 }
 
 type metric = Counter of counter | Gauge of gauge | Histogram of histogram
@@ -36,17 +109,31 @@ let metric_name = function
   | Gauge g -> g.g_name
   | Histogram h -> h.h_name
 
+let mk_scalar () =
+  let cells = ref [] in
+  (cells, shard_key cells (fun () -> ref 0))
+
+let fresh_hshard nbuckets () =
+  {
+    hs_counts = Array.make nbuckets 0;
+    hs_count = 0;
+    hs_sum = 0;
+    hs_min = max_int;
+    hs_max = min_int;
+  }
+
 (* ---------- registry ---------- *)
 
 let registry : (string, metric) Hashtbl.t = Hashtbl.create 64
 
 let register name make =
-  match Hashtbl.find_opt registry name with
-  | Some m -> m
-  | None ->
-      let m = make () in
-      Hashtbl.add registry name m;
-      m
+  locked (fun () ->
+      match Hashtbl.find_opt registry name with
+      | Some m -> m
+      | None ->
+          let m = make () in
+          Hashtbl.add registry name m;
+          m)
 
 let kind_mismatch name want =
   invalid_arg
@@ -54,12 +141,20 @@ let kind_mismatch name want =
        name want)
 
 let counter name =
-  match register name (fun () -> Counter { c_name = name; c_v = 0 }) with
+  match
+    register name (fun () ->
+        let cells, key = mk_scalar () in
+        Counter { c_name = name; c_cells = cells; c_key = key })
+  with
   | Counter c -> c
   | Gauge _ | Histogram _ -> kind_mismatch name "counter"
 
 let gauge name =
-  match register name (fun () -> Gauge { g_name = name; g_v = 0 }) with
+  match
+    register name (fun () ->
+        let cells, key = mk_scalar () in
+        Gauge { g_name = name; g_cells = cells; g_key = key })
+  with
   | Gauge g -> g
   | Counter _ | Histogram _ -> kind_mismatch name "gauge"
 
@@ -83,42 +178,63 @@ let histogram ?(bounds = default_bounds) name =
   check_bounds bounds;
   match
     register name (fun () ->
+        let bounds = Array.copy bounds in
+        let cells = ref [] in
         Histogram
           {
             h_name = name;
-            bounds = Array.copy bounds;
-            counts = Array.make (Array.length bounds + 1) 0;
-            h_count = 0;
-            h_sum = 0;
-            h_min = max_int;
-            h_max = min_int;
+            bounds;
+            h_cells = cells;
+            h_key = shard_key cells (fresh_hshard (Array.length bounds + 1));
           })
   with
   | Histogram h -> h
   | Counter _ | Gauge _ -> kind_mismatch name "histogram"
+
+(* Shard lists are cons cells replaced only under [mu]; a merge grabs
+   the current list under the lock and folds outside it. Merges are
+   exact whenever the incrementing domains are quiescent (the ordered
+   join in lib/par delivers exactly that at every merge point). *)
+let cells_of r = locked (fun () -> !r)
+
+let sum_cells r = List.fold_left (fun acc c -> acc + !c) 0 (cells_of r)
 
 (* ---------- counters ---------- *)
 
 module Counter = struct
   type t = counter
 
-  let incr c = if !on then c.c_v <- c.c_v + 1
+  let incr c =
+    if enabled () then begin
+      let r = Domain.DLS.get c.c_key in
+      r := !r + 1
+    end
 
   let add c n =
-    if !on then
+    if enabled () then
       if n < 0 then invalid_arg "Metrics.Counter.add: negative increment"
-      else c.c_v <- c.c_v + n
+      else begin
+        let r = Domain.DLS.get c.c_key in
+        r := !r + n
+      end
 
-  let value c = c.c_v
+  let value c = sum_cells c.c_cells
+  let local_value c = !(Domain.DLS.get c.c_key)
   let name c = c.c_name
 end
 
 module Gauge = struct
   type t = gauge
 
-  let set g v = if !on then g.g_v <- v
-  let add g n = if !on then g.g_v <- g.g_v + n
-  let value g = g.g_v
+  let set g v = if enabled () then Domain.DLS.get g.g_key := v
+
+  let add g n =
+    if enabled () then begin
+      let r = Domain.DLS.get g.g_key in
+      r := !r + n
+    end
+
+  let value g = sum_cells g.g_cells
   let name g = g.g_name
 end
 
@@ -145,45 +261,70 @@ module Histogram = struct
     (lower, upper)
 
   let observe h v =
-    if !on then begin
+    if enabled () then begin
+      let s = Domain.DLS.get h.h_key in
       let b = bucket_of_value h v in
-      h.counts.(b) <- h.counts.(b) + 1;
-      h.h_count <- h.h_count + 1;
-      h.h_sum <- h.h_sum + v;
-      if v < h.h_min then h.h_min <- v;
-      if v > h.h_max then h.h_max <- v
+      s.hs_counts.(b) <- s.hs_counts.(b) + 1;
+      s.hs_count <- s.hs_count + 1;
+      s.hs_sum <- s.hs_sum + v;
+      if v < s.hs_min then s.hs_min <- v;
+      if v > s.hs_max then s.hs_max <- v
     end
 
-  let count h = h.h_count
-  let sum h = h.h_sum
+  (* Deterministic shard merge: bucket-wise and total sums, min of
+     mins, max of maxes — all commutative and associative, so the
+     result is independent of increment interleaving. *)
+  let merged h =
+    let acc = fresh_hshard (Array.length h.bounds + 1) () in
+    List.iter
+      (fun s ->
+        Array.iteri (fun i n -> acc.hs_counts.(i) <- acc.hs_counts.(i) + n) s.hs_counts;
+        acc.hs_count <- acc.hs_count + s.hs_count;
+        acc.hs_sum <- acc.hs_sum + s.hs_sum;
+        if s.hs_min < acc.hs_min then acc.hs_min <- s.hs_min;
+        if s.hs_max > acc.hs_max then acc.hs_max <- s.hs_max)
+      (cells_of h.h_cells);
+    acc
+
+  let count h = (merged h).hs_count
+  let sum h = (merged h).hs_sum
+  let local_count h = (Domain.DLS.get h.h_key).hs_count
+  let local_sum h = (Domain.DLS.get h.h_key).hs_sum
   let name h = h.h_name
   let bounds h = Array.copy h.bounds
-  let bucket_counts h = Array.copy h.counts
-  let min_value h = if h.h_count = 0 then None else Some h.h_min
-  let max_value h = if h.h_count = 0 then None else Some h.h_max
+  let bucket_counts h = Array.copy (merged h).hs_counts
+
+  let min_value h =
+    let s = merged h in
+    if s.hs_count = 0 then None else Some s.hs_min
+
+  let max_value h =
+    let s = merged h in
+    if s.hs_count = 0 then None else Some s.hs_max
 
   (* Quantile estimate: the value at rank ceil(q * count). The reported
      value is the containing bucket's upper bound clamped to the
      observed maximum, which keeps estimates inside the bucket that
      holds the rank and makes q -> quantile monotone. *)
   let quantile h q =
-    if h.h_count = 0 then None
+    let s = merged h in
+    if s.hs_count = 0 then None
     else begin
       if not (q > 0.0 && q <= 1.0) then
         invalid_arg "Metrics.Histogram.quantile: q must be in (0, 1]";
       let rank =
-        let r = int_of_float (ceil (q *. float_of_int h.h_count)) in
-        if r < 1 then 1 else if r > h.h_count then h.h_count else r
+        let r = int_of_float (ceil (q *. float_of_int s.hs_count)) in
+        if r < 1 then 1 else if r > s.hs_count then s.hs_count else r
       in
-      let b = ref 0 and cum = ref h.counts.(0) in
+      let b = ref 0 and cum = ref s.hs_counts.(0) in
       while !cum < rank do
         incr b;
-        cum := !cum + h.counts.(!b)
+        cum := !cum + s.hs_counts.(!b)
       done;
       let upper =
-        if !b < Array.length h.bounds then h.bounds.(!b) else h.h_max
+        if !b < Array.length h.bounds then h.bounds.(!b) else s.hs_max
       in
-      Some (if upper > h.h_max then h.h_max else upper)
+      Some (if upper > s.hs_max then s.hs_max else upper)
     end
 
   let p50 h = quantile h 0.50
@@ -198,16 +339,30 @@ end
    them uniformly. Sorted by name for deterministic output. *)
 type snapshot = (string * int) list
 
-let snapshot () : snapshot =
-  Hashtbl.fold
-    (fun name m acc ->
+let metrics () = locked (fun () -> Hashtbl.fold (fun _ m acc -> m :: acc) registry [])
+
+let snapshot_with ~cv ~gv ~hcount ~hsum () : snapshot =
+  List.fold_left
+    (fun acc m ->
       match m with
-      | Counter c -> (name, c.c_v) :: acc
-      | Gauge g -> (name, g.g_v) :: acc
+      | Counter c -> (c.c_name, cv c) :: acc
+      | Gauge g -> (g.g_name, gv g) :: acc
       | Histogram h ->
-          (name ^ "_count", h.h_count) :: (name ^ "_sum", h.h_sum) :: acc)
-    registry []
+          (h.h_name ^ "_count", hcount h) :: (h.h_name ^ "_sum", hsum h) :: acc)
+    [] (metrics ())
   |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+
+let snapshot () =
+  snapshot_with ~cv:Counter.value ~gv:Gauge.value ~hcount:Histogram.count
+    ~hsum:Histogram.sum ()
+
+(* The calling domain's shard only: the window primitive for check
+   cells running concurrently on the pool. Single-domain runs see
+   exactly what [snapshot] sees. *)
+let snapshot_local () =
+  snapshot_with ~cv:Counter.local_value
+    ~gv:(fun g -> !(Domain.DLS.get g.g_key))
+    ~hcount:Histogram.local_count ~hsum:Histogram.local_sum ()
 
 (* Per-name [after - before]; names absent from [before] count from 0,
    zero deltas are dropped. *)
@@ -223,46 +378,54 @@ let diff ~(before : snapshot) ~(after : snapshot) : snapshot =
 let value_in (s : snapshot) name =
   Option.value (List.assoc_opt name s) ~default:0
 
-let find name = Hashtbl.find_opt registry name
+let find name = locked (fun () -> Hashtbl.find_opt registry name)
 
 let counter_value name =
-  match Hashtbl.find_opt registry name with
-  | Some (Counter c) -> c.c_v
-  | Some (Gauge g) -> g.g_v
+  match find name with
+  | Some (Counter c) -> Counter.value c
+  | Some (Gauge g) -> Gauge.value g
   | Some (Histogram _) | None -> 0
 
+(* Zero every shard of every metric. Only meaningful at quiescent
+   points (no concurrent incrementers), which is where every caller
+   sits: suite setup on the main domain. *)
 let reset () =
-  Hashtbl.iter
-    (fun _ m ->
+  List.iter
+    (fun m ->
       match m with
-      | Counter c -> c.c_v <- 0
-      | Gauge g -> g.g_v <- 0
+      | Counter c -> List.iter (fun r -> r := 0) (cells_of c.c_cells)
+      | Gauge g -> List.iter (fun r -> r := 0) (cells_of g.g_cells)
       | Histogram h ->
-          Array.fill h.counts 0 (Array.length h.counts) 0;
-          h.h_count <- 0;
-          h.h_sum <- 0;
-          h.h_min <- max_int;
-          h.h_max <- min_int)
-    registry
+          List.iter
+            (fun s ->
+              Array.fill s.hs_counts 0 (Array.length s.hs_counts) 0;
+              s.hs_count <- 0;
+              s.hs_sum <- 0;
+              s.hs_min <- max_int;
+              s.hs_max <- min_int)
+            (cells_of h.h_cells))
+    (metrics ())
 
 let all () =
-  Hashtbl.fold (fun _ m acc -> m :: acc) registry []
+  metrics ()
   |> List.sort (fun a b -> String.compare (metric_name a) (metric_name b))
 
 (* ---------- rendering ---------- *)
 
 let to_json () =
   let field_of = function
-    | Counter c -> (c.c_name, Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int c.c_v) ])
-    | Gauge g -> (g.g_name, Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Int g.g_v) ])
+    | Counter c ->
+        (c.c_name, Json.Obj [ ("type", Json.Str "counter"); ("value", Json.Int (Counter.value c)) ])
+    | Gauge g ->
+        (g.g_name, Json.Obj [ ("type", Json.Str "gauge"); ("value", Json.Int (Gauge.value g)) ])
     | Histogram h ->
         let q name v = (name, match v with None -> Json.Null | Some x -> Json.Int x) in
         ( h.h_name,
           Json.Obj
             [
               ("type", Json.Str "histogram");
-              ("count", Json.Int h.h_count);
-              ("sum", Json.Int h.h_sum);
+              ("count", Json.Int (Histogram.count h));
+              ("sum", Json.Int (Histogram.sum h));
               q "min" (Histogram.min_value h);
               q "max" (Histogram.max_value h);
               q "p50" (Histogram.p50 h);
@@ -276,12 +439,12 @@ let pp fmt () =
   List.iter
     (fun m ->
       match m with
-      | Counter c -> Format.fprintf fmt "%-36s %d@." c.c_name c.c_v
-      | Gauge g -> Format.fprintf fmt "%-36s %d@." g.g_name g.g_v
+      | Counter c -> Format.fprintf fmt "%-36s %d@." c.c_name (Counter.value c)
+      | Gauge g -> Format.fprintf fmt "%-36s %d@." g.g_name (Gauge.value g)
       | Histogram h ->
           let s = function None -> "-" | Some v -> string_of_int v in
           Format.fprintf fmt "%-36s n=%d sum=%d p50=%s p95=%s p99=%s@."
-            h.h_name h.h_count h.h_sum
+            h.h_name (Histogram.count h) (Histogram.sum h)
             (s (Histogram.p50 h))
             (s (Histogram.p95 h))
             (s (Histogram.p99 h)))

@@ -19,6 +19,10 @@ type ring = {
 
 let nil_event = { ts_ns = 0L; kind = ""; fields = [] }
 
+(* Emitters can live on any domain (cluster nodes step on the pool);
+   the ring is shared, so every access section is mutex-guarded. *)
+let mu = Mutex.create ()
+
 let ring =
   {
     buf = Array.make default_capacity nil_event;
@@ -38,15 +42,21 @@ let enabled () = !on
 let set_enabled b = on := b
 
 let clear () =
+  Mutex.lock mu;
   ring.start <- 0;
   ring.len <- 0;
-  ring.evicted <- 0
+  ring.evicted <- 0;
+  Mutex.unlock mu
 
 let set_capacity n =
   if n < 1 then invalid_arg "Trace.set_capacity: capacity must be >= 1";
+  Mutex.lock mu;
   ring.buf <- Array.make n nil_event;
   ring.cap <- n;
-  clear ()
+  ring.start <- 0;
+  ring.len <- 0;
+  ring.evicted <- 0;
+  Mutex.unlock mu
 
 let capacity () = ring.cap
 let length () = ring.len
@@ -55,6 +65,7 @@ let evicted () = ring.evicted
 let emit ?(ts_ns = 0L) kind fields =
   if !on then begin
     let e = { ts_ns; kind; fields } in
+    Mutex.lock mu;
     if ring.len < ring.cap then begin
       ring.buf.((ring.start + ring.len) mod ring.cap) <- e;
       ring.len <- ring.len + 1
@@ -64,12 +75,16 @@ let emit ?(ts_ns = 0L) kind fields =
       ring.buf.(ring.start) <- e;
       ring.start <- (ring.start + 1) mod ring.cap;
       ring.evicted <- ring.evicted + 1
-    end
+    end;
+    Mutex.unlock mu
   end
 
 (* Oldest first. *)
 let events () =
-  List.init ring.len (fun i -> ring.buf.((ring.start + i) mod ring.cap))
+  Mutex.lock mu;
+  let l = List.init ring.len (fun i -> ring.buf.((ring.start + i) mod ring.cap)) in
+  Mutex.unlock mu;
+  l
 
 let event_to_json e =
   Json.Obj

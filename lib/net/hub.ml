@@ -208,7 +208,34 @@ let release_due t =
   t.holdq <- still;
   List.iter (fun b -> route t b) due
 
-let inject t bytes =
+(* ---------- deferred injection (BSP outboxes) ---------- *)
+
+(* The cluster driver steps kernels on separate domains between
+   global-virtual-time barriers. Everything a kernel touches while
+   stepping is its own — except the hub, whose inject path advances
+   the shared wire clock, consumes the shared loss RNG and delivers
+   synchronously into the destination stack. So while a kernel steps
+   inside [with_outbox], [inject] only appends the raw frame (with its
+   target hub) to the domain-local outbox and touches no hub state at
+   all; the driver flushes outboxes through the real inject path at
+   the barrier, in kernel registration order, FIFO within each sender.
+   The flush order is a pure function of registration order, so the
+   wire schedule is identical whatever the domain count — including 1,
+   which is what makes single- and multi-domain runs byte-identical. *)
+type outbox = (t * string) list ref (* reversed *)
+
+let new_outbox () : outbox = ref []
+
+let outbox_key : outbox option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let with_outbox (ob : outbox) f =
+  let cell = Domain.DLS.get outbox_key in
+  let saved = !cell in
+  cell := Some ob;
+  Fun.protect ~finally:(fun () -> cell := saved) f
+
+let inject_now t bytes =
   let nbytes = String.length bytes in
   (* Serialization (transmission) time is what occupies the wire and
      advances the shared clock; propagation latency overlaps with other
@@ -264,6 +291,23 @@ let inject t bytes =
                end
              end));
   release_due t
+
+let inject t bytes =
+  match !(Domain.DLS.get outbox_key) with
+  | Some ob -> ob := (t, bytes) :: !ob
+  | None -> inject_now t bytes
+
+(* Replay a drained outbox through the real inject path, oldest frame
+   first. Runs at the barrier, outside any [with_outbox] scope, so
+   re-entrant injects from rx paths (a stack acking straight out of
+   [ep_deliver]) hit the wire immediately, exactly as they do in a
+   plain sequential run. *)
+let flush_outbox (ob : outbox) =
+  let frames = List.rev !ob in
+  ob := [];
+  List.iter (fun (t, bytes) -> inject_now t bytes) frames
+
+let outbox_empty (ob : outbox) = !ob = []
 
 let frames_sent t = t.frames_sent
 let frames_lost t = t.frames_lost

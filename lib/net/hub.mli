@@ -59,7 +59,36 @@ val detach : t -> mac:string -> unit
 val inject : t -> string -> unit
 (** Put an encoded frame on the wire: charges transmission time, then
     delivers to the destination MAC (or everyone, for the broadcast MAC
-    ["ff:ff:ff:ff:ff:ff"]). Unknown destinations are dropped. *)
+    ["ff:ff:ff:ff:ff:ff"]). Unknown destinations are dropped.
+
+    Inside {!with_outbox} the frame is deferred to the active outbox
+    instead, touching no hub state — the BSP hook the cluster driver
+    uses to step kernels on separate domains between barriers. *)
+
+(** {2 Deferred injection (BSP outboxes)}
+
+    The cluster driver steps each node's kernel inside [with_outbox]:
+    frames the node transmits are parked, tagged with their target
+    hub, in a domain-local outbox, and the driver flushes them through
+    the real inject path at the next global-virtual-time barrier in
+    kernel registration order (FIFO within a sender). The flush
+    schedule is a pure function of registration order — independent of
+    how many domains stepped the kernels — which is what keeps
+    multi-domain cluster runs byte-identical to single-domain ones. *)
+
+type outbox
+
+val new_outbox : unit -> outbox
+
+val with_outbox : outbox -> (unit -> 'a) -> 'a
+(** Run [f] with every [inject] (on any hub, from this domain)
+    deferred into the outbox. Nests: the innermost scope wins. *)
+
+val flush_outbox : outbox -> unit
+(** Re-inject the parked frames, oldest first, through the normal
+    wire path. Call outside any {!with_outbox} scope. *)
+
+val outbox_empty : outbox -> bool
 
 val resolve : t -> Addr.ip -> string option
 (** MAC for an attached IP (the stand-in for ARP); falls back to the

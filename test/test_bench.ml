@@ -130,6 +130,39 @@ let test_suite_deterministic () =
     (Json.to_string (Runner.strip_wall j1))
     (Json.to_string (Runner.strip_wall j2))
 
+(* --jobs N fans workloads out on the lib/par pool; the trajectory
+   (minus wall_ms) must be byte-identical at every job count. *)
+let test_suite_jobs_identical () =
+  let run jobs = Runner.run_suite ~jobs ~size:Runner.Smoke () in
+  let ref_j = Json.to_string (Runner.strip_wall (run 1)) in
+  List.iter
+    (fun jobs ->
+      Alcotest.(check string)
+        (Printf.sprintf "trajectory identical at --jobs %d" jobs)
+        ref_j
+        (Json.to_string (Runner.strip_wall (run jobs))))
+    [ 2; 8 ]
+
+(* Pin the comparison contract itself: wall_ms is present in the raw
+   trajectory (it is informational) and completely absent once
+   [strip_wall] normalizes it — wall-clock can never leak into a
+   baseline diff. *)
+let test_wall_ms_excluded () =
+  let json = Runner.run_suite ~size:Runner.Smoke () in
+  let contains ~needle haystack =
+    let n = String.length needle and h = String.length haystack in
+    let rec go i =
+      i + n <= h && (String.sub haystack i n = needle || go (i + 1))
+    in
+    n = 0 || go 0
+  in
+  Alcotest.(check bool)
+    "raw trajectory carries wall_ms" true
+    (contains ~needle:"wall_ms" (Json.to_string json));
+  Alcotest.(check bool)
+    "stripped trajectory has no wall_ms" false
+    (contains ~needle:"wall_ms" (Json.to_string (Runner.strip_wall json)))
+
 (* ---------- instrumentation overhead ----------
 
    The acceptance bar: with the metrics registry disabled, the
@@ -198,6 +231,17 @@ let test_instrumentation_reports () =
 let () =
   Alcotest.run "histar_bench"
     [
+      (* The wall-clock overhead comparison runs first: the --jobs
+         identity test below spawns the persistent Par worker domains,
+         and idle domains add stop-the-world jitter that would skew a
+         5%-bar timing test on a small host. *)
+      ( "overhead",
+        [
+          Alcotest.test_case "instrumented path reports" `Quick
+            test_instrumentation_reports;
+          Alcotest.test_case "disabled instrumentation near-free" `Slow
+            test_disabled_overhead;
+        ] );
       ( "runner",
         [
           Alcotest.test_case "all workloads run at smoke size" `Quick
@@ -208,14 +252,11 @@ let () =
             test_validate_rejects_tampering;
           Alcotest.test_case "trajectory is deterministic" `Quick
             test_suite_deterministic;
+          Alcotest.test_case "trajectory identical across --jobs" `Quick
+            test_suite_jobs_identical;
+          Alcotest.test_case "wall_ms excluded from comparisons" `Quick
+            test_wall_ms_excluded;
           Alcotest.test_case "gate IPC elision ratio" `Quick
             test_ipc_elision_ratio;
-        ] );
-      ( "overhead",
-        [
-          Alcotest.test_case "instrumented path reports" `Quick
-            test_instrumentation_reports;
-          Alcotest.test_case "disabled instrumentation near-free" `Slow
-            test_disabled_overhead;
         ] );
     ]

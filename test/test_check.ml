@@ -341,6 +341,95 @@ let test_lio_model_diff =
   Check.test_case ~count:200 ~max_size:10 ~print:Ni.pp_lops
     "lio clearance semantics match Mlio" Ni.gen_lops Ni.prop_lio_model_diff
 
+(* ---------- domain-count identity ----------
+
+   The lib/par acceptance contract: every harness output — fuzz stats
+   and reports, twin digests, catch indices, falsification messages —
+   must be byte-identical at every domain count, double runs included.
+   [~domains] is passed explicitly so these hold regardless of the
+   ambient HISTAR_DOMAINS. *)
+
+module Conf = Histar_check.Conformance
+
+let test_fuzz_domain_identity () =
+  let run d = Conf.run_fuzz ~domains:d ~runs:300 ~seed:Check.default_seed () in
+  let s1 = run 1 in
+  List.iter
+    (fun d ->
+      let s = run d in
+      Alcotest.(check bool)
+        (Printf.sprintf "fuzz stats identical at %d domains" d)
+        true (s = s1);
+      Alcotest.(check string)
+        (Printf.sprintf "fuzz report identical at %d domains" d)
+        (Conf.report s1) (Conf.report s))
+    [ 2; 8 ];
+  Alcotest.(check bool) "double run at 8 domains" true (run 8 = run 8)
+
+let test_fuzz_many_domain_identity () =
+  let run d =
+    Conf.run_fuzz_many ~domains:d ~runs:80 ~passes:4 ~seed:Check.default_seed
+      ()
+  in
+  let m1 = run 1 in
+  Alcotest.(check int) "one stats record per pass" 4 (List.length m1);
+  List.iter
+    (fun s ->
+      if s.Conf.fs_divergence <> None then
+        Alcotest.fail "clean kernel diverged in a split-seed pass")
+    m1;
+  Alcotest.(check bool) "split-seed passes identical at 8 domains" true
+    (run 8 = m1)
+
+let test_ni_domain_identity () =
+  let digest d =
+    Ni.suite_digest ~domains:d ~count:120 ~seed:Check.default_seed ()
+  in
+  let d1 = digest 1 in
+  List.iter
+    (fun d ->
+      Alcotest.(check bool)
+        (Printf.sprintf "twin digest identical at %d domains" d)
+        true (digest d = d1))
+    [ 2; 8 ];
+  List.iter
+    (fun weaken ->
+      let catch d = Ni.catch_index ~domains:d ~weaken ~budget:500 () in
+      match (catch 1, catch 8) with
+      | Some (i1, p1), Some (i8, p8) ->
+          Alcotest.(check int)
+            (Lio.weaken_to_string weaken ^ ": same catch index")
+            i1 i8;
+          Alcotest.(check bool) "same witness program" true (p1 = p8)
+      | _ ->
+          Alcotest.fail
+            (Lio.weaken_to_string weaken
+           ^ " not caught at some domain count"))
+    [ Lio.Weaken_toLabeled_result; Lio.Weaken_lio_catch ]
+
+let test_sweep_domain_identity () =
+  if replaying () then ()
+  else
+    let catch d mode =
+      match
+        Crash_sweep.sweep ~domains:d ~max_points:16 ~mode
+          (broken_wal_workload ())
+      with
+      | _ -> Alcotest.fail "injected regression not caught"
+      | exception Check.Falsified msg -> msg
+    in
+    List.iter
+      (fun mode ->
+        let m1 = catch 1 mode in
+        List.iter
+          (fun d ->
+            Alcotest.(check string)
+              (Printf.sprintf "%s falsification identical at %d domains"
+                 (Crash_sweep.mode_string mode) d)
+              m1 (catch d mode))
+          [ 2; 8 ])
+      [ `Fork; `Replay ]
+
 let () =
   Alcotest.run "histar_check"
     [
@@ -389,5 +478,16 @@ let () =
           Alcotest.test_case "projection invariant under oid perturbation"
             `Quick ni_perturbation;
           test_lio_model_diff;
+        ] );
+      ( "domain identity",
+        [
+          Alcotest.test_case "fuzz stats and report" `Quick
+            test_fuzz_domain_identity;
+          Alcotest.test_case "split-seed fuzz passes" `Quick
+            test_fuzz_many_domain_identity;
+          Alcotest.test_case "twin digest and catch indices" `Quick
+            test_ni_domain_identity;
+          Alcotest.test_case "crash-sweep falsification" `Quick
+            test_sweep_domain_identity;
         ] );
     ]

@@ -15,6 +15,7 @@ module Kernel = Histar_core.Kernel
 module Sys = Histar_core.Sys
 module Types = Histar_core.Types
 module Metrics = Histar_metrics.Metrics
+module Par = Histar_par.Par
 module Hub = Histar_net.Hub
 module Bridge = Histar_net.Bridge
 module Addr = Histar_net.Addr
@@ -637,7 +638,25 @@ let test_cluster_scaling () =
     true (Int64.compare m4 m2 < 0);
   let m2', d2' = run 2 in
   Alcotest.(check bool) "same seed, same makespan" true (Int64.equal m2 m2');
-  Alcotest.(check string) "same seed, same run — bit for bit" d2 d2'
+  Alcotest.(check string) "same seed, same run — bit for bit" d2 d2';
+  (* The same cluster with node stepping fanned out on real pool
+     domains: outcomes, makespan and merged metric dump must all be
+     byte-identical to the single-domain run. *)
+  let saved = Par.domains () in
+  Fun.protect
+    ~finally:(fun () -> Par.set_domains saved)
+    (fun () ->
+      List.iter
+        (fun dn ->
+          Par.set_domains dn;
+          let m2d, d2d = run 2 in
+          Alcotest.(check bool)
+            (Printf.sprintf "same makespan at %d domains" dn)
+            true (Int64.equal m2 m2d);
+          Alcotest.(check string)
+            (Printf.sprintf "bit-identical run at %d domains" dn)
+            d2 d2d)
+        [ 2; 8 ])
 
 (* Session-token TTL: the sealed front-end token elides the auth
    round-trip only inside its expiry window. Crossing the boundary at
